@@ -1,0 +1,74 @@
+"""Experiment A1 — composition-strategy ablation (paper footnote 2).
+
+"Our first attempt at computing protocol dependency table was to do a
+transitive closure but we abandoned this due to the excessive number of
+spurious cycles.  ... in practice this was not needed as no dependencies
+were found by composition [beyond one pairwise round]."
+
+The ablation measures, for each channel assignment:
+
+* one pairwise composition round (the paper's production setting),
+* transitive closure to a fixpoint, and
+* strict message matching vs the interleaving relaxation,
+
+comparing dependency-row counts, cycle sets, and wall time.  The shape to
+observe: the closure costs several times the pairwise round and adds rows
+without changing the verdict — exactly why the paper abandoned it.
+"""
+
+import pytest
+
+
+@pytest.mark.parametrize("assignment", ["v4", "v5", "v5d"])
+def test_pairwise_composition(benchmark, system, assignment):
+    def run():
+        a = system.analyze_deadlocks(assignment, closure=False)
+        return len(a.dependency_rows), a.cyclic_channels()
+
+    rows, cyclic = benchmark(run)
+    assert rows > 0
+
+
+@pytest.mark.parametrize("assignment", ["v4", "v5", "v5d"])
+def test_transitive_closure(benchmark, system, assignment):
+    def run():
+        a = system.analyze_deadlocks(assignment, closure=True)
+        return len(a.dependency_rows), a.cyclic_channels()
+
+    rows, cyclic = benchmark.pedantic(run, iterations=1, rounds=3)
+    # Same verdict as pairwise, at strictly more rows.
+    pairwise = system.analyze_deadlocks(assignment, closure=False)
+    assert cyclic == pairwise.cyclic_channels()
+    assert rows >= len(pairwise.dependency_rows)
+
+
+def test_strict_vs_relaxed_matching(benchmark, system):
+    """Ignoring messages (transaction interleavings) is what derives the
+    paper's R3; strict matching alone misses self-loop evidence."""
+    def run():
+        relaxed = system.analyze_deadlocks("v5", ignore_messages=True)
+        strict = system.analyze_deadlocks("v5", ignore_messages=False)
+        return relaxed, strict
+
+    relaxed, strict = benchmark(run)
+    relaxed_edges = {r.edge() for r in relaxed.dependency_rows}
+    strict_edges = {r.edge() for r in strict.dependency_rows}
+    assert ("VC4", "VC4") in relaxed_edges      # the paper's R3
+    assert strict_edges <= relaxed_edges
+
+
+def test_placement_count_ablation(benchmark, system):
+    """Dependency rows as quad placements are added: the full five-way
+    analysis vs the exact placement only."""
+    from repro.core.quad import ALL_PLACEMENTS, Placement
+
+    def run():
+        out = {}
+        out[1] = system.analyze_deadlocks(
+            "v5", placements=(Placement.ALL_DISTINCT,))
+        out[5] = system.analyze_deadlocks("v5", placements=ALL_PLACEMENTS)
+        return out
+
+    results = benchmark(run)
+    assert (len(results[5].dependency_rows)
+            > len(results[1].dependency_rows))

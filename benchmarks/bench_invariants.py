@@ -1,0 +1,56 @@
+"""Experiment T5 — invariant checking (paper section 4.3).
+
+Claim: "All of the protocol invariants (around 50) are checked on a SUN
+Sparc 10 within 5 minutes."  Ours run the full suite (80+ invariants over
+all eight controller tables, including recursive-SQL liveness checks and
+cross-controller joins) in milliseconds; the *shape* — declarative SQL
+checks are cheap enough to run on every specification edit — holds with
+orders of magnitude to spare.
+"""
+
+from repro.protocols.asura.invariants import build_invariants
+
+
+def test_full_invariant_suite(benchmark, system):
+    checker = system.invariant_checker()
+
+    def run():
+        return checker.check_all()
+
+    report = benchmark(run)
+    assert report.passed
+    assert len(report.results) >= 50
+
+
+def test_paper_four_invariants(benchmark, system):
+    """Just the four invariants section 4.3 spells out."""
+    names = {
+        "dir-pv-consistency",
+        "dir-bdir-mutual-exclusion",
+        "serialize-retry-when-busy",
+        "serialize-dealloc-on-completion",
+    }
+    checker = system.invariant_checker()
+    checker.invariants = [i for i in checker.invariants if i.name in names]
+    assert len(checker.invariants) == 4
+
+    report = benchmark(checker.check_all)
+    assert report.passed
+
+
+def test_recursive_liveness_invariant(benchmark, system):
+    """The WITH RECURSIVE busy-state completability check on its own."""
+    inv = next(i for i in build_invariants()
+               if i.name == "every-busy-state-completable")
+    checker = system.invariant_checker()
+
+    result = benchmark(lambda: checker.check(inv))
+    assert result.passed
+
+
+def test_determinism_check_all_tables(benchmark, system):
+    def run():
+        return [t.find_overlapping_rows() for t in system.tables.values()]
+
+    overlaps = benchmark(run)
+    assert all(not o for o in overlaps)

@@ -1,0 +1,15 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one table/figure/claim of the paper
+(see DESIGN.md's experiment index and EXPERIMENTS.md for the recorded
+results).  Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pytest
+
+from repro.protocols.asura import build_system
+
+
+@pytest.fixture(scope="session")
+def system():
+    return build_system()

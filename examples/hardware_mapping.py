@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Figure 5: mapping the debugged directory table onto hardware.
+
+Section 5 of the paper, step by step:
+
+1. Extend D with implementation columns — Qstatus (output queues full),
+   Dqstatus (directory update queue full), Fdback (the dfdback feedback
+   request) — and regenerate: the extended table ED.
+2. Partition ED into the nine implementation tables, one per output port
+   of the request and response sub-controllers.
+3. Reconstruct ED from the nine tables with SQL joins and prove the
+   debugged D is contained in the result.
+4. Generate code from the tables ("SQL report generation"): a Python
+   controller function and a Verilog-style casez module.
+
+Run:  python examples/hardware_mapping.py
+"""
+
+from repro.core.codegen import generate_python, generate_verilog
+from repro.protocols.asura import build_system
+from repro.protocols.asura.hardware import build_hardware_mapping
+
+
+def main() -> None:
+    system = build_system()
+    d = system.tables["D"]
+    print(f"Debugged table D: {d.row_count} rows x {len(d.schema)} columns")
+
+    print("\nStep 1: generating the extended table ED ...")
+    hw = build_hardware_mapping(system.db, d, system.constraint_sets["D"])
+    print(f"  ED: {hw.ed.row_count} rows x {len(hw.ed.schema)} columns "
+          f"(+Qstatus, +Dqstatus, +Fdback, inmsg extended with dfdback)")
+
+    full = hw.ed.match_rows({"inmsg": "readex", "Qstatus": "Full"})
+    print(f"  e.g. readex with full output queues -> "
+          f"locmsg={full[0]['locmsg']} (and nothing else happens)")
+
+    print("\nStep 2: the nine implementation tables:")
+    for name, part in hw.partitions.items():
+        outs = ", ".join(part.schema.output_names)
+        print(f"  {name:<18} {part.row_count:>4} rows   outputs: {outs}")
+
+    print("\nStep 3: reconstruction check ...")
+    result = hw.check_preserved()
+    print(f"  {result.summary_line()}")
+
+    print("\nStep 4: generated code samples")
+    py = generate_python(system.tables["M"])
+    print("  --- Python (memory controller, full) ---")
+    for line in py.splitlines():
+        print(f"  {line}")
+    vlog = generate_verilog(system.tables["PE"])
+    print("  --- Verilog (protocol-engine arbiter, first 25 lines) ---")
+    for line in vlog.splitlines()[:25]:
+        print(f"  {line}")
+    print("  ...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Early error detection in action: seed specification bugs, catch them.
+
+"Errors found by static analyses are analyzed, the specification is
+modified and the process is repeated until no errors are found leading to
+debugged tables."  This script plays the designer who gets it wrong: it
+injects four classic protocol bugs into the generated tables and shows
+which SQL invariants fire, with the violating rows.
+
+Run:  python examples/invariant_audit.py
+"""
+
+from repro.protocols.asura import build_system
+
+BUGS = [
+    ("forgot to retry requests hitting a busy line",
+     "D", "UPDATE \"D\" SET locmsg = NULL "
+          "WHERE locmsg = 'retry' AND inmsg = 'wb'"),
+    ("upgrade grants ownership before all invalidates are collected",
+     "D", "UPDATE \"D\" SET nxtbdirst = 'Busy-u-c', locmsg = 'compl' "
+          "WHERE inmsg = 'idone' AND bdirst = 'Busy-u-s' "
+          "AND bdirpv = 'gone'"),
+    ("node drops snoops for lines it no longer caches",
+     "N", "UPDATE \"N\" SET netmsg = NULL "
+          "WHERE inmsg = 'sinv' AND linest = 'I'"),
+    ("cache silently discards a modified victim",
+     "C", "UPDATE \"C\" SET nodemsg = NULL, dataout = NULL "
+          "WHERE op = 'evict' AND cachest = 'M'"),
+]
+
+
+def main() -> None:
+    for description, table, sql in BUGS:
+        print(f"=== seeded bug in {table}: {description} ===")
+        system = build_system()      # a fresh, clean specification
+        system.db.execute(sql)
+        report = system.check_invariants()
+        failures = report.failures
+        if not failures:
+            print("  !! not caught — this would be a gap in the suite")
+            continue
+        for result in failures:
+            print(f"  caught by [{result.name}]: {result.description}")
+            for detail in result.details[:2]:
+                print(f"    violating row: {detail}")
+        print()
+
+    print("Every seeded bug tripped at least one declarative SQL check —")
+    print("before any simulation, RTL, or silicon existed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim for environments without the ``wheel`` package (offline editable
+installs fall back to ``pip install -e . --no-use-pep517``)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""Analysis utilities: cycle detection and protocol statistics."""
+
+from .cycles import (
+    canonical_cycle,
+    cyclic_vertices_networkx,
+    cyclic_vertices_sql,
+    find_cycles_networkx,
+)
+
+__all__ = [
+    "canonical_cycle",
+    "cyclic_vertices_networkx",
+    "cyclic_vertices_sql",
+    "find_cycles_networkx",
+]
+
+from .stats import ProtocolStats, collect
+
+__all__ += ["ProtocolStats", "collect"]
+
+from .coverage import CoverageRecorder, CoverageReport, TableCoverage, coverage_report
+
+__all__ += ["CoverageRecorder", "CoverageReport", "TableCoverage", "coverage_report"]

@@ -1,0 +1,114 @@
+"""Transition coverage of controller tables by simulation.
+
+The development cycle the paper replaces ends with "the implementation is
+tested and certified correct using simulation by running specific as well
+as random tests" — and the first question about any simulation campaign
+is *which transitions did it actually exercise?*  With the specification
+stored as database tables, coverage is a first-class query: the simulator
+records the rowid of every table row it fires, and the report lists hit
+counts and the uncovered rows per controller (in SQL, of course).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from ..core.table import ControllerTable
+from ..core.sqlgen import quote_ident
+
+__all__ = ["CoverageRecorder", "TableCoverage", "CoverageReport", "coverage_report"]
+
+
+class CoverageRecorder:
+    """Accumulates (table, rowid) hit counts during simulation."""
+
+    def __init__(self) -> None:
+        self.hits: dict[str, Counter] = {}
+
+    def record(self, table: str, rowid: int) -> None:
+        self.hits.setdefault(table, Counter())[rowid] += 1
+
+    def total_hits(self) -> int:
+        return sum(sum(c.values()) for c in self.hits.values())
+
+    def merge(self, other: "CoverageRecorder") -> None:
+        for table, counter in other.hits.items():
+            self.hits.setdefault(table, Counter()).update(counter)
+
+
+@dataclass
+class TableCoverage:
+    table: str
+    total_rows: int
+    covered_rows: int
+    hit_count: int
+    uncovered: list[dict] = field(default_factory=list)
+
+    @property
+    def fraction(self) -> float:
+        if self.total_rows == 0:
+            return 1.0
+        return self.covered_rows / self.total_rows
+
+    def __str__(self) -> str:
+        return (f"{self.table}: {self.covered_rows}/{self.total_rows} rows "
+                f"({100 * self.fraction:.0f}%), {self.hit_count} firings")
+
+
+@dataclass
+class CoverageReport:
+    per_table: dict[str, TableCoverage]
+
+    @property
+    def overall_fraction(self) -> float:
+        total = sum(t.total_rows for t in self.per_table.values())
+        covered = sum(t.covered_rows for t in self.per_table.values())
+        return covered / total if total else 1.0
+
+    def render(self, show_uncovered: int = 5) -> str:
+        lines = [f"transition coverage "
+                 f"({100 * self.overall_fraction:.0f}% overall):"]
+        for cov in self.per_table.values():
+            lines.append(f"  {cov}")
+            for row in cov.uncovered[:show_uncovered]:
+                pretty = ", ".join(
+                    f"{k}={v}" for k, v in row.items() if v is not None
+                )
+                lines.append(f"      uncovered: {pretty}")
+            extra = len(cov.uncovered) - show_uncovered
+            if extra > 0:
+                lines.append(f"      ... and {extra} more")
+        return "\n".join(lines)
+
+
+def coverage_report(
+    recorder: CoverageRecorder,
+    tables: Mapping[str, ControllerTable],
+    max_uncovered: Optional[int] = 50,
+) -> CoverageReport:
+    """Build per-table coverage from a recorder and the live tables."""
+    per_table: dict[str, TableCoverage] = {}
+    for name, table in tables.items():
+        counter = recorder.hits.get(name, Counter())
+        hit_ids = sorted(counter)
+        t = quote_ident(table.table_name)
+        if hit_ids:
+            ids = ", ".join(str(i) for i in hit_ids)
+            uncovered_sql = f"SELECT * FROM {t} WHERE rowid NOT IN ({ids})"
+        else:
+            uncovered_sql = f"SELECT * FROM {t}"
+        uncovered = table.db.query(uncovered_sql)
+        if max_uncovered is not None:
+            uncovered = uncovered[:max_uncovered]
+        per_table[name] = TableCoverage(
+            table=name,
+            total_rows=table.row_count,
+            covered_rows=len(hit_ids),
+            hit_count=sum(counter.values()),
+            uncovered=[
+                {c: r[c] for c in table.schema.column_names} for r in uncovered
+            ],
+        )
+    return CoverageReport(per_table=per_table)

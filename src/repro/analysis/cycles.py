@@ -1,0 +1,86 @@
+"""Cycle detection over virtual-channel dependency graphs.
+
+Two independent implementations, cross-checked by property tests:
+
+* :func:`find_cycles_networkx` — enumerate elementary cycles with
+  ``networkx.simple_cycles``.
+* :func:`cyclic_vertices_sql` — pure SQL, the way the paper's database
+  would do it: a recursive reachability query; a vertex is on a cycle iff
+  it reaches itself.
+
+Both operate on plain ``(src, dst)`` edge iterables so they are usable
+outside the deadlock analyzer (e.g. on ad-hoc graphs in tests).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable, Sequence
+
+import networkx as nx
+
+__all__ = [
+    "find_cycles_networkx",
+    "cyclic_vertices_networkx",
+    "cyclic_vertices_sql",
+    "canonical_cycle",
+]
+
+Edge = tuple[str, str]
+
+
+def canonical_cycle(cycle: Sequence[str]) -> tuple[str, ...]:
+    """Rotate a cycle so it starts at its smallest vertex, giving a
+    canonical form usable as a set element."""
+    if not cycle:
+        return ()
+    i = min(range(len(cycle)), key=lambda k: cycle[k])
+    return tuple(cycle[i:]) + tuple(cycle[:i])
+
+
+def find_cycles_networkx(edges: Iterable[Edge]) -> list[tuple[str, ...]]:
+    """All elementary cycles, each in canonical rotation, sorted."""
+    g = nx.DiGraph()
+    g.add_edges_from(edges)
+    cycles = {canonical_cycle(c) for c in nx.simple_cycles(g)}
+    return sorted(cycles)
+
+
+def cyclic_vertices_networkx(edges: Iterable[Edge]) -> set[str]:
+    """Vertices lying on at least one cycle (incl. self-loops)."""
+    g = nx.DiGraph()
+    g.add_edges_from(edges)
+    out: set[str] = set()
+    for comp in nx.strongly_connected_components(g):
+        if len(comp) > 1:
+            out |= comp
+        else:
+            (v,) = comp
+            if g.has_edge(v, v):
+                out.add(v)
+    return out
+
+
+def cyclic_vertices_sql(edges: Iterable[Edge]) -> set[str]:
+    """Same as :func:`cyclic_vertices_networkx`, computed by a recursive
+    SQL reachability query in a scratch SQLite database."""
+    conn = sqlite3.connect(":memory:")
+    try:
+        conn.execute("CREATE TABLE edges (src TEXT, dst TEXT)")
+        conn.executemany(
+            "INSERT INTO edges VALUES (?, ?)", [(s, d) for s, d in edges]
+        )
+        rows = conn.execute(
+            """
+            WITH RECURSIVE reach(origin, dst) AS (
+                SELECT src, dst FROM edges
+                UNION
+                SELECT reach.origin, edges.dst
+                FROM reach JOIN edges ON reach.dst = edges.src
+            )
+            SELECT DISTINCT origin FROM reach WHERE origin = dst
+            """
+        ).fetchall()
+        return {r[0] for r in rows}
+    finally:
+        conn.close()

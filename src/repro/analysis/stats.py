@@ -1,0 +1,66 @@
+"""Protocol-wide statistics (the paper's size claims).
+
+Section 3: "This table is made of 30 columns and 500 rows and includes
+around 40 Busy states and considers all transaction interleavings allowed
+in the protocol."  Section 6: "A total of 8 controller database tables
+were automatically generated."  This module collects the corresponding
+numbers from a generated system so benchmarks and EXPERIMENTS.md report
+them from one source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..protocols import messages as M
+from ..protocols import states as S
+
+__all__ = ["ProtocolStats", "collect"]
+
+
+@dataclass
+class ProtocolStats:
+    controllers: int
+    message_types: int
+    request_types: int
+    response_types: int
+    busy_states: int
+    directory_columns: int
+    directory_rows: int
+    directory_input_space: int
+    total_rows: int
+    total_columns: int
+    generation_seconds: float
+    per_table: dict
+
+    def paper_comparison(self) -> list[tuple[str, str, str]]:
+        """(quantity, paper value, ours) rows for EXPERIMENTS.md."""
+        return [
+            ("controller tables", "8", str(self.controllers)),
+            ("message types", "~50", str(self.message_types)),
+            ("directory table columns", "30", str(self.directory_columns)),
+            ("directory table rows", "~500", str(self.directory_rows)),
+            ("busy states", "~40", str(self.busy_states)),
+            ("generation time", "minutes (Sparc 10)",
+             f"{self.generation_seconds:.3f}s"),
+        ]
+
+
+def collect(system) -> ProtocolStats:
+    """Gather statistics from an :class:`AsuraSystem`."""
+    raw = system.stats()
+    d = system.tables["D"]
+    return ProtocolStats(
+        controllers=raw["controllers"],
+        message_types=len(M.CATALOG),
+        request_types=len(M.REQUEST_NAMES),
+        response_types=len(M.RESPONSE_NAMES),
+        busy_states=len(S.BUSY_NAMES),
+        directory_columns=raw["directory_columns"],
+        directory_rows=raw["directory_rows"],
+        directory_input_space=d.schema.cross_product_size(d.schema.input_names),
+        total_rows=raw["total_rows"],
+        total_columns=raw["total_columns"],
+        generation_seconds=raw["generation_seconds"],
+        per_table=raw["per_table"],
+    )

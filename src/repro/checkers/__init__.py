@@ -1,0 +1,14 @@
+"""Explicit-state model checking baseline.
+
+Section 4.2 of the paper: "Model checkers based on formal approaches have
+a lot of reasoning power and can detect such deadlocks.  However, to use
+these tools, the controller tables need to be extensively abstracted to
+avoid the state explosion problem."  This package provides that baseline:
+a breadth-first explicit-state checker over the *same* table-driven
+models the simulator runs, so the comparison in the benchmarks is
+apples-to-apples — SQL static analysis vs exhaustive state enumeration.
+"""
+
+from .explicit import ExplicitStateChecker, MCResult, snapshot_simulator
+
+__all__ = ["ExplicitStateChecker", "MCResult", "snapshot_simulator"]

@@ -1,0 +1,235 @@
+"""Breadth-first explicit-state exploration of the protocol.
+
+The checker reuses the simulator's table-driven endpoint models but
+replaces its deterministic scheduler with nondeterministic choice: in
+every state, *each* consumable channel head, startable processor
+operation, and pending re-issue is a separate transition.  States are
+canonical snapshots (channel contents, directory/busy entries, caches,
+transaction registers, queued ops); the reachable graph is searched
+breadth-first for
+
+* deadlock states — no transition enabled while work remains, and
+* coherence violations — the single-writer/multiple-reader property.
+
+This is the paper's comparison point: it finds the Figure 4 deadlock, but
+only after enumerating orders of magnitude more work than the SQL
+dependency analysis, and it explodes quickly with topology size.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Optional
+
+from ..sim.channel import Envelope
+from ..sim.models import TxnRegister
+from ..sim.system import CoherenceError, Simulator
+from ..sim.workloads import Workload
+
+__all__ = ["ExplicitStateChecker", "MCResult", "snapshot_simulator", "restore_simulator"]
+
+Snapshot = Hashable
+Move = tuple  # ('queue', (vc, quad)) | ('cpu', node_id) | ('reissue', node_id)
+
+
+def snapshot_simulator(sim: Simulator) -> Snapshot:
+    """A canonical, hashable snapshot of all control state.
+
+    Message sequence numbers, traces, and statistics are excluded — they
+    do not affect future behaviour.  Data values (memory versions) are
+    likewise control-irrelevant in this protocol model.
+    """
+    channels = tuple(sorted(
+        (
+            q.key,
+            tuple((e.msg, e.src, e.dst, e.addr, e.src_role, e.dst_role)
+                  for e in q),
+        )
+        for q in sim.fabric.queues()
+        if len(q)
+    ))
+    dirs = tuple(
+        (
+            quad,
+            tuple(sorted(
+                (addr, entry["st"], tuple(sorted(entry["pv"])))
+                for addr, entry in d.lines.items()
+            )),
+            tuple(sorted(
+                (addr, b.state, tuple(sorted(b.pv)), b.requester)
+                for addr, b in d.busy.items()
+            )),
+        )
+        for quad, d in sorted(sim.directories.items())
+    )
+
+    def reg(r: TxnRegister) -> tuple:
+        return (r.pend, r.addr, r.cache_req, r.issue_linest,
+                r.retry_at is not None)
+
+    nodes = tuple(
+        (
+            nid,
+            tuple(sorted(n.cache.items())),
+            reg(n.miss),
+            reg(n.wb),
+            tuple(n.cpu_ops),
+        )
+        for nid, n in sorted(sim.nodes.items())
+    )
+    return (channels, dirs, nodes)
+
+
+def restore_simulator(sim: Simulator, snap: Snapshot) -> None:
+    """Write a snapshot back into a reusable simulator instance."""
+    channels, dirs, nodes = snap
+    for q in sim.fabric.queues():
+        q._q.clear()
+    for key, envs in channels:
+        q = sim.fabric.queue(*key)
+        for msg, src, dst, addr, sr, dr in envs:
+            q._q.append(Envelope(msg, src, dst, addr, sr, dr, seq=0))
+    for quad, lines, busy in dirs:
+        d = sim.directories[quad]
+        d.lines = {addr: {"st": st, "pv": set(pv)} for addr, st, pv in lines}
+        d.busy = {}
+        for addr, state, pv, requester in busy:
+            from ..sim.models import BusyEntry
+            d.busy[addr] = BusyEntry(state=state, pv=set(pv), requester=requester)
+    for nid, cache, miss, wb, cpu_ops in nodes:
+        n = sim.nodes[nid]
+        n.cache = dict(cache)
+        for r, data in ((n.miss, miss), (n.wb, wb)):
+            r.pend, r.addr, r.cache_req, r.issue_linest, has_retry = data
+            r.retry_at = sim.now if has_retry else None
+        n.cpu_ops = list(cpu_ops)
+    sim.trace.clear()
+
+
+@dataclass
+class MCResult:
+    states: int
+    transitions: int
+    deadlocks: list = field(default_factory=list)
+    violations: list = field(default_factory=list)
+    seconds: float = 0.0
+    truncated: bool = False
+    max_depth: int = 0
+
+    @property
+    def found_deadlock(self) -> bool:
+        return bool(self.deadlocks)
+
+    @property
+    def passed(self) -> bool:
+        return not self.deadlocks and not self.violations and not self.truncated
+
+
+class ExplicitStateChecker:
+    """BFS over protocol states starting from a prepared workload."""
+
+    def __init__(self, workload: Workload) -> None:
+        self.sim = workload.simulator
+        # Model time abstractly: retries are immediately re-issuable and
+        # memory never refreshes (refresh models latency, not behaviour).
+        self.sim.config.check_coherence = False
+        for node in self.sim.nodes.values():
+            node.reissue_delay = 0
+        for mem in self.sim.memories.values():
+            mem.refresh_until = 0
+        workload.inject_all()
+        self.initial = snapshot_simulator(self.sim)
+
+    # -- transition enumeration ------------------------------------------------
+    def enabled_moves(self) -> list[Move]:
+        moves: list[Move] = []
+        for q in self.sim.fabric.queues():
+            if q.head() is not None:
+                moves.append(("queue", q.key))
+        for nid in self.sim.nodes:
+            moves.append(("cpu", nid))
+            moves.append(("reissue", nid))
+        return moves
+
+    def fire(self, snap: Snapshot, move: Move) -> Optional[Snapshot]:
+        """Apply one transition to a snapshot; None if not enabled."""
+        restore_simulator(self.sim, snap)
+        kind, target = move
+        if kind == "queue":
+            q = self.sim.fabric.queue(*target)
+            env = q.head()
+            if env is None:
+                return None
+            plan = self.sim._plan_for(env)
+            if plan is None or not self.sim._try_commit(plan, q):
+                return None
+        elif kind == "cpu":
+            plan = self.sim.nodes[target].plan_cpu()
+            if plan is None or not self.sim._try_commit(plan, None):
+                return None
+        else:  # reissue
+            plan = self.sim.nodes[target].plan_reissue(self.sim.now)
+            if plan is None or not self.sim._try_commit(plan, None):
+                return None
+        return snapshot_simulator(self.sim)
+
+    # -- state predicates ----------------------------------------------------------
+    def _has_pending_work(self) -> bool:
+        return (
+            self.sim.fabric.pending_messages() > 0
+            or self.sim._outstanding()
+            or self.sim._pending_cpu_work()
+        )
+
+    def _check_coherence(self) -> Optional[str]:
+        try:
+            self.sim.check_coherence()
+        except CoherenceError as e:
+            return str(e)
+        return None
+
+    # -- the search --------------------------------------------------------------------
+    def run(self, max_states: int = 200_000) -> MCResult:
+        t0 = time.perf_counter()
+        result = MCResult(states=0, transitions=0)
+        seen: set[Snapshot] = {self.initial}
+        frontier: deque[tuple[Snapshot, int]] = deque([(self.initial, 0)])
+        while frontier:
+            if len(seen) > max_states:
+                result.truncated = True
+                break
+            snap, depth = frontier.popleft()
+            result.max_depth = max(result.max_depth, depth)
+
+            restore_simulator(self.sim, snap)
+            violation = self._check_coherence()
+            if violation is not None:
+                result.violations.append((depth, violation))
+
+            successors = 0
+            for move in self.enabled_moves():
+                nxt = self.fire(snap, move)
+                if nxt is None:
+                    continue
+                successors += 1
+                result.transitions += 1
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append((nxt, depth + 1))
+
+            if successors == 0:
+                restore_simulator(self.sim, snap)
+                if self._has_pending_work():
+                    result.deadlocks.append((depth, self._describe_deadlock()))
+        result.states = len(seen)
+        result.seconds = time.perf_counter() - t0
+        return result
+
+    def _describe_deadlock(self) -> str:
+        lines = []
+        for q in self.sim.fabric.queues():
+            if len(q):
+                lines.append(f"{q!r}: " + ", ".join(str(e) for e in q))
+        return "; ".join(lines) or "pending work with no enabled transition"

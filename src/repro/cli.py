@@ -1,0 +1,219 @@
+"""Command-line interface: the paper's push-button flow.
+
+    python -m repro stats                  # protocol statistics
+    python -m repro check                  # invariants + determinism
+    python -m repro deadlock --assignment v5
+    python -m repro simulate --workload fig4 --assignment v5
+    python -m repro simulate --workload random --ops 200 --coverage
+    python -m repro mc --assignment v5     # model-checker baseline
+    python -m repro map                    # section-5 hardware mapping
+    python -m repro codegen M --verilog    # generated controller code
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("SQL-based early error detection for cache coherence "
+                     "protocols (IPPS 2003 reproduction)"),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("stats", help="protocol statistics vs the paper's")
+
+    sub.add_parser("check", help="run all invariants and determinism checks")
+
+    p = sub.add_parser("deadlock", help="static deadlock analysis")
+    p.add_argument("--assignment", choices=("v4", "v5", "v5d"), default="v5")
+    p.add_argument("--closure", action="store_true",
+                   help="transitive closure instead of one pairwise round")
+    p.add_argument("--strict", action="store_true",
+                   help="require message equality when composing")
+
+    p = sub.add_parser("simulate", help="run the table-driven simulator")
+    p.add_argument("--workload", choices=("fig2", "fig4", "random"),
+                   default="random")
+    p.add_argument("--assignment", choices=("v4", "v5", "v5d"), default="v5d")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--ops", type=int, default=100)
+    p.add_argument("--coverage", action="store_true",
+                   help="report controller-table transition coverage")
+    p.add_argument("--trace", action="store_true", help="print every message")
+
+    p = sub.add_parser("mc", help="explicit-state model checker (baseline)")
+    p.add_argument("--assignment", choices=("v4", "v5", "v5d"), default="v5")
+    p.add_argument("--max-states", type=int, default=100_000)
+
+    p = sub.add_parser("repair", help="search for channel-assignment fixes")
+    p.add_argument("--assignment", choices=("v4", "v5", "v5d"), default="v5")
+    p.add_argument("--rounds", type=int, default=4)
+
+    sub.add_parser("map", help="hardware mapping of D (section 5)")
+
+    p = sub.add_parser("codegen", help="generate controller code")
+    p.add_argument("table", choices=("D", "M", "C", "N", "RAC", "IO",
+                                     "NI", "PE"))
+    p.add_argument("--verilog", action="store_true",
+                   help="emit Verilog instead of Python")
+    return parser
+
+
+def _cmd_stats(system, args) -> int:
+    from .analysis import collect
+    stats = collect(system)
+    print(f"{'quantity':<26}{'paper':<20}ours")
+    for quantity, paper, ours in stats.paper_comparison():
+        print(f"{quantity:<26}{paper:<20}{ours}")
+    print()
+    for name, s in stats.per_table.items():
+        print(f"{name:<4} {s.n_rows:>4} rows x {s.n_columns:>2} columns")
+    return 0
+
+
+def _cmd_check(system, args) -> int:
+    report = system.check_invariants()
+    print(report.render())
+    return 0 if report.passed else 1
+
+
+def _cmd_deadlock(system, args) -> int:
+    analysis = system.analyze_deadlocks(
+        args.assignment,
+        ignore_messages=not args.strict,
+        closure=args.closure,
+    )
+    cycles = analysis.cycles()
+    print(f"V = {args.assignment}: {analysis.vcg.number_of_nodes()} channels, "
+          f"{analysis.vcg.number_of_edges()} dependencies, "
+          f"{len(analysis.dependency_rows)} dependency rows "
+          f"({analysis.build_seconds:.2f}s)")
+    if not cycles:
+        print("no cycles: the assignment is deadlock-free")
+        return 0
+    for cycle in cycles:
+        print(analysis.scenario(cycle))
+    return 1
+
+
+def _cmd_simulate(system, args) -> int:
+    from .sim import figure2_scenario, figure4_scenario, random_workload
+    from .sim.system import SimConfig
+
+    if args.workload == "fig2":
+        workload = figure2_scenario(system, assignment=args.assignment)
+    elif args.workload == "fig4":
+        workload = figure4_scenario(system, assignment=args.assignment)
+    else:
+        workload = random_workload(system, assignment=args.assignment,
+                                   seed=args.seed, n_ops=args.ops)
+    sim = workload.simulator
+    if args.coverage:
+        # Coverage was decided at construction; rebuild the models' hook.
+        from .analysis.coverage import CoverageRecorder
+        sim.recorder = CoverageRecorder()
+        for model in (*sim.directories.values(), *sim.memories.values(),
+                      *sim.nodes.values(), *sim.ios.values()):
+            model.recorder = sim.recorder
+        sim.config.coverage = True
+    result = workload.run()
+
+    print(f"{workload.description}")
+    print(f"status: {result.status} after {result.steps} steps, "
+          f"{result.messages} messages")
+    if args.trace:
+        for event in result.trace:
+            print(f"  {event}")
+    if result.deadlocked:
+        print(result.deadlock_report)
+    if args.coverage:
+        print(sim.coverage_report().render())
+    return 0 if result.status == "quiescent" else 1
+
+
+def _cmd_mc(system, args) -> int:
+    from .checkers import ExplicitStateChecker
+    from .sim import figure4_scenario
+    mc = ExplicitStateChecker(figure4_scenario(system, args.assignment))
+    result = mc.run(max_states=args.max_states)
+    print(f"explored {result.states} states / {result.transitions} "
+          f"transitions in {result.seconds:.2f}s (depth {result.max_depth})")
+    for depth, desc in result.deadlocks:
+        print(f"deadlock at depth {depth}: {desc}")
+    for depth, desc in result.violations:
+        print(f"coherence violation at depth {depth}: {desc}")
+    if result.truncated:
+        print(f"search truncated at {args.max_states} states")
+    return 0 if result.passed else 1
+
+
+def _cmd_repair(system, args) -> int:
+    from .core.repair import DeadlockRepairer
+    repairer = DeadlockRepairer(
+        system.db, system.deadlock_specs(),
+        system.channel_assignments[args.assignment],
+    )
+    result = repairer.search(max_rounds=args.rounds)
+    print(result.render())
+    return 0 if result.success else 1
+
+
+def _cmd_map(system, args) -> int:
+    from .protocols.asura.hardware import build_hardware_mapping
+    hw = build_hardware_mapping(
+        system.db, system.tables["D"], system.constraint_sets["D"],
+    )
+    print(f"ED: {hw.ed.row_count} rows x {len(hw.ed.schema)} columns")
+    for name, part in hw.partitions.items():
+        print(f"  {name:<18} {part.row_count:>4} rows")
+    result = hw.check_preserved()
+    print(result.summary_line())
+    return 0 if result.passed else 1
+
+
+def _cmd_codegen(system, args) -> int:
+    from .core.codegen import generate_python, generate_verilog
+    table = system.tables[args.table]
+    if args.verilog:
+        print(generate_verilog(table))
+    else:
+        print(generate_python(table))
+    return 0
+
+
+_COMMANDS = {
+    "stats": _cmd_stats,
+    "check": _cmd_check,
+    "deadlock": _cmd_deadlock,
+    "simulate": _cmd_simulate,
+    "mc": _cmd_mc,
+    "repair": _cmd_repair,
+    "map": _cmd_map,
+    "codegen": _cmd_codegen,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point: build the system once, dispatch to the subcommand."""
+    args = build_parser().parse_args(argv)
+    from .protocols.asura import build_system
+    system = build_system()
+    try:
+        return _COMMANDS[args.command](system, args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early; not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+    finally:
+        system.db.close()

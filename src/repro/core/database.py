@@ -1,0 +1,179 @@
+"""Thin relational-database layer over the standard-library ``sqlite3``.
+
+The paper stores all controller tables in "a central database" (ORACLE8 in
+the original deployment).  Everything the methodology needs from the
+database — column tables, cross products, ``WHERE`` filtering, joins,
+``EXCEPT``, recursive queries — is available in SQLite, so this module is
+the only place that touches ``sqlite3`` directly.
+
+All protocol values are stored as TEXT; the paper's NULL dontcare/noop is
+SQL NULL.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Any, Iterable, Optional, Sequence
+
+from .expr import Row, Value
+from .schema import Column, TableSchema
+from .sqlgen import quote_ident, quote_value
+
+__all__ = ["ProtocolDatabase", "DatabaseError"]
+
+
+class DatabaseError(RuntimeError):
+    """A SQL statement failed; the message includes the statement."""
+
+
+def _dict_factory(cursor: sqlite3.Cursor, row: tuple) -> dict[str, Value]:
+    return {d[0]: row[i] for i, d in enumerate(cursor.description)}
+
+
+class ProtocolDatabase:
+    """A central database holding column tables and controller tables."""
+
+    #: suffix used for per-column domain tables
+    COLUMN_TABLE_PREFIX = "col_"
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._conn = sqlite3.connect(path)
+        self._conn.row_factory = _dict_factory
+        # The workloads are bulk inserts + analytical reads; classic
+        # journaling adds nothing for an in-memory scratch database.
+        self._conn.execute("PRAGMA synchronous = OFF")
+
+    # -- lifecycle ------------------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ProtocolDatabase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        return self._conn
+
+    # -- raw access -----------------------------------------------------------
+    def execute(self, sql: str, params: Sequence = ()) -> sqlite3.Cursor:
+        try:
+            return self._conn.execute(sql, params)
+        except sqlite3.Error as e:
+            raise DatabaseError(f"{e}\nSQL was:\n{sql}") from e
+
+    def executemany(self, sql: str, rows: Iterable[Sequence]) -> None:
+        try:
+            self._conn.executemany(sql, rows)
+        except sqlite3.Error as e:
+            raise DatabaseError(f"{e}\nSQL was:\n{sql}") from e
+
+    def query(self, sql: str, params: Sequence = ()) -> list[dict[str, Value]]:
+        return self.execute(sql, params).fetchall()
+
+    def scalar(self, sql: str, params: Sequence = ()) -> Any:
+        rows = self.query(sql, params)
+        if not rows:
+            return None
+        return next(iter(rows[0].values()))
+
+    # -- table management -------------------------------------------------------
+    def table_exists(self, name: str) -> bool:
+        return (
+            self.scalar(
+                "SELECT COUNT(*) FROM sqlite_master WHERE type IN ('table','view') AND name = ?",
+                (name,),
+            )
+            > 0
+        )
+
+    def drop_table(self, name: str) -> None:
+        self.execute(f"DROP TABLE IF EXISTS {quote_ident(name)}")
+        self.execute(f"DROP VIEW IF EXISTS {quote_ident(name)}")
+
+    def row_count(self, name: str) -> int:
+        return int(self.scalar(f"SELECT COUNT(*) FROM {quote_ident(name)}"))
+
+    def table_columns(self, name: str) -> list[str]:
+        return [r["name"] for r in self.query(f"PRAGMA table_info({quote_ident(name)})")]
+
+    def rows(self, name: str, order_by: Optional[Sequence[str]] = None) -> list[dict[str, Value]]:
+        sql = f"SELECT * FROM {quote_ident(name)}"
+        if order_by:
+            sql += " ORDER BY " + ", ".join(quote_ident(c) for c in order_by)
+        return self.query(sql)
+
+    # -- column (domain) tables --------------------------------------------------
+    def column_table_name(self, table: str, column: str) -> str:
+        return f"{self.COLUMN_TABLE_PREFIX}{table}__{column}"
+
+    def create_column_table(self, table: str, column: Column) -> str:
+        """Create the paper's *column table*: one row per legal value,
+        including NULL for nullable columns."""
+        name = self.column_table_name(table, column.name)
+        self.drop_table(name)
+        self.execute(f"CREATE TABLE {quote_ident(name)} ({quote_ident(column.name)} TEXT)")
+        self.executemany(
+            f"INSERT INTO {quote_ident(name)} VALUES (?)",
+            [(v,) for v in column.domain],
+        )
+        return name
+
+    def create_column_tables(self, schema: TableSchema) -> dict[str, str]:
+        """Create all column tables for a schema; returns column -> table name."""
+        return {c.name: self.create_column_table(schema.name, c) for c in schema.columns}
+
+    # -- data tables ---------------------------------------------------------------
+    def create_table(self, name: str, columns: Sequence[str], replace: bool = True) -> None:
+        if replace:
+            self.drop_table(name)
+        cols = ", ".join(f"{quote_ident(c)} TEXT" for c in columns)
+        self.execute(f"CREATE TABLE {quote_ident(name)} ({cols})")
+
+    def insert_rows(self, name: str, columns: Sequence[str], rows: Iterable[Row]) -> int:
+        cols = ", ".join(quote_ident(c) for c in columns)
+        marks = ", ".join("?" for _ in columns)
+        data = [tuple(r[c] for c in columns) for r in rows]
+        self.executemany(f"INSERT INTO {quote_ident(name)} ({cols}) VALUES ({marks})", data)
+        return len(data)
+
+    def create_table_from_rows(
+        self, name: str, columns: Sequence[str], rows: Iterable[Row]
+    ) -> int:
+        self.create_table(name, columns)
+        return self.insert_rows(name, columns, rows)
+
+    def create_table_as(self, name: str, select_sql: str, replace: bool = True) -> None:
+        """The workhorse: ``CREATE TABLE name AS SELECT …`` (paper section 5
+        uses exactly this form to carve implementation tables out of ED)."""
+        if replace:
+            self.drop_table(name)
+        self.execute(f"CREATE TABLE {quote_ident(name)} AS {select_sql}")
+
+    # -- set operations ---------------------------------------------------------------
+    def difference_count(self, left: str, right: str, columns: Sequence[str]) -> int:
+        """``|left EXCEPT right|`` over the named columns — 0 means every
+        row of ``left`` appears in ``right`` (containment)."""
+        cols = ", ".join(quote_ident(c) for c in columns)
+        sql = (
+            f"SELECT COUNT(*) FROM (SELECT {cols} FROM {quote_ident(left)} "
+            f"EXCEPT SELECT {cols} FROM {quote_ident(right)})"
+        )
+        return int(self.scalar(sql))
+
+    def tables_equal(self, left: str, right: str, columns: Sequence[str]) -> bool:
+        return (
+            self.difference_count(left, right, columns) == 0
+            and self.difference_count(right, left, columns) == 0
+        )
+
+    def distinct_values(self, table: str, column: str) -> list[Value]:
+        return [
+            r[column]
+            for r in self.query(
+                f"SELECT DISTINCT {quote_ident(column)} AS {quote_ident(column)} "
+                f"FROM {quote_ident(table)}"
+            )
+        ]

@@ -1,0 +1,545 @@
+"""Static deadlock detection via virtual-channel dependency graphs
+(paper sections 4.1–4.2).
+
+Pipeline, following the paper step by step:
+
+1. A **virtual channel assignment** ``V`` is a table ``(m, s, d, v)``:
+   message ``m`` from source ``s`` to destination ``d`` travels on virtual
+   channel ``v``.  Channels may be marked *dedicated* (the paper's fix for
+   the Figure 4 deadlock adds "a dedicated hardware path from directory
+   controller to the home memory controller for mread requests");
+   dedicated channels are unbounded and excluded from the VCG.
+
+2. For each controller table, an **individual controller dependency
+   table** is built: one row per (incoming assignment, outgoing
+   assignment) pair, i.e. processing message ``m1`` on ``vc1`` requires
+   emitting ``m2`` on ``vc2``.
+
+3. The exact tables correspond to the placement L!=H!=R; **four more
+   sets** are derived for the other quad placements by substituting merged
+   node roles in the source/destination fields.
+
+4. Tables are composed **pairwise** within each placement (output
+   assignment of one row matches input assignment of another; optionally
+   ignoring messages, which captures transaction interleavings).  The
+   union of everything is the **protocol dependency table**.
+
+5. Every row contributes an edge ``in_vc -> out_vc`` to the **VCG**; a
+   cycle is a potential deadlock and is reported with witness rows.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+import networkx as nx
+
+from ..analysis.cycles import (
+    canonical_cycle,
+    cyclic_vertices_networkx,
+    cyclic_vertices_sql,
+    find_cycles_networkx,
+)
+from .database import ProtocolDatabase
+from .expr import Value
+from .quad import ALL_PLACEMENTS, Placement
+from .report import CheckResult, Report
+from .sqlgen import quote_ident
+from .table import ControllerTable
+
+__all__ = [
+    "VCAssignment",
+    "ChannelAssignment",
+    "MissingAssignmentError",
+    "MessageTriple",
+    "ControllerMessageSpec",
+    "DependencyRow",
+    "DeadlockAnalyzer",
+    "DeadlockAnalysis",
+]
+
+
+class MissingAssignmentError(KeyError):
+    """A controller row exchanges a message with no entry in V."""
+
+
+@dataclass(frozen=True)
+class VCAssignment:
+    """One row of V: message ``m`` from ``s`` to ``d`` rides channel ``v``."""
+
+    message: str
+    src: str
+    dst: str
+    channel: str
+
+
+class ChannelAssignment:
+    """The paper's table V plus the set of dedicated (unbounded) channels."""
+
+    def __init__(
+        self,
+        name: str,
+        assignments: Iterable[VCAssignment],
+        dedicated: Iterable[str] = (),
+    ) -> None:
+        self.name = name
+        self.assignments = tuple(assignments)
+        self.dedicated = frozenset(dedicated)
+        self._index: dict[tuple[str, str, str], str] = {}
+        for a in self.assignments:
+            key = (a.message, a.src, a.dst)
+            if key in self._index and self._index[key] != a.channel:
+                raise ValueError(
+                    f"V {name!r}: conflicting channels for {key}: "
+                    f"{self._index[key]} vs {a.channel}"
+                )
+            self._index[key] = a.channel
+
+    def lookup(self, message: str, src: str, dst: str) -> str:
+        try:
+            return self._index[(message, src, dst)]
+        except KeyError:
+            raise MissingAssignmentError(
+                f"V {self.name!r} has no channel for message {message!r} "
+                f"from {src!r} to {dst!r}"
+            ) from None
+
+    def channels(self) -> set[str]:
+        return {a.channel for a in self.assignments}
+
+    def blocking_channels(self) -> set[str]:
+        """Channels that participate in the VCG (finite resources)."""
+        return self.channels() - self.dedicated
+
+    def to_table(self, db: ProtocolDatabase, table_name: Optional[str] = None) -> str:
+        """Materialize V in the database with the paper's column names."""
+        name = table_name or f"V_{self.name}"
+        db.create_table_from_rows(
+            name,
+            ("m", "s", "d", "v"),
+            [
+                {"m": a.message, "s": a.src, "d": a.dst, "v": a.channel}
+                for a in self.assignments
+            ],
+        )
+        return name
+
+    def reassigned(
+        self,
+        name: str,
+        changes: Mapping[tuple[str, str, str], str],
+        dedicated: Optional[Iterable[str]] = None,
+    ) -> "ChannelAssignment":
+        """A new assignment with some (m, s, d) entries moved to other
+        channels — the paper's debugging loop 'resolved by modifying V'."""
+        new = []
+        for a in self.assignments:
+            key = (a.message, a.src, a.dst)
+            ch = changes.get(key, a.channel)
+            new.append(VCAssignment(a.message, a.src, a.dst, ch))
+        ded = self.dedicated if dedicated is None else frozenset(dedicated)
+        return ChannelAssignment(name, new, ded)
+
+
+@dataclass(frozen=True)
+class MessageTriple:
+    """The (message, source, destination) column triple of one message
+    column of a controller table (paper section 2.1)."""
+
+    msg: str
+    src: str
+    dst: str
+
+
+@dataclass
+class ControllerMessageSpec:
+    """Which columns of a controller table carry messages.
+
+    ``input_triple`` names the incoming-message columns; each entry of
+    ``output_triples`` names one outgoing-message column group.
+    """
+
+    controller: ControllerTable
+    input_triple: MessageTriple
+    output_triples: tuple[MessageTriple, ...]
+
+    @property
+    def name(self) -> str:
+        return self.controller.schema.name
+
+
+@dataclass(frozen=True)
+class DependencyRow:
+    """One row of a dependency table: input assignment, output assignment,
+    plus provenance for witness reports."""
+
+    in_msg: str
+    in_src: str
+    in_dst: str
+    in_vc: str
+    out_msg: str
+    out_src: str
+    out_dst: str
+    out_vc: str
+    controller: str
+    placement: str
+    derived: str  # 'direct' or 'composed'
+
+    def edge(self) -> tuple[str, str]:
+        return (self.in_vc, self.out_vc)
+
+    def __str__(self) -> str:
+        return (
+            f"({self.in_msg}, {self.in_src}, {self.in_dst}, {self.in_vc} | "
+            f"{self.out_msg}, {self.out_src}, {self.out_dst}, {self.out_vc}) "
+            f"[{self.controller}, {self.placement}, {self.derived}]"
+        )
+
+
+_DEP_COLUMNS = (
+    "in_msg",
+    "in_src",
+    "in_dst",
+    "in_vc",
+    "out_msg",
+    "out_src",
+    "out_dst",
+    "out_vc",
+    "controller",
+    "placement",
+    "derived",
+)
+
+
+class DeadlockAnalyzer:
+    """Builds the protocol dependency table and the VCG for one channel
+    assignment over a set of controller tables."""
+
+    def __init__(
+        self,
+        db: ProtocolDatabase,
+        specs: Sequence[ControllerMessageSpec],
+        channels: ChannelAssignment,
+    ) -> None:
+        self.db = db
+        self.specs = tuple(specs)
+        self.channels = channels
+
+    # -- step 2: individual controller dependency tables -----------------------
+    def controller_dependency_rows(
+        self, spec: ControllerMessageSpec
+    ) -> list[DependencyRow]:
+        """Exact-placement (L!=H!=R) dependency rows for one controller."""
+        rows: list[DependencyRow] = []
+        it = spec.input_triple
+        for row in spec.controller.rows():
+            m1, s1, d1 = row[it.msg], row[it.src], row[it.dst]
+            if m1 is None:
+                continue
+            if s1 is None or d1 is None:
+                continue
+            v1 = self.channels.lookup(m1, s1, d1)
+            for ot in spec.output_triples:
+                m2, s2, d2 = row[ot.msg], row[ot.src], row[ot.dst]
+                if m2 is None:
+                    continue
+                if s2 is None or d2 is None:
+                    continue
+                v2 = self.channels.lookup(m2, s2, d2)
+                rows.append(
+                    DependencyRow(
+                        m1, s1, d1, v1, m2, s2, d2, v2,
+                        controller=spec.name,
+                        placement=Placement.ALL_DISTINCT.value,
+                        derived="direct",
+                    )
+                )
+        return rows
+
+    @staticmethod
+    def apply_placement(
+        rows: Iterable[DependencyRow], placement: Placement
+    ) -> list[DependencyRow]:
+        """Derive a placement's dependency table by substituting merged
+        node roles in the source/destination fields (channels unchanged —
+        exactly how the paper rewrites R2 to R2')."""
+        out = []
+        for r in rows:
+            out.append(
+                DependencyRow(
+                    r.in_msg,
+                    placement.apply(r.in_src),
+                    placement.apply(r.in_dst),
+                    r.in_vc,
+                    r.out_msg,
+                    placement.apply(r.out_src),
+                    placement.apply(r.out_dst),
+                    r.out_vc,
+                    controller=r.controller,
+                    placement=placement.value,
+                    derived="direct",
+                )
+            )
+        return out
+
+    # -- step 4: pairwise composition (in SQL, like the paper) ------------------
+    def _materialize(self, rows: Iterable[DependencyRow], table: str) -> None:
+        self.db.create_table_from_rows(
+            table,
+            _DEP_COLUMNS,
+            [
+                {c: getattr(r, c) for c in _DEP_COLUMNS}
+                for r in rows
+            ],
+        )
+        # The pairwise composition joins output assignments to input
+        # assignments and dedups with a correlated NOT EXISTS; both are
+        # quadratic without indexes (profiled: they dominate the whole
+        # analysis).
+        t = quote_ident(table)
+        self.db.execute(
+            f"CREATE INDEX IF NOT EXISTS {quote_ident(table + '_in')} "
+            f"ON {t} (placement, derived, in_src, in_dst, in_vc)"
+        )
+        self.db.execute(
+            f"CREATE INDEX IF NOT EXISTS {quote_ident(table + '_dedup')} "
+            f"ON {t} (placement, in_msg, in_vc, out_msg, out_vc)"
+        )
+
+    def _dedicated_filter(self) -> str:
+        """SQL filtering out compositions whose matched intermediate
+        assignment rides a dedicated channel.
+
+        A dedicated (unbounded) path cannot back-pressure its producer, so
+        a wait chain never propagates through it — this is precisely why
+        the paper's "dedicated hardware path ... for mread requests" fix
+        removes the Figure 4 deadlock.
+        """
+        ded = sorted(self.channels.dedicated)
+        if not ded:
+            return ""
+        vals = ", ".join("'" + d.replace("'", "''") + "'" for d in ded)
+        return f"AND a.out_vc NOT IN ({vals})"
+
+    def _compose_pairwise_sql(self, table: str, ignore_messages: bool) -> int:
+        """One round of pairwise composition, inserted back into ``table``.
+
+        Row R of controller T1 composes with row S of controller T2 (same
+        placement, different controllers) when R's output assignment
+        matches S's input assignment; the result is (R.input, S.output).
+        Returns the number of new rows added.
+        """
+        t = quote_ident(table)
+        msg_match = "" if ignore_messages else "AND a.out_msg IS b.in_msg"
+        dedicated = self._dedicated_filter()
+        before = self.db.row_count(table)
+        self.db.execute(
+            f"""
+            INSERT INTO {t}
+            SELECT DISTINCT
+                a.in_msg, a.in_src, a.in_dst, a.in_vc,
+                b.out_msg, b.out_src, b.out_dst, b.out_vc,
+                a.controller || '+' || b.controller,
+                a.placement,
+                'composed'
+            FROM {t} a JOIN {t} b
+              ON a.placement = b.placement
+             AND a.derived = 'direct' AND b.derived = 'direct'
+             AND a.controller != b.controller
+             AND a.out_src IS b.in_src
+             AND a.out_dst IS b.in_dst
+             AND a.out_vc IS b.in_vc
+             {msg_match}
+             {dedicated}
+            WHERE NOT EXISTS (
+                SELECT 1 FROM {t} c
+                WHERE c.in_msg IS a.in_msg AND c.in_src IS a.in_src
+                  AND c.in_dst IS a.in_dst AND c.in_vc IS a.in_vc
+                  AND c.out_msg IS b.out_msg AND c.out_src IS b.out_src
+                  AND c.out_dst IS b.out_dst AND c.out_vc IS b.out_vc
+                  AND c.placement IS a.placement
+            )
+            """
+        )
+        return self.db.row_count(table) - before
+
+    def _compose_closure_sql(self, table: str, ignore_messages: bool) -> int:
+        """Repeated composition to a fixpoint — the transitive closure the
+        paper's footnote 2 tried and abandoned for its spurious cycles.
+        Composes any row (direct or composed) with direct rows until no
+        new dependencies appear."""
+        t = quote_ident(table)
+        msg_match = "" if ignore_messages else "AND a.out_msg IS b.in_msg"
+        dedicated = self._dedicated_filter()
+        added_total = 0
+        while True:
+            before = self.db.row_count(table)
+            self.db.execute(
+                f"""
+                INSERT INTO {t}
+                SELECT DISTINCT
+                    a.in_msg, a.in_src, a.in_dst, a.in_vc,
+                    b.out_msg, b.out_src, b.out_dst, b.out_vc,
+                    'closure', a.placement, 'composed'
+                FROM {t} a JOIN {t} b
+                  ON a.placement = b.placement
+                 AND b.derived = 'direct'
+                 AND a.out_src IS b.in_src
+                 AND a.out_dst IS b.in_dst
+                 AND a.out_vc IS b.in_vc
+                 {msg_match}
+                 {dedicated}
+                WHERE NOT EXISTS (
+                    SELECT 1 FROM {t} c
+                    WHERE c.in_msg IS a.in_msg AND c.in_src IS a.in_src
+                      AND c.in_dst IS a.in_dst AND c.in_vc IS a.in_vc
+                      AND c.out_msg IS b.out_msg AND c.out_src IS b.out_src
+                      AND c.out_dst IS b.out_dst AND c.out_vc IS b.out_vc
+                      AND c.placement IS a.placement
+                )
+                """
+            )
+            added = self.db.row_count(table) - before
+            added_total += added
+            if added == 0:
+                return added_total
+
+    # -- the full pipeline -------------------------------------------------------
+    def analyze(
+        self,
+        placements: Sequence[Placement] = ALL_PLACEMENTS,
+        ignore_messages: bool = True,
+        closure: bool = False,
+        table_name: Optional[str] = None,
+    ) -> "DeadlockAnalysis":
+        t0 = time.perf_counter()
+        exact: list[DependencyRow] = []
+        for spec in self.specs:
+            exact.extend(self.controller_dependency_rows(spec))
+
+        all_rows: list[DependencyRow] = []
+        for placement in placements:
+            if placement is Placement.ALL_DISTINCT:
+                all_rows.extend(exact)
+            else:
+                all_rows.extend(self.apply_placement(exact, placement))
+
+        table = table_name or f"pdt_{self.channels.name}"
+        self._materialize(all_rows, table)
+        if closure:
+            self._compose_closure_sql(table, ignore_messages)
+        else:
+            self._compose_pairwise_sql(table, ignore_messages)
+
+        rows = [
+            DependencyRow(**{c: r[c] for c in _DEP_COLUMNS})
+            for r in self.db.rows(table)
+        ]
+        return DeadlockAnalysis(
+            channels=self.channels,
+            dependency_rows=rows,
+            table_name=table,
+            build_seconds=time.perf_counter() - t0,
+        )
+
+
+@dataclass
+class DeadlockAnalysis:
+    """The protocol dependency table plus the VCG derived from it."""
+
+    channels: ChannelAssignment
+    dependency_rows: list[DependencyRow]
+    table_name: str
+    build_seconds: float = 0.0
+    _vcg: Optional[nx.DiGraph] = field(default=None, repr=False)
+
+    @property
+    def vcg(self) -> nx.DiGraph:
+        """The virtual channel dependency graph.  Dedicated channels are
+        unbounded hardware paths and contribute no vertices or edges."""
+        if self._vcg is None:
+            g = nx.DiGraph()
+            blocking = self.channels.blocking_channels()
+            g.add_nodes_from(sorted(blocking))
+            for r in self.dependency_rows:
+                if r.in_vc in blocking and r.out_vc in blocking:
+                    g.add_edge(r.in_vc, r.out_vc)
+            self._vcg = g
+        return self._vcg
+
+    def edges(self) -> list[tuple[str, str]]:
+        return sorted(self.vcg.edges())
+
+    def cycles(self) -> list[tuple[str, ...]]:
+        """All elementary cycles of the VCG, canonical and sorted."""
+        return find_cycles_networkx(self.vcg.edges())
+
+    def cyclic_channels(self) -> set[str]:
+        return cyclic_vertices_networkx(self.vcg.edges())
+
+    def cyclic_channels_sql(self) -> set[str]:
+        """Pure-SQL recomputation of :meth:`cyclic_channels` (cross-check)."""
+        return cyclic_vertices_sql(self.vcg.edges())
+
+    def is_deadlock_free(self) -> bool:
+        return not self.cyclic_channels()
+
+    # -- witnesses ---------------------------------------------------------------
+    def witnesses(
+        self, cycle: Sequence[str], per_edge: int = 3
+    ) -> dict[tuple[str, str], list[DependencyRow]]:
+        """Dependency rows justifying each edge of a cycle, direct rows
+        first (they point at concrete controller-table transitions)."""
+        out: dict[tuple[str, str], list[DependencyRow]] = {}
+        n = len(cycle)
+        for i in range(n):
+            edge = (cycle[i], cycle[(i + 1) % n])
+            rows = [r for r in self.dependency_rows if r.edge() == edge]
+            rows.sort(key=lambda r: (r.derived != "direct", r.placement))
+            # Distinct assignments only: many controller rows share the
+            # same message exchange and would repeat in the report.
+            seen: set[tuple] = set()
+            unique: list[DependencyRow] = []
+            for r in rows:
+                key = (r.in_msg, r.in_src, r.in_dst, r.out_msg, r.out_src,
+                       r.out_dst, r.derived)
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(r)
+            out[edge] = unique[:per_edge]
+        return out
+
+    def scenario(self, cycle: Sequence[str]) -> str:
+        """A Figure-4-style narrative for one cycle."""
+        lines = [f"Potential deadlock: cycle {' -> '.join(cycle)} -> {cycle[0]}"]
+        for edge, rows in self.witnesses(cycle).items():
+            lines.append(f"  {edge[0]} waits on {edge[1]}:")
+            for r in rows:
+                lines.append(
+                    f"    processing {r.in_msg}({r.in_src}->{r.in_dst}) on "
+                    f"{r.in_vc} requires emitting {r.out_msg}"
+                    f"({r.out_src}->{r.out_dst}) on {r.out_vc} "
+                    f"[{r.controller}, {r.placement}, {r.derived}]"
+                )
+        return "\n".join(lines)
+
+    def report(self) -> Report:
+        report = Report(f"deadlock analysis for V={self.channels.name}")
+        cycles = self.cycles()
+        report.add(
+            CheckResult(
+                name="vcg-acyclic",
+                passed=not cycles,
+                description=(
+                    f"{self.vcg.number_of_nodes()} channels, "
+                    f"{self.vcg.number_of_edges()} dependencies, "
+                    f"{len(cycles)} cycle(s)"
+                ),
+                details=[self.scenario(c) for c in cycles],
+                seconds=self.build_seconds,
+            )
+        )
+        return report

@@ -1,0 +1,353 @@
+"""Constraint expression AST.
+
+The paper (section 3) specifies each controller-table column with a *column
+constraint*: a boolean expression of the form ``condition ? true-expr :
+false-expr`` where sub-expressions are built from column names, literals and
+literal sets with the relational operators ``=``, ``!=``, ``in`` and the
+boolean operators ``and``, ``or``, ``not``.
+
+This module defines that expression language as a small AST that supports
+
+* evaluation against a concrete row (a mapping ``column -> value``), with
+  NULL-safe equality (``None`` compares equal to ``None`` only), and
+* free-column analysis (used to order incremental generation), and
+* structural equality/hashing (all nodes are frozen dataclasses).
+
+Compilation of the same AST to SQLite SQL lives in :mod:`repro.core.sqlgen`
+so that the two evaluators can be cross-checked in tests.
+
+Values are strings or ``None``.  ``None`` models the paper's special NULL
+value: a *dontcare* in input columns and a *noop* in output columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Union
+
+Value = Optional[str]
+Row = Mapping[str, Value]
+
+__all__ = [
+    "Expr",
+    "ValueExpr",
+    "BoolExpr",
+    "Col",
+    "Lit",
+    "Eq",
+    "Ne",
+    "In",
+    "NotIn",
+    "And",
+    "Or",
+    "Not",
+    "TrueExpr",
+    "FalseExpr",
+    "Ternary",
+    "TRUE",
+    "FALSE",
+    "C",
+    "lit",
+    "when",
+    "cases",
+]
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+    def free_columns(self) -> frozenset[str]:
+        """Names of all columns referenced anywhere in this expression."""
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# Value-level expressions
+# ---------------------------------------------------------------------------
+
+
+class ValueExpr(Expr):
+    """An expression that evaluates to a column value (string or NULL)."""
+
+    def eval_value(self, row: Row) -> Value:
+        raise NotImplementedError
+
+    # -- predicate builders -------------------------------------------------
+    def eq(self, other: Union["ValueExpr", Value]) -> "Eq":
+        return Eq(self, _as_value_expr(other))
+
+    def ne(self, other: Union["ValueExpr", Value]) -> "Ne":
+        return Ne(self, _as_value_expr(other))
+
+    def isin(self, values) -> "In":
+        return In(self, tuple(values))
+
+    def notin(self, values) -> "NotIn":
+        return NotIn(self, tuple(values))
+
+    def is_null(self) -> "Eq":
+        return Eq(self, Lit(None))
+
+    def not_null(self) -> "Ne":
+        return Ne(self, Lit(None))
+
+
+@dataclass(frozen=True)
+class Col(ValueExpr):
+    """Reference to a column of the controller table being constrained."""
+
+    name: str
+
+    def eval_value(self, row: Row) -> Value:
+        try:
+            return row[self.name]
+        except KeyError:
+            raise KeyError(f"row has no column {self.name!r}") from None
+
+    def free_columns(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def __repr__(self) -> str:  # compact reprs keep failure messages readable
+        return f"C({self.name!r})"
+
+
+@dataclass(frozen=True)
+class Lit(ValueExpr):
+    """A literal value; ``Lit(None)`` is the paper's NULL."""
+
+    value: Value
+
+    def eval_value(self, row: Row) -> Value:
+        return self.value
+
+    def free_columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return f"Lit({self.value!r})"
+
+
+def _as_value_expr(v: Union[ValueExpr, Value]) -> ValueExpr:
+    if isinstance(v, ValueExpr):
+        return v
+    if v is None or isinstance(v, str):
+        return Lit(v)
+    raise TypeError(f"expected column value (str/None) or ValueExpr, got {v!r}")
+
+
+# ---------------------------------------------------------------------------
+# Boolean expressions
+# ---------------------------------------------------------------------------
+
+
+class BoolExpr(Expr):
+    """An expression that evaluates to a boolean."""
+
+    def eval(self, row: Row) -> bool:
+        raise NotImplementedError
+
+    def __and__(self, other: "BoolExpr") -> "And":
+        _check_bool(other)
+        return And((self, other))
+
+    def __or__(self, other: "BoolExpr") -> "Or":
+        _check_bool(other)
+        return Or((self, other))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+def _check_bool(e) -> None:
+    if not isinstance(e, BoolExpr):
+        raise TypeError(
+            f"expected BoolExpr, got {e!r}; use C('col').eq(value) to build predicates"
+        )
+
+
+@dataclass(frozen=True)
+class Eq(BoolExpr):
+    """NULL-safe equality: ``NULL = NULL`` is true (SQL ``IS``)."""
+
+    left: ValueExpr
+    right: ValueExpr
+
+    def eval(self, row: Row) -> bool:
+        return self.left.eval_value(row) == self.right.eval_value(row)
+
+    def free_columns(self) -> frozenset[str]:
+        return self.left.free_columns() | self.right.free_columns()
+
+
+@dataclass(frozen=True)
+class Ne(BoolExpr):
+    """NULL-safe inequality (SQL ``IS NOT``)."""
+
+    left: ValueExpr
+    right: ValueExpr
+
+    def eval(self, row: Row) -> bool:
+        return self.left.eval_value(row) != self.right.eval_value(row)
+
+    def free_columns(self) -> frozenset[str]:
+        return self.left.free_columns() | self.right.free_columns()
+
+
+@dataclass(frozen=True)
+class In(BoolExpr):
+    """Set membership over a literal set, NULL-safe per member."""
+
+    operand: ValueExpr
+    values: tuple[Value, ...]
+
+    def eval(self, row: Row) -> bool:
+        return self.operand.eval_value(row) in self.values
+
+    def free_columns(self) -> frozenset[str]:
+        return self.operand.free_columns()
+
+
+@dataclass(frozen=True)
+class NotIn(BoolExpr):
+    operand: ValueExpr
+    values: tuple[Value, ...]
+
+    def eval(self, row: Row) -> bool:
+        return self.operand.eval_value(row) not in self.values
+
+    def free_columns(self) -> frozenset[str]:
+        return self.operand.free_columns()
+
+
+@dataclass(frozen=True)
+class And(BoolExpr):
+    operands: tuple[BoolExpr, ...]
+
+    def __post_init__(self) -> None:
+        if not self.operands:
+            raise ValueError("And() needs at least one operand")
+
+    def eval(self, row: Row) -> bool:
+        return all(op.eval(row) for op in self.operands)
+
+    def free_columns(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for op in self.operands:
+            out |= op.free_columns()
+        return out
+
+
+@dataclass(frozen=True)
+class Or(BoolExpr):
+    operands: tuple[BoolExpr, ...]
+
+    def __post_init__(self) -> None:
+        if not self.operands:
+            raise ValueError("Or() needs at least one operand")
+
+    def eval(self, row: Row) -> bool:
+        return any(op.eval(row) for op in self.operands)
+
+    def free_columns(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for op in self.operands:
+            out |= op.free_columns()
+        return out
+
+
+@dataclass(frozen=True)
+class Not(BoolExpr):
+    operand: BoolExpr
+
+    def eval(self, row: Row) -> bool:
+        return not self.operand.eval(row)
+
+    def free_columns(self) -> frozenset[str]:
+        return self.operand.free_columns()
+
+
+@dataclass(frozen=True)
+class TrueExpr(BoolExpr):
+    """The constraint of an unconstrained column (paper section 3)."""
+
+    def eval(self, row: Row) -> bool:
+        return True
+
+    def free_columns(self) -> frozenset[str]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class FalseExpr(BoolExpr):
+    def eval(self, row: Row) -> bool:
+        return False
+
+    def free_columns(self) -> frozenset[str]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class Ternary(BoolExpr):
+    """The paper's ``condition ? true-expr : false-expr`` form.
+
+    All three parts are boolean expressions; the branches are typically
+    equalities binding the constrained column, and may themselves be
+    ternaries, giving decision chains.
+    """
+
+    condition: BoolExpr
+    if_true: BoolExpr
+    if_false: BoolExpr
+
+    def eval(self, row: Row) -> bool:
+        branch = self.if_true if self.condition.eval(row) else self.if_false
+        return branch.eval(row)
+
+    def free_columns(self) -> frozenset[str]:
+        return (
+            self.condition.free_columns()
+            | self.if_true.free_columns()
+            | self.if_false.free_columns()
+        )
+
+
+TRUE = TrueExpr()
+FALSE = FalseExpr()
+
+
+# ---------------------------------------------------------------------------
+# Builder helpers
+# ---------------------------------------------------------------------------
+
+
+def C(name: str) -> Col:
+    """Shorthand column reference: ``C('inmsg').eq('readex')``."""
+    return Col(name)
+
+
+def lit(value: Value) -> Lit:
+    """Shorthand literal: ``lit(None)`` is the paper's NULL."""
+    return Lit(value)
+
+
+def when(condition: BoolExpr, if_true: BoolExpr, if_false: BoolExpr) -> Ternary:
+    """The paper's ternary constraint: ``condition ? if_true : if_false``."""
+    for e in (condition, if_true, if_false):
+        _check_bool(e)
+    return Ternary(condition, if_true, if_false)
+
+
+def cases(*branches: tuple[BoolExpr, BoolExpr], default: BoolExpr) -> BoolExpr:
+    """Right-fold a (condition, expr) chain into nested ternaries.
+
+    ``cases((c1, e1), (c2, e2), default=d)`` is ``c1 ? e1 : (c2 ? e2 : d)``
+    — the idiom used throughout the ASURA constraint files, mirroring how
+    the paper's column constraints chain one transaction after another.
+    """
+    _check_bool(default)
+    out = default
+    for condition, expr in reversed(branches):
+        _check_bool(condition)
+        _check_bool(expr)
+        out = Ternary(condition, expr, out)
+    return out

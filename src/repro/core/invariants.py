@@ -1,0 +1,115 @@
+"""Protocol invariant checking (paper section 4.3).
+
+Paper form: ``[Select cols from D where <bad-combination>] = empty`` — an
+invariant holds when the query selecting its violating rows returns
+nothing.  An :class:`Invariant` carries that violation condition either as
+a constraint expression over one controller table's columns or as a raw
+SQL query (for invariants spanning several tables).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from .database import ProtocolDatabase
+from .expr import BoolExpr
+from .report import CheckResult, Report
+from .sqlgen import quote_ident, to_sql
+from .table import ControllerTable
+
+__all__ = ["Invariant", "InvariantChecker", "InvariantViolation"]
+
+
+@dataclass
+class InvariantViolation:
+    invariant: str
+    row: dict
+
+    def __str__(self) -> str:
+        pretty = ", ".join(f"{k}={v}" for k, v in self.row.items())
+        return f"{self.invariant}: {pretty}"
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """A protocol invariant, stated as its violation condition.
+
+    Exactly one of ``violation`` (expression over ``table``'s columns) or
+    ``violation_sql`` (full SELECT returning violating rows, possibly
+    joining several tables) must be given.
+    """
+
+    name: str
+    description: str
+    table: Optional[str] = None
+    violation: Optional[BoolExpr] = None
+    violation_sql: Optional[str] = None
+    report_columns: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if (self.violation is None) == (self.violation_sql is None):
+            raise ValueError(
+                f"invariant {self.name!r}: give exactly one of violation / violation_sql"
+            )
+        if self.violation is not None and self.table is None:
+            raise ValueError(
+                f"invariant {self.name!r}: expression invariants need a table"
+            )
+
+    def query(self) -> str:
+        """The SELECT returning this invariant's violating rows."""
+        if self.violation_sql is not None:
+            return self.violation_sql
+        if self.report_columns:
+            cols = ", ".join(quote_ident(c) for c in self.report_columns)
+        else:
+            cols = "*"
+        return (
+            f"SELECT {cols} FROM {quote_ident(self.table)} "
+            f"WHERE {to_sql(self.violation)}"
+        )
+
+
+class InvariantChecker:
+    """Runs invariants against the central database."""
+
+    def __init__(self, db: ProtocolDatabase) -> None:
+        self.db = db
+        self.invariants: list[Invariant] = []
+
+    def add(self, invariant: Invariant) -> None:
+        self.invariants.append(invariant)
+
+    def extend(self, invariants: Sequence[Invariant]) -> None:
+        self.invariants.extend(invariants)
+
+    def check(self, invariant: Invariant, max_violations: int = 50) -> CheckResult:
+        t0 = time.perf_counter()
+        rows = self.db.query(invariant.query())
+        dt = time.perf_counter() - t0
+        details = [
+            InvariantViolation(invariant.name, r) for r in rows[:max_violations]
+        ]
+        return CheckResult(
+            name=invariant.name,
+            passed=not rows,
+            description=invariant.description,
+            details=details,
+            seconds=dt,
+        )
+
+    def check_all(self, title: str = "protocol invariants") -> Report:
+        report = Report(title)
+        for inv in self.invariants:
+            report.add(self.check(inv))
+        return report
+
+    def check_table(self, table: ControllerTable, title: Optional[str] = None) -> Report:
+        """Run only the invariants that target ``table``."""
+        report = Report(title or f"invariants on {table.schema.name}")
+        for inv in self.invariants:
+            if inv.table == table.table_name or inv.table == table.schema.name:
+                report.add(self.check(inv))
+        return report

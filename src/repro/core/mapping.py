@@ -1,0 +1,258 @@
+"""Mapping debugged tables onto hardware (paper section 5).
+
+Three stages, all expressed as SQL constraints and table operations so the
+mapping itself is checkable:
+
+1. **Extension** — implementation detail is added to a debugged table D by
+   extending its schema (new columns such as ``Qstatus``/``Dqstatus``/
+   ``Fdback``, and new values in existing domains such as the ``dfdback``
+   request), overriding the constraints whose behaviour changes (e.g.
+   ``locmsg`` issues ``retry`` when ``Qstatus = Full``), and regenerating.
+   The result is the extended table ED.
+
+2. **Partitioning** — ED is split into implementation tables, one per
+   output of each hardware sub-controller, with
+   ``CREATE TABLE part AS SELECT DISTINCT <inputs>, <output> FROM ED WHERE …``.
+
+3. **Reconstruction check** — the partitions are joined back together
+   branch by branch, the implementation-only rows and columns are removed,
+   and SQL ``EXCEPT`` proves the original D is contained in the result
+   ("it is checked using SQL constraints that the resulting table contains
+   the original debugged table").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from .constraints import ColumnConstraint, ConstraintSet
+from .database import ProtocolDatabase
+from .expr import BoolExpr, TRUE, Value
+from .generator import GenerationResult, TableGenerator
+from .report import CheckResult, Report
+from .schema import Column, Role, TableSchema
+from .sqlgen import quote_ident, quote_value, to_sql
+from .table import ControllerTable
+
+__all__ = [
+    "ExtensionSpec",
+    "PartitionSpec",
+    "ReconstructionBranch",
+    "ReconstructionPlan",
+    "ImplementationMapper",
+    "MappingError",
+]
+
+
+class MappingError(RuntimeError):
+    """A mapping step was mis-specified (bad partition/branch/plan)."""
+
+
+@dataclass
+class ExtensionSpec:
+    """How to turn a debugged table into its extended table ED."""
+
+    name: str
+    extra_columns: tuple[Column, ...] = ()
+    #: constraints for the new columns (and for existing columns whose
+    #: behaviour the implementation changes — these replace the originals)
+    constraints: Mapping[str, BoolExpr] = field(default_factory=dict)
+    #: extra legal values for existing columns, e.g. {"inmsg": ("dfdback",)}
+    #: — the paper's Impinmsg column table
+    domain_extensions: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """One implementation table: the inputs plus one logical output port
+    (a message column group, or a state-update column group), over the
+    rows selected by ``where`` (paper's ``Request_remmsg`` example)."""
+
+    name: str
+    outputs: tuple[str, ...]
+    where: BoolExpr = TRUE
+
+
+@dataclass(frozen=True)
+class ReconstructionBranch:
+    """Rebuilds one row-class of ED by joining partition tables on the
+    input columns and filling the outputs no partition of this class
+    carries with constants (noop NULLs, typically)."""
+
+    partitions: tuple[str, ...]
+    constants: Mapping[str, Value] = field(default_factory=dict)
+
+
+@dataclass
+class ReconstructionPlan:
+    """Union of branches, then restriction/projection back onto D.
+
+    ``restrict`` removes implementation-only rows (e.g. ``Qstatus = Full``
+    retries and ``dfdback`` feedback requests) before comparing with D.
+    """
+
+    branches: tuple[ReconstructionBranch, ...]
+    restrict: BoolExpr = TRUE
+
+
+class ImplementationMapper:
+    """Drives extension, partitioning and the reconstruction check."""
+
+    def __init__(
+        self,
+        db: ProtocolDatabase,
+        base_table: ControllerTable,
+        base_constraints: ConstraintSet,
+    ) -> None:
+        if base_constraints.schema is not base_table.schema:
+            # Allow equal-by-content schemas too.
+            if base_constraints.schema.column_names != base_table.schema.column_names:
+                raise MappingError("constraint set does not match the base table schema")
+        self.db = db
+        self.base = base_table
+        self.base_constraints = base_constraints
+
+    # -- stage 1: extension ------------------------------------------------------
+    def extended_schema(self, spec: ExtensionSpec) -> TableSchema:
+        cols: list[Column] = []
+        for c in self.base.schema.columns:
+            extra = tuple(spec.domain_extensions.get(c.name, ()))
+            if extra:
+                c = Column(
+                    name=c.name,
+                    values=c.values + extra,
+                    role=c.role,
+                    nullable=c.nullable,
+                    doc=c.doc,
+                )
+            cols.append(c)
+        return TableSchema(spec.name, tuple(cols) + tuple(spec.extra_columns))
+
+    def extended_constraints(self, spec: ExtensionSpec) -> ConstraintSet:
+        schema = self.extended_schema(spec)
+        cs = ConstraintSet(schema)
+        overridden = set(spec.constraints)
+        for name in self.base.schema.column_names:
+            if name in overridden:
+                cs.set(name, spec.constraints[name])
+            else:
+                base = self.base_constraints.get(name)
+                if base.expr != TRUE:
+                    cs.set(name, base.expr)
+        for col in spec.extra_columns:
+            if col.name in spec.constraints:
+                cs.set(col.name, spec.constraints[col.name])
+        return cs
+
+    def extend(self, spec: ExtensionSpec) -> GenerationResult:
+        """Generate ED from the extended schema and constraints."""
+        cs = self.extended_constraints(spec)
+        return TableGenerator(self.db, cs, table_name=spec.name).generate_incremental()
+
+    # -- stage 2: partitioning -----------------------------------------------------
+    def partition(
+        self, ed: ControllerTable, specs: Sequence[PartitionSpec]
+    ) -> dict[str, ControllerTable]:
+        """Carve implementation tables out of ED, one per spec."""
+        out: dict[str, ControllerTable] = {}
+        input_names = ed.schema.input_names
+        in_cols = ", ".join(quote_ident(c) for c in input_names)
+        for spec in specs:
+            for col in spec.outputs:
+                ed.schema.column(col)  # validate
+            where = to_sql(spec.where)
+            out_cols = ", ".join(quote_ident(c) for c in spec.outputs)
+            sql = (
+                f"SELECT DISTINCT {in_cols}, {out_cols} "
+                f"FROM {quote_ident(ed.table_name)} WHERE {where}"
+            )
+            self.db.create_table_as(spec.name, sql)
+            sub_schema = ed.schema.projected(
+                spec.name, tuple(input_names) + tuple(spec.outputs)
+            )
+            out[spec.name] = ControllerTable(self.db, sub_schema, spec.name)
+        return out
+
+    # -- stage 3: reconstruction -------------------------------------------------------
+    def reconstruct(
+        self,
+        ed_schema: TableSchema,
+        parts: Mapping[str, ControllerTable],
+        plan: ReconstructionPlan,
+        table_name: str = "reconstructed",
+    ) -> ControllerTable:
+        """Join the partitions back into (a superset of) ED."""
+        input_names = ed_schema.input_names
+        selects: list[str] = []
+        for branch in plan.branches:
+            if not branch.partitions:
+                raise MappingError("reconstruction branch with no partitions")
+            missing = [p for p in branch.partitions if p not in parts]
+            if missing:
+                raise MappingError(f"unknown partitions {missing} in branch")
+            first = branch.partitions[0]
+            provider: dict[str, int] = {}
+            for i, pname in enumerate(branch.partitions):
+                for col in parts[pname].schema.output_names:
+                    provider.setdefault(col, i)
+            select_cols = []
+            for name in ed_schema.column_names:
+                q = quote_ident(name)
+                if name in input_names:
+                    select_cols.append(f"t0.{q} AS {q}")
+                elif name in provider:
+                    select_cols.append(f"t{provider[name]}.{q} AS {q}")
+                elif name in branch.constants:
+                    select_cols.append(
+                        f"{quote_value(branch.constants[name])} AS {q}"
+                    )
+                else:
+                    raise MappingError(
+                        f"reconstruction branch covers no source for column {name!r}"
+                    )
+            joins = [f"{quote_ident(first)} t0"]
+            for i, p in enumerate(branch.partitions[1:], start=1):
+                conds = " AND ".join(
+                    f"t0.{quote_ident(c)} IS t{i}.{quote_ident(c)}"
+                    for c in input_names
+                )
+                joins.append(f"JOIN {quote_ident(p)} t{i} ON {conds}")
+            selects.append(
+                "SELECT " + ", ".join(select_cols) + " FROM " + " ".join(joins)
+            )
+        sql = " UNION ".join(selects)
+        self.db.create_table_as(table_name, sql)
+        return ControllerTable(self.db, ed_schema, table_name)
+
+    def check_preserved(
+        self,
+        reconstructed: ControllerTable,
+        plan: ReconstructionPlan,
+        check_name: str = "mapping-preserves-debugged-table",
+    ) -> CheckResult:
+        """SQL containment: every row of the debugged table D must appear
+        in the reconstructed table after restriction and projection."""
+        t0 = time.perf_counter()
+        d_cols = self.base.schema.column_names
+        cols = ", ".join(quote_ident(c) for c in d_cols)
+        restricted = (
+            f"SELECT DISTINCT {cols} FROM {quote_ident(reconstructed.table_name)} "
+            f"WHERE {to_sql(plan.restrict)}"
+        )
+        diff = self.db.query(
+            f"SELECT {cols} FROM {quote_ident(self.base.table_name)} "
+            f"EXCEPT {restricted}"
+        )
+        dt = time.perf_counter() - t0
+        return CheckResult(
+            name=check_name,
+            passed=not diff,
+            description=(
+                f"D ({self.base.row_count} rows) contained in reconstruction "
+                f"({reconstructed.row_count} rows)"
+            ),
+            details=diff[:20],
+            seconds=dt,
+        )

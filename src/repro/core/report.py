@@ -1,0 +1,95 @@
+"""Uniform reporting for static checks.
+
+Every static analysis (invariant checking, deadlock detection, mapping
+preservation) produces :class:`CheckResult` records collected into a
+:class:`Report`, so examples and benchmarks can render findings the same
+way regardless of which analysis produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+__all__ = ["Severity", "CheckResult", "Report"]
+
+
+class Severity:
+    """Finding severities used by CheckResult."""
+
+    OK = "ok"
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one static check."""
+
+    name: str
+    passed: bool
+    description: str = ""
+    severity: str = Severity.ERROR
+    details: list[Any] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def status(self) -> str:
+        if self.passed:
+            return "PASS"
+        return "FAIL" if self.severity == Severity.ERROR else "WARN"
+
+    def summary_line(self) -> str:
+        line = f"[{self.status}] {self.name}"
+        if self.description:
+            line += f" — {self.description}"
+        if not self.passed and self.details:
+            line += f" ({len(self.details)} finding(s))"
+        return line
+
+
+@dataclass
+class Report:
+    """A batch of check results with aggregate accessors."""
+
+    title: str
+    results: list[CheckResult] = field(default_factory=list)
+
+    def add(self, result: CheckResult) -> None:
+        self.results.append(result)
+
+    def extend(self, results: Iterable[CheckResult]) -> None:
+        self.results.extend(results)
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    @property
+    def failures(self) -> list[CheckResult]:
+        return [r for r in self.results if not r.passed]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.results)
+
+    def render(self, show_details: bool = True, max_details: int = 5) -> str:
+        lines = [f"== {self.title} =="]
+        for r in self.results:
+            lines.append("  " + r.summary_line())
+            if show_details and not r.passed:
+                for d in r.details[:max_details]:
+                    lines.append(f"      {d}")
+                if len(r.details) > max_details:
+                    lines.append(
+                        f"      ... and {len(r.details) - max_details} more"
+                    )
+        n_fail = len(self.failures)
+        lines.append(
+            f"  -- {len(self.results)} checks, {n_fail} failing, "
+            f"{self.total_seconds:.3f}s total"
+        )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

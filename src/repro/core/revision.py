@@ -1,0 +1,228 @@
+"""Revision management for controller tables (paper section 6).
+
+"A total of 8 controller database tables were automatically generated,
+updated and maintained throughout the development cycle.  Three
+architects generated the initial controller database tables in 2 months
+and went through several revisions subsequently."
+
+This module provides what that workflow needs:
+
+* :func:`diff_tables` — a semantic diff between two revisions of a
+  controller table, keyed by input combination: rows *added*, *removed*,
+  and *changed* (same inputs, different outputs), computed with SQL set
+  operations.
+* :class:`RevisionLog` — numbered snapshots of a table inside the central
+  database, with diffs between any two revisions and a summary history.
+
+Diffs are what a protocol architect reviews after editing constraints:
+"this constraint change retired 12 transitions and altered the outputs of
+3 others".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .database import ProtocolDatabase
+from .expr import Row, Value
+from .schema import TableSchema
+from .sqlgen import quote_ident
+from .table import ControllerTable
+
+__all__ = ["RowChange", "TableDiff", "diff_tables", "RevisionLog"]
+
+
+@dataclass(frozen=True)
+class RowChange:
+    """One input combination whose outputs differ between revisions."""
+
+    inputs: tuple[tuple[str, Value], ...]
+    before: tuple[tuple[str, Value], ...]
+    after: tuple[tuple[str, Value], ...]
+
+    def __str__(self) -> str:
+        ins = ", ".join(f"{k}={v}" for k, v in self.inputs)
+        changes = []
+        before, after = dict(self.before), dict(self.after)
+        for col in before:
+            if before[col] != after[col]:
+                changes.append(f"{col}: {before[col]} -> {after[col]}")
+        return f"[{ins}] {'; '.join(changes)}"
+
+
+@dataclass
+class TableDiff:
+    """The semantic difference between two revisions of one table."""
+
+    table: str
+    added: list[dict] = field(default_factory=list)
+    removed: list[dict] = field(default_factory=list)
+    changed: list[RowChange] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added or self.removed or self.changed)
+
+    @property
+    def summary(self) -> str:
+        return (f"{self.table}: +{len(self.added)} rows, "
+                f"-{len(self.removed)} rows, ~{len(self.changed)} changed")
+
+    def render(self, limit: int = 10) -> str:
+        lines = [self.summary]
+        for label, rows in (("added", self.added), ("removed", self.removed)):
+            for r in rows[:limit]:
+                pretty = ", ".join(f"{k}={v}" for k, v in r.items()
+                                   if v is not None)
+                lines.append(f"  {label}: {pretty}")
+            if len(rows) > limit:
+                lines.append(f"  ... {len(rows) - limit} more {label}")
+        for c in self.changed[:limit]:
+            lines.append(f"  changed: {c}")
+        if len(self.changed) > limit:
+            lines.append(f"  ... {len(self.changed) - limit} more changed")
+        return "\n".join(lines)
+
+
+def diff_tables(
+    db: ProtocolDatabase,
+    schema: TableSchema,
+    before: str,
+    after: str,
+) -> TableDiff:
+    """Semantic diff of two materialized revisions of the same schema.
+
+    Rows are matched on the *input* columns: an input combination present
+    in both revisions with different outputs is a change; combinations
+    present on one side only are additions/removals.  Input combinations
+    are assumed unique per revision (the determinism property every
+    controller table must satisfy anyway).
+    """
+    inputs = schema.input_names
+    outputs = schema.output_names
+    in_cols = ", ".join(quote_ident(c) for c in inputs)
+    all_cols = ", ".join(quote_ident(c) for c in schema.column_names)
+    b, a = quote_ident(before), quote_ident(after)
+    join = " AND ".join(
+        f"o.{quote_ident(c)} IS n.{quote_ident(c)}" for c in inputs
+    )
+
+    diff = TableDiff(table=schema.name)
+
+    # Added: input combinations only in the new revision.
+    added_sql = (
+        f"SELECT {all_cols} FROM {a} WHERE ({in_cols}) NOT IN "
+        f"(SELECT {in_cols} FROM {b})"
+    )
+    diff.added = db.query(added_sql)
+
+    removed_sql = (
+        f"SELECT {all_cols} FROM {b} WHERE ({in_cols}) NOT IN "
+        f"(SELECT {in_cols} FROM {a})"
+    )
+    diff.removed = db.query(removed_sql)
+
+    # Changed: same inputs, any differing output.
+    out_diff = " OR ".join(
+        f"o.{quote_ident(c)} IS NOT n.{quote_ident(c)}" for c in outputs
+    )
+    if outputs:
+        changed_sql = (
+            "SELECT "
+            + ", ".join(f"o.{quote_ident(c)} AS {quote_ident('b_' + c)}"
+                        for c in schema.column_names)
+            + ", "
+            + ", ".join(f"n.{quote_ident(c)} AS {quote_ident('a_' + c)}"
+                        for c in outputs)
+            + f" FROM {b} o JOIN {a} n ON {join} WHERE {out_diff}"
+        )
+        for r in db.query(changed_sql):
+            ins = tuple((c, r["b_" + c]) for c in inputs)
+            before_out = tuple((c, r["b_" + c]) for c in outputs)
+            after_out = tuple((c, r["a_" + c]) for c in outputs)
+            diff.changed.append(RowChange(ins, before_out, after_out))
+    return diff
+
+
+@dataclass
+class RevisionRecord:
+    number: int
+    snapshot_table: str
+    message: str
+    timestamp: float
+    row_count: int
+
+
+class RevisionLog:
+    """Numbered snapshots of one controller table in the database."""
+
+    def __init__(self, db: ProtocolDatabase, schema: TableSchema) -> None:
+        self.db = db
+        self.schema = schema
+        self.records: list[RevisionRecord] = []
+
+    def _snapshot_name(self, number: int) -> str:
+        return f"rev_{self.schema.name}_{number}"
+
+    def commit(self, table: ControllerTable, message: str = "") -> RevisionRecord:
+        """Snapshot the current contents of ``table`` as a new revision."""
+        if table.schema.column_names != self.schema.column_names:
+            raise ValueError(
+                f"table {table.schema.name!r} does not match the log's schema"
+            )
+        number = len(self.records) + 1
+        name = self._snapshot_name(number)
+        cols = ", ".join(quote_ident(c) for c in self.schema.column_names)
+        self.db.create_table_as(
+            name, f"SELECT {cols} FROM {quote_ident(table.table_name)}"
+        )
+        record = RevisionRecord(
+            number=number,
+            snapshot_table=name,
+            message=message,
+            timestamp=time.time(),
+            row_count=self.db.row_count(name),
+        )
+        self.records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def revision(self, number: int) -> RevisionRecord:
+        try:
+            return self.records[number - 1]
+        except IndexError:
+            raise ValueError(f"no revision {number} (have {len(self)})") from None
+
+    def table_at(self, number: int) -> ControllerTable:
+        rec = self.revision(number)
+        return ControllerTable(self.db, self.schema, rec.snapshot_table)
+
+    def diff(self, old: int, new: Optional[int] = None) -> TableDiff:
+        """Diff two revisions (``new`` defaults to the latest)."""
+        new = new if new is not None else len(self.records)
+        return diff_tables(
+            self.db, self.schema,
+            self.revision(old).snapshot_table,
+            self.revision(new).snapshot_table,
+        )
+
+    def history(self) -> str:
+        lines = [f"revision history of {self.schema.name} "
+                 f"({len(self.records)} revision(s)):"]
+        prev: Optional[RevisionRecord] = None
+        for rec in self.records:
+            line = f"  r{rec.number}: {rec.row_count} rows"
+            if rec.message:
+                line += f" — {rec.message}"
+            if prev is not None:
+                d = diff_tables(self.db, self.schema,
+                                prev.snapshot_table, rec.snapshot_table)
+                line += (f" (+{len(d.added)}/-{len(d.removed)}"
+                         f"/~{len(d.changed)})")
+            lines.append(line)
+            prev = rec
+        return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Protocol content: the synthetic ASURA-like MESI directory protocol."""
+
+from . import messages, states
+
+__all__ = ["messages", "states"]

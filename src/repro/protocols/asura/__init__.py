@@ -1,0 +1,6 @@
+"""The synthetic ASURA protocol: controller schemas, constraints, channel
+assignments, invariants, and the assembled 8-controller system."""
+
+from .system import AsuraSystem, build_system
+
+__all__ = ["AsuraSystem", "build_system"]

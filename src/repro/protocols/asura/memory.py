@@ -1,0 +1,78 @@
+"""The home memory controller table M.
+
+Memory serves three request types from the home directory controller:
+
+* ``mread``  — read a line, respond with ``data``;
+* ``mwrite`` — posted write of forwarded dirty data, no response;
+* ``wbmem``  — acknowledged writeback, respond with ``mdone``.
+
+It is deliberately the smallest controller, but it is load-bearing: its
+``wbmem -> mdone`` row is the paper's deadlock-example row R1 — processing
+a writeback on the directory-to-memory channel requires emitting a
+response on the response channel into home.
+"""
+
+from __future__ import annotations
+
+from ...core.constraints import ConstraintSet
+from ...core.expr import C, cases, when
+from ...core.schema import Column, Role, TableSchema
+
+__all__ = ["memory_schema", "memory_constraints", "MEM_TABLE_NAME"]
+
+MEM_TABLE_NAME = "M"
+
+_ROLES = ("local", "home", "remote")
+
+
+def memory_schema() -> TableSchema:
+    """The memory controller table schema (inputs: request + bank state)."""
+    cols = [
+        Column("inmsg", ("mread", "mwrite", "wbmem", "dwrite"),
+               Role.INPUT, nullable=False,
+               doc="memory request from the home directory"),
+        Column("inmsgsrc", _ROLES, Role.INPUT, nullable=False),
+        Column("inmsgdst", _ROLES, Role.INPUT, nullable=False),
+        Column("inmsgres", ("memq",), Role.INPUT, nullable=False,
+               doc="arrival queue"),
+        Column("bankst", ("ready", "refresh"), Role.INPUT, nullable=False,
+               doc="DRAM bank state; a refreshing bank still accepts but stalls"),
+        Column("outmsg", ("data", "mdone"), Role.OUTPUT,
+               doc="response to the directory (NULL for posted writes)"),
+        Column("outmsgsrc", _ROLES, Role.OUTPUT),
+        Column("outmsgdst", _ROLES, Role.OUTPUT),
+        Column("outmsgres", ("respq",), Role.OUTPUT),
+        Column("arrayop", ("rd", "wr"), Role.OUTPUT, doc="DRAM array operation"),
+        Column("stall", ("yes",), Role.OUTPUT,
+               doc="extra latency cycle while the bank refreshes"),
+    ]
+    return TableSchema(MEM_TABLE_NAME, cols)
+
+
+def memory_constraints() -> ConstraintSet:
+    """Column constraints of M (see the module docstring)."""
+    cs = ConstraintSet(memory_schema())
+    inmsg = C("inmsg")
+    cs.set("inmsgsrc", C("inmsgsrc").eq("home"))
+    cs.set("inmsgdst", C("inmsgdst").eq("home"))
+    cs.set("outmsg", cases(
+        (inmsg.eq("mread"), C("outmsg").eq("data")),
+        (inmsg.isin(("wbmem", "dwrite")), C("outmsg").eq("mdone")),
+        default=C("outmsg").is_null(),  # mwrite is posted
+    ))
+    cs.set("outmsgsrc", when(
+        C("outmsg").not_null(), C("outmsgsrc").eq("home"), C("outmsgsrc").is_null(),
+    ))
+    cs.set("outmsgdst", when(
+        C("outmsg").not_null(), C("outmsgdst").eq("home"), C("outmsgdst").is_null(),
+    ))
+    cs.set("outmsgres", when(
+        C("outmsg").not_null(), C("outmsgres").eq("respq"), C("outmsgres").is_null(),
+    ))
+    cs.set("arrayop", when(
+        inmsg.eq("mread"), C("arrayop").eq("rd"), C("arrayop").eq("wr"),
+    ))
+    cs.set("stall", when(
+        C("bankst").eq("refresh"), C("stall").eq("yes"), C("stall").is_null(),
+    ))
+    return cs

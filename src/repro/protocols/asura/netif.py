@@ -1,0 +1,71 @@
+"""The network interface controller table NI.
+
+Implements credit-based flow control on the proprietary quad links: a
+frame may be transmitted only while credits are available; received
+frames return credits to the sender.  Link liveness probes (ping/pong)
+bypass flow control on a reserved credit.
+"""
+
+from __future__ import annotations
+
+from ...core.constraints import ConstraintSet
+from ...core.expr import C, TRUE, cases, when
+from ...core.schema import Column, Role, TableSchema
+
+__all__ = ["netif_schema", "netif_constraints", "NI_TABLE_NAME"]
+
+NI_TABLE_NAME = "NI"
+
+
+def netif_schema() -> TableSchema:
+    """The link-layer table schema: events x credit/link state."""
+    cols = [
+        Column("event", ("tx", "rx", "credit", "creditret", "ping", "pong"),
+               Role.INPUT, nullable=False, doc="link-layer event"),
+        Column("credst", ("avail", "low", "empty"), Role.INPUT, nullable=False,
+               doc="credit counter state for the target channel"),
+        Column("linkst", ("up", "probing"), Role.INPUT, nullable=False),
+        Column("action", ("send", "stall", "deliver", "refill", "drain"),
+               Role.OUTPUT, doc="datapath action"),
+        Column("nxtcredst", ("avail", "low", "empty"), Role.OUTPUT,
+               doc="next credit counter state (NULL = unchanged)"),
+        Column("linkmsg", ("credit", "creditret", "pong"), Role.OUTPUT,
+               doc="link-layer message generated"),
+        Column("nxtlinkst", ("up", "probing"), Role.OUTPUT),
+    ]
+    return TableSchema(NI_TABLE_NAME, cols)
+
+
+def netif_constraints() -> ConstraintSet:
+    """Column constraints of NI (see the module docstring)."""
+    cs = ConstraintSet(netif_schema())
+    ev, cr = C("event"), C("credst")
+    cs.set("action", cases(
+        (ev.eq("tx") & cr.ne("empty"), C("action").eq("send")),
+        (ev.eq("tx") & cr.eq("empty"), C("action").eq("stall")),
+        (ev.eq("rx"), C("action").eq("deliver")),
+        (ev.eq("credit"), C("action").eq("refill")),
+        (ev.eq("creditret"), C("action").eq("refill")),
+        default=C("action").is_null(),
+    ))
+    cs.set("nxtcredst", cases(
+        # Consuming a credit steps avail -> low -> empty; refills step back.
+        (C("action").eq("send") & cr.eq("avail"), C("nxtcredst").eq("low")),
+        (C("action").eq("send") & cr.eq("low"), C("nxtcredst").eq("empty")),
+        (C("action").eq("refill") & cr.eq("empty"), C("nxtcredst").eq("low")),
+        (C("action").eq("refill") & cr.isin(("low", "avail")),
+         C("nxtcredst").eq("avail")),
+        default=C("nxtcredst").is_null(),
+    ))
+    cs.set("linkmsg", cases(
+        # Delivering a frame returns a credit to the sender.
+        (ev.eq("rx"), C("linkmsg").eq("creditret")),
+        (ev.eq("ping"), C("linkmsg").eq("pong")),
+        default=C("linkmsg").is_null(),
+    ))
+    cs.set("nxtlinkst", cases(
+        (ev.eq("ping") & C("linkst").eq("probing"), C("nxtlinkst").eq("up")),
+        (ev.eq("pong") & C("linkst").eq("probing"), C("nxtlinkst").eq("up")),
+        default=C("nxtlinkst").is_null(),
+    ))
+    return cs

@@ -1,0 +1,55 @@
+"""The protocol-engine front-end table PE.
+
+Arbitration between the directory controller's request and response input
+queues (Figure 5 splits D into request/response halves).  Responses have
+priority — draining responses is what unblocks pending transactions — but
+a round-robin bit prevents request starvation.
+"""
+
+from __future__ import annotations
+
+from ...core.constraints import ConstraintSet
+from ...core.expr import C, cases, when
+from ...core.schema import Column, Role, TableSchema
+
+__all__ = ["pengine_schema", "pengine_constraints", "PE_TABLE_NAME"]
+
+PE_TABLE_NAME = "PE"
+
+
+def pengine_schema() -> TableSchema:
+    """The arbiter table schema: pending flags + fairness bit."""
+    cols = [
+        Column("reqpend", ("yes", "no"), Role.INPUT, nullable=False,
+               doc="request queue non-empty"),
+        Column("resppend", ("yes", "no"), Role.INPUT, nullable=False,
+               doc="response queue non-empty"),
+        Column("lastgrant", ("req", "resp"), Role.INPUT, nullable=False,
+               doc="round-robin fairness bit"),
+        Column("grant", ("req", "resp"), Role.OUTPUT,
+               doc="queue granted this cycle (NULL = idle)"),
+        Column("nxtlast", ("req", "resp"), Role.OUTPUT,
+               doc="next fairness bit (NULL = unchanged)"),
+    ]
+    return TableSchema(PE_TABLE_NAME, cols)
+
+
+def pengine_constraints() -> ConstraintSet:
+    """Column constraints of PE (see the module docstring)."""
+    cs = ConstraintSet(pengine_schema())
+    req, resp, last = C("reqpend"), C("resppend"), C("lastgrant")
+    both = req.eq("yes") & resp.eq("yes")
+    cs.set("grant", cases(
+        # Round-robin on contention; otherwise whoever is pending.
+        (both & last.eq("resp"), C("grant").eq("req")),
+        (both, C("grant").eq("resp")),
+        (resp.eq("yes"), C("grant").eq("resp")),
+        (req.eq("yes"), C("grant").eq("req")),
+        default=C("grant").is_null(),
+    ))
+    cs.set("nxtlast", when(
+        C("grant").not_null(),
+        when(C("grant").eq("req"), C("nxtlast").eq("req"), C("nxtlast").eq("resp")),
+        C("nxtlast").is_null(),
+    ))
+    return cs

@@ -1,0 +1,65 @@
+"""The remote access cache controller table RAC.
+
+ASURA quads keep a remote access cache (as in Stanford DASH) holding
+lines homed on other quads.  The RAC table is a small allocation state
+machine: lookups, fills, evictions (with dirty-victim writeback), and
+snoop-driven invalidations.
+"""
+
+from __future__ import annotations
+
+from ...core.constraints import ConstraintSet
+from ...core.expr import C, TRUE, cases, when
+from ...core.schema import Column, Role, TableSchema
+
+__all__ = ["rac_schema", "rac_constraints", "RAC_TABLE_NAME"]
+
+RAC_TABLE_NAME = "RAC"
+
+
+def rac_schema() -> TableSchema:
+    """The RAC table schema: allocation ops over entry states."""
+    cols = [
+        Column("op", ("lookup", "fill", "evict", "inval"), Role.INPUT,
+               nullable=False),
+        Column("racst", ("inv", "valid", "dirty"), Role.INPUT, nullable=False,
+               doc="RAC entry state"),
+        Column("result", ("hit", "miss"), Role.OUTPUT, doc="lookup outcome"),
+        Column("nxtracst", ("inv", "valid", "dirty"), Role.OUTPUT,
+               doc="next entry state (NULL = unchanged)"),
+        Column("victim", ("clean", "dirty"), Role.OUTPUT,
+               doc="victim data produced by an eviction/invalidation"),
+        Column("wbneeded", ("yes",), Role.OUTPUT,
+               doc="victim must be written back to its home quad"),
+    ]
+    return TableSchema(RAC_TABLE_NAME, cols)
+
+
+def rac_constraints() -> ConstraintSet:
+    """Column constraints of RAC (see the module docstring)."""
+    cs = ConstraintSet(rac_schema())
+    op, st = C("op"), C("racst")
+    cs.set("racst", cases(
+        (op.eq("fill"), st.eq("inv")),
+        (op.isin(("evict", "inval")), st.ne("inv")),
+        default=TRUE,
+    ))
+    cs.set("result", when(
+        op.eq("lookup"),
+        when(st.eq("inv"), C("result").eq("miss"), C("result").eq("hit")),
+        C("result").is_null(),
+    ))
+    cs.set("nxtracst", cases(
+        (op.eq("fill"), C("nxtracst").eq("valid")),
+        (op.isin(("evict", "inval")), C("nxtracst").eq("inv")),
+        default=C("nxtracst").is_null(),
+    ))
+    cs.set("victim", cases(
+        (op.isin(("evict", "inval")) & st.eq("dirty"), C("victim").eq("dirty")),
+        (op.isin(("evict", "inval")) & st.eq("valid"), C("victim").eq("clean")),
+        default=C("victim").is_null(),
+    ))
+    cs.set("wbneeded", when(
+        C("victim").eq("dirty"), C("wbneeded").eq("yes"), C("wbneeded").is_null(),
+    ))
+    return cs

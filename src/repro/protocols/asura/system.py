@@ -1,0 +1,188 @@
+"""Assembly of the full 8-controller ASURA protocol.
+
+"A total of 8 controller database tables were automatically generated,
+updated and maintained throughout the development cycle" (paper section
+6).  :class:`AsuraSystem` generates all eight tables from their column
+constraints into one central database, wires up the invariant checker and
+the deadlock analyzer, and is the single entry point used by the
+examples, the simulator, and the benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ...core.constraints import ConstraintSet
+from ...core.database import ProtocolDatabase
+from ...core.deadlock import (
+    ChannelAssignment,
+    ControllerMessageSpec,
+    DeadlockAnalysis,
+    DeadlockAnalyzer,
+    MessageTriple,
+)
+from ...core.generator import GenerationResult, TableGenerator
+from ...core.invariants import InvariantChecker
+from ...core.quad import ALL_PLACEMENTS, Placement
+from ...core.report import CheckResult, Report
+from ...core.table import ControllerTable
+from . import (
+    cache,
+    channels,
+    directory,
+    invariants as asura_invariants,
+    iocontroller,
+    memory,
+    netif,
+    node,
+    pengine,
+    rac,
+)
+from .. import states as S
+
+__all__ = ["AsuraSystem", "build_system", "CONTROLLER_BUILDERS"]
+
+#: name -> constraint-set builder for each of the 8 controllers.
+CONTROLLER_BUILDERS = {
+    "D": directory.directory_constraints,
+    "M": memory.memory_constraints,
+    "C": cache.cache_constraints,
+    "N": node.node_constraints,
+    "RAC": rac.rac_constraints,
+    "IO": iocontroller.io_constraints,
+    "NI": netif.netif_constraints,
+    "PE": pengine.pengine_constraints,
+}
+
+
+class AsuraSystem:
+    """The generated protocol: 8 controller tables in one database."""
+
+    def __init__(self, db: Optional[ProtocolDatabase] = None) -> None:
+        self.db = db or ProtocolDatabase()
+        self.constraint_sets: dict[str, ConstraintSet] = {}
+        self.generation_results: dict[str, GenerationResult] = {}
+        self.tables: dict[str, ControllerTable] = {}
+        t0 = time.perf_counter()
+        for name, builder in CONTROLLER_BUILDERS.items():
+            cs = builder()
+            self.constraint_sets[name] = cs
+            result = TableGenerator(self.db, cs, table_name=name).generate_incremental()
+            self.generation_results[name] = result
+            self.tables[name] = result.table
+        self.generation_seconds = time.perf_counter() - t0
+        self._create_helper_tables()
+        self.channel_assignments = channels.channel_assignments()
+
+    def _create_helper_tables(self) -> None:
+        self.db.create_table_from_rows(
+            asura_invariants.BUSY_STATE_HELPER_TABLE,
+            ("name",),
+            [{"name": n} for n in S.BUSY_NAMES],
+        )
+
+    # -- accessors ------------------------------------------------------------
+    @property
+    def directory(self) -> ControllerTable:
+        return self.tables["D"]
+
+    def table(self, name: str) -> ControllerTable:
+        return self.tables[name]
+
+    # -- static checks ----------------------------------------------------------
+    def invariant_checker(self) -> InvariantChecker:
+        checker = InvariantChecker(self.db)
+        checker.extend(asura_invariants.build_invariants())
+        return checker
+
+    def check_invariants(self) -> Report:
+        """Run the full invariant suite plus per-table determinism checks
+        (no two rows of any controller match the same concrete input)."""
+        report = self.invariant_checker().check_all("ASURA protocol invariants")
+        for name, table in self.tables.items():
+            t0 = time.perf_counter()
+            overlaps = table.find_overlapping_rows()
+            report.add(CheckResult(
+                name=f"{name}-deterministic",
+                passed=not overlaps,
+                description=f"no two rows of {name} match the same input",
+                details=overlaps[:5],
+                seconds=time.perf_counter() - t0,
+            ))
+        return report
+
+    # -- deadlock analysis ----------------------------------------------------------
+    def deadlock_specs(self) -> list[ControllerMessageSpec]:
+        """Message-column specs for the controllers that exchange
+        network messages (the others are on-chip only)."""
+        return [
+            ControllerMessageSpec(
+                controller=self.tables["D"],
+                input_triple=MessageTriple("inmsg", "inmsgsrc", "inmsgdst"),
+                output_triples=(
+                    MessageTriple("locmsg", "locmsgsrc", "locmsgdst"),
+                    MessageTriple("remmsg", "remmsgsrc", "remmsgdst"),
+                    MessageTriple("memmsg", "memmsgsrc", "memmsgdst"),
+                ),
+            ),
+            ControllerMessageSpec(
+                controller=self.tables["M"],
+                input_triple=MessageTriple("inmsg", "inmsgsrc", "inmsgdst"),
+                output_triples=(
+                    MessageTriple("outmsg", "outmsgsrc", "outmsgdst"),
+                ),
+            ),
+            ControllerMessageSpec(
+                controller=self.tables["N"],
+                input_triple=MessageTriple("inmsg", "inmsgsrc", "inmsgdst"),
+                output_triples=(
+                    MessageTriple("netmsg", "netmsgsrc", "netmsgdst"),
+                ),
+            ),
+            ControllerMessageSpec(
+                controller=self.tables["IO"],
+                input_triple=MessageTriple("inmsg", "inmsgsrc", "inmsgdst"),
+                output_triples=(
+                    MessageTriple("netmsg", "netmsgsrc", "netmsgdst"),
+                ),
+            ),
+        ]
+
+    def analyze_deadlocks(
+        self,
+        assignment: str = "v5",
+        placements: Sequence[Placement] = ALL_PLACEMENTS,
+        ignore_messages: bool = True,
+        closure: bool = False,
+    ) -> DeadlockAnalysis:
+        """Run the section 4.1 analysis for one channel assignment
+        (``v4``, ``v5`` or ``v5d``)."""
+        channels_ = self.channel_assignments[assignment]
+        analyzer = DeadlockAnalyzer(self.db, self.deadlock_specs(), channels_)
+        return analyzer.analyze(
+            placements=placements,
+            ignore_messages=ignore_messages,
+            closure=closure,
+        )
+
+    # -- statistics --------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Protocol-wide statistics (the section 3/6 size claims)."""
+        per_table = {n: t.stats() for n, t in self.tables.items()}
+        return {
+            "controllers": len(self.tables),
+            "total_rows": sum(s.n_rows for s in per_table.values()),
+            "total_columns": sum(s.n_columns for s in per_table.values()),
+            "busy_states": len(S.BUSY_NAMES),
+            "directory_rows": per_table["D"].n_rows,
+            "directory_columns": per_table["D"].n_columns,
+            "generation_seconds": self.generation_seconds,
+            "per_table": per_table,
+        }
+
+
+def build_system(db: Optional[ProtocolDatabase] = None) -> AsuraSystem:
+    """Generate the full protocol; the main public entry point."""
+    return AsuraSystem(db)

@@ -1,0 +1,144 @@
+"""The protocol message catalog.
+
+The ASURA protocol uses "around 50 different types of messages ...
+classified as requests and responses" (paper section 2, Figure 1).  Our
+synthetic protocol defines a catalog of the same size and shape, keeping
+the paper's concrete message names (readex, sinv, mread, idone, compl,
+data, wb, retry, ...) and grouping messages by the controller pair that
+exchanges them — the grouping virtual-channel assignments are built from.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+
+class Kind(str, enum.Enum):
+    REQUEST = "request"
+    RESPONSE = "response"
+    INTERNAL = "internal"  # never crosses a quad link
+
+
+@dataclass(frozen=True)
+class Message:
+    """One protocol message type."""
+
+    name: str
+    kind: Kind
+    group: str
+    doc: str = ""
+
+
+def _m(name: str, kind: Kind, group: str, doc: str) -> Message:
+    return Message(name, kind, group, doc)
+
+
+#: The full catalog (Figure 1 analogue).
+CATALOG: tuple[Message, ...] = (
+    # -- processor <-> cache controller (on-chip, never on a quad link) -----
+    _m("ld", Kind.INTERNAL, "cache", "processor load"),
+    _m("st", Kind.INTERNAL, "cache", "processor store"),
+    _m("ld_resp", Kind.INTERNAL, "cache", "load data to processor"),
+    _m("st_resp", Kind.INTERNAL, "cache", "store acknowledge to processor"),
+    _m("evict", Kind.INTERNAL, "cache", "victimize a cache line"),
+    _m("fill", Kind.INTERNAL, "cache", "install a line in the cache"),
+    _m("inval", Kind.INTERNAL, "cache", "invalidate a line in the cache"),
+    _m("down", Kind.INTERNAL, "cache", "downgrade a line M/E -> S"),
+    _m("wb_req", Kind.INTERNAL, "cache", "cache asks node to write back a dirty victim"),
+    # -- local node -> home directory requests ------------------------------
+    _m("read", Kind.REQUEST, "node_dir", "read a line shared"),
+    _m("readex", Kind.REQUEST, "node_dir", "read a line exclusive (Figure 2)"),
+    _m("upgrade", Kind.REQUEST, "node_dir", "S -> M ownership upgrade"),
+    _m("wb", Kind.REQUEST, "node_dir", "write a modified line back to memory"),
+    _m("flush", Kind.REQUEST, "node_dir", "notify eviction of a shared line"),
+    _m("ior", Kind.REQUEST, "node_dir", "uncached I/O read"),
+    _m("iow", Kind.REQUEST, "node_dir", "uncached I/O write"),
+    # -- home directory -> remote node snoop requests -----------------------
+    _m("sinv", Kind.REQUEST, "dir_remote", "invalidate your copy"),
+    _m("sread", Kind.REQUEST, "dir_remote", "supply data, downgrade to S"),
+    _m("sflush", Kind.REQUEST, "dir_remote", "supply data and invalidate"),
+    _m("sdown", Kind.REQUEST, "dir_remote", "downgrade without data"),
+    # -- home directory -> home memory requests -----------------------------
+    _m("mread", Kind.REQUEST, "dir_mem", "read a line from memory"),
+    _m("mwrite", Kind.REQUEST, "dir_mem", "posted write of forwarded dirty data"),
+    _m("wbmem", Kind.REQUEST, "dir_mem", "acknowledged writeback to memory"),
+    _m("dwrite", Kind.REQUEST, "dir_mem",
+       "acknowledged DMA write, triggered by response processing"),
+    # -- home memory -> home directory responses ----------------------------
+    _m("data", Kind.RESPONSE, "mem_dir", "memory read data"),
+    _m("mdone", Kind.RESPONSE, "mem_dir", "acknowledged write complete"),
+    # -- remote node -> home directory responses ----------------------------
+    _m("idone", Kind.RESPONSE, "remote_dir", "invalidate done"),
+    _m("sdone", Kind.RESPONSE, "remote_dir", "snoop read done, data attached"),
+    _m("ddata", Kind.RESPONSE, "remote_dir", "dirty data from the old owner"),
+    _m("fdone", Kind.RESPONSE, "remote_dir", "snoop flush done, data attached"),
+    # -- home directory -> local node responses -----------------------------
+    _m("cdata", Kind.RESPONSE, "dir_node", "completion carrying data"),
+    _m("compl", Kind.RESPONSE, "dir_node", "transaction complete"),
+    _m("retry", Kind.RESPONSE, "dir_node", "line busy, re-issue later"),
+    _m("nack", Kind.RESPONSE, "dir_node", "request refused"),
+    # -- I/O subsystem --------------------------------------------------------
+    _m("io_read", Kind.REQUEST, "io", "device-initiated read"),
+    _m("io_write", Kind.REQUEST, "io", "device-initiated write"),
+    _m("io_data", Kind.RESPONSE, "io", "device read data"),
+    _m("io_compl", Kind.RESPONSE, "io", "device operation complete"),
+    _m("dev_intr", Kind.REQUEST, "io", "device interrupt delivery"),
+    _m("intr_ack", Kind.RESPONSE, "io", "interrupt accepted"),
+    # -- remote access cache ---------------------------------------------------
+    _m("rac_alloc", Kind.INTERNAL, "rac", "allocate a RAC entry"),
+    _m("rac_free", Kind.INTERNAL, "rac", "free a RAC entry"),
+    _m("rac_hit", Kind.INTERNAL, "rac", "RAC lookup hit"),
+    _m("rac_miss", Kind.INTERNAL, "rac", "RAC lookup miss"),
+    _m("rac_fill", Kind.INTERNAL, "rac", "install remote data in the RAC"),
+    _m("rac_evict", Kind.INTERNAL, "rac", "victimize a RAC entry"),
+    # -- link / network interface ----------------------------------------------
+    _m("credit", Kind.INTERNAL, "link", "flow-control credit grant"),
+    _m("creditret", Kind.INTERNAL, "link", "flow-control credit return"),
+    _m("ping", Kind.INTERNAL, "link", "link liveness probe"),
+    _m("pong", Kind.INTERNAL, "link", "link liveness reply"),
+    # -- state-communication specials (paper section 2) -------------------------
+    _m("sync", Kind.REQUEST, "special", "barrier/fence between controllers"),
+    _m("sync_ack", Kind.RESPONSE, "special", "fence acknowledged"),
+    _m("drain", Kind.REQUEST, "special", "drain in-flight transactions"),
+    _m("drain_ack", Kind.RESPONSE, "special", "drain complete"),
+    _m("poison", Kind.RESPONSE, "special", "error containment marker"),
+    # -- implementation-defined (paper section 5) --------------------------------
+    _m("dfdback", Kind.REQUEST, "impl", "directory-update feedback request"),
+)
+
+BY_NAME: dict[str, Message] = {m.name: m for m in CATALOG}
+
+#: Messages classified as requests / responses (drives the paper's
+#: ``isrequest(inmsg)`` predicate and the request-vs-response channel split).
+REQUEST_NAMES: tuple[str, ...] = tuple(m.name for m in CATALOG if m.kind is Kind.REQUEST)
+RESPONSE_NAMES: tuple[str, ...] = tuple(m.name for m in CATALOG if m.kind is Kind.RESPONSE)
+
+#: The subsets the directory controller D actually sees / emits.
+DIR_REQUEST_INPUTS: tuple[str, ...] = (
+    "read", "readex", "upgrade", "wb", "flush", "ior", "iow",
+)
+DIR_RESPONSE_INPUTS: tuple[str, ...] = (
+    "data", "mdone", "idone", "sdone", "ddata", "compl",
+)
+DIR_INPUTS: tuple[str, ...] = DIR_REQUEST_INPUTS + DIR_RESPONSE_INPUTS
+DIR_LOCAL_OUTPUTS: tuple[str, ...] = ("cdata", "compl", "retry", "data", "nack")
+DIR_REMOTE_OUTPUTS: tuple[str, ...] = ("sinv", "sread")
+DIR_MEM_OUTPUTS: tuple[str, ...] = ("mread", "mwrite", "wbmem", "dwrite")
+
+#: Responses grouped by origin, used in D's input-legality constraints.
+RESPONSES_FROM_HOME: tuple[str, ...] = ("data", "mdone")
+RESPONSES_FROM_REMOTE: tuple[str, ...] = ("idone", "sdone", "ddata")
+
+
+def is_request(name: str) -> bool:
+    return BY_NAME[name].kind is Kind.REQUEST
+
+
+def is_response(name: str) -> bool:
+    return BY_NAME[name].kind is Kind.RESPONSE
+
+
+def messages_in_group(group: str) -> tuple[Message, ...]:
+    return tuple(m for m in CATALOG if m.group == group)

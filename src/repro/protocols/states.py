@@ -1,0 +1,174 @@
+"""Cache, directory, and busy-directory states.
+
+The system uses the 4-state MESI protocol in the caches (paper section 2).
+The directory tracks each line with a pair (directory state, presence
+vector); the directory state is one of I, SI, MESI and the presence vector
+is abstracted in controller tables to {zero, one, gone} — zero, one, or
+more than one sharer (paper section 2.1).
+
+Busy states mark in-flight transactions in the busy directory.  "The
+directory controller uses different types of Busy states to indicate the
+type of pending transaction and also indicate the progress of a
+transaction."  Our naming is ``Busy-<txn><prior>-<pending>`` where ``txn``
+identifies the transaction, ``prior`` the directory state the line had
+when the transaction started (needed to rebuild the entry at completion),
+and ``pending`` the responses still outstanding (``s`` snoop, ``d`` data,
+``m`` memory-write acknowledge) — exactly the Busy-sd/Busy-s/Busy-d
+progression of Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+# -- cache states -------------------------------------------------------------
+CACHE_STATES: tuple[str, ...] = ("M", "E", "S", "I")
+
+# -- directory states ----------------------------------------------------------
+DIR_I = "I"
+DIR_SI = "SI"
+DIR_MESI = "MESI"
+DIR_STATES: tuple[str, ...] = (DIR_I, DIR_SI, DIR_MESI)
+
+# -- presence-vector abstraction -------------------------------------------------
+PV_ZERO = "zero"
+PV_ONE = "one"
+PV_GONE = "gone"
+PV_VALUES: tuple[str, ...] = (PV_ZERO, PV_ONE, PV_GONE)
+
+# -- presence-vector operations (paper section 2.1) -------------------------------
+PV_INC = "inc"      # add the requester
+PV_DEC = "dec"      # remove the responder
+PV_REPL = "repl"    # replace with the requester (ownership transfer)
+PV_DREPL = "drepl"  # decrement, and replace if zero
+PV_OPS: tuple[str, ...] = (PV_INC, PV_DEC, PV_REPL, PV_DREPL)
+
+# -- busy-directory presence-vector operations -------------------------------------
+BPV_LOAD = "load"    # copy the directory presence vector into the busy entry
+BPV_LOADX = "loadx"  # copy it excluding the requester (upgrade)
+BPV_DEC = "dec"      # one snoop response collected
+BPV_CLR = "clr"      # clear (allocate empty / deallocate)
+BPV_OPS: tuple[str, ...] = (BPV_LOAD, BPV_LOADX, BPV_DEC, BPV_CLR)
+
+
+@dataclass(frozen=True)
+class BusyState:
+    """One busy-directory state of the directory controller."""
+
+    name: str
+    txn: str       # transaction type: read/readex/upgrade/wb/ior/iow
+    prior: str     # directory state when the transaction started
+    pending: str   # outstanding responses: subset of {s, d, m}
+    doc: str = ""
+
+
+def _b(name: str, txn: str, prior: str, pending: str, doc: str) -> BusyState:
+    return BusyState(name, txn, prior, pending, doc)
+
+
+#: All busy states of the directory controller D.
+BUSY_STATES: tuple[BusyState, ...] = (
+    _b("Busy-r-d", "read", DIR_I, "d", "read from I, awaiting memory data"),
+    _b("Busy-rs-d", "read", DIR_SI, "d", "read from SI, awaiting memory data"),
+    _b("Busy-rm-s", "read", DIR_MESI, "s", "read from MESI, awaiting sdone from owner"),
+    _b("Busy-x-d", "readex", DIR_I, "d", "readex from I, awaiting memory data"),
+    _b("Busy-xs-sd", "readex", DIR_SI, "sd", "readex from SI, awaiting idones and data (Figure 2's Busy-sd)"),
+    _b("Busy-xs-s", "readex", DIR_SI, "s", "readex from SI, data forwarded, awaiting idones"),
+    _b("Busy-xs-d", "readex", DIR_SI, "d", "readex from SI, idones collected, awaiting data"),
+    _b("Busy-xm-s", "readex", DIR_MESI, "s", "readex from MESI, awaiting idone/ddata from owner"),
+    _b("Busy-xm-d", "readex", DIR_MESI, "d", "owner was clean, awaiting memory data (the Figure 4 mread)"),
+    _b("Busy-u-s", "upgrade", DIR_SI, "s", "upgrade, awaiting idones from other sharers"),
+    _b("Busy-w-m", "wb", DIR_MESI, "m", "writeback, awaiting memory acknowledge"),
+    _b("Busy-ior-d", "ior", DIR_I, "d", "I/O read, awaiting memory data"),
+    _b("Busy-iow-m", "iow", DIR_I, "m", "I/O write, awaiting memory acknowledge"),
+    # Coherent DMA: I/O reads and writes to cached lines.
+    _b("Busy-iors-d", "ior", DIR_SI, "d",
+       "I/O read of a shared line (clean in memory), awaiting data"),
+    _b("Busy-iorm-s", "ior", DIR_MESI, "s",
+       "I/O read of an owned line, awaiting sdone from the owner"),
+    _b("Busy-iows-s", "iow", DIR_SI, "s",
+       "I/O write to a shared line, awaiting idones"),
+    _b("Busy-iowm-s", "iow", DIR_MESI, "s",
+       "I/O write to an owned line, awaiting idone/ddata"),
+    # Ownership/sharing transfers stay busy until the requester confirms
+    # the fill landed — "any transaction that is allocated a busy
+    # directory entry must complete with either D *receiving* a compl
+    # response or with D sending such a response" (paper section 4.3).
+    # The directory entry is rewritten only on that acknowledgment, which
+    # closes the window in which a later transaction's snoop could
+    # overtake the completion.
+    _b("Busy-r-c", "read", "-", "c", "data sent, awaiting requester's compl ack"),
+    _b("Busy-x-c", "readex", "-", "c", "ownership granted, awaiting compl ack"),
+    _b("Busy-u-c", "upgrade", "-", "c", "upgrade granted, awaiting compl ack"),
+)
+
+BUSY_NAMES: tuple[str, ...] = tuple(b.name for b in BUSY_STATES)
+BUSY_BY_NAME: dict[str, BusyState] = {b.name: b for b in BUSY_STATES}
+
+#: The busy-directory state column domain: I (no entry) plus every busy state.
+BDIR_STATES: tuple[str, ...] = (DIR_I,) + BUSY_NAMES
+
+
+def busy_awaiting(response: str) -> tuple[str, ...]:
+    """Busy states in which ``response`` is a legal incoming message.
+
+    ``data`` is legal while a memory read is outstanding, ``idone``/
+    ``ddata`` while snoops are outstanding, ``sdone`` for snoop reads,
+    ``mdone`` while an acknowledged memory write is outstanding.
+    """
+    if response == "data":
+        return tuple(b.name for b in BUSY_STATES if "d" in b.pending)
+    if response == "mdone":
+        return tuple(b.name for b in BUSY_STATES if "m" in b.pending)
+    if response == "idone":
+        return tuple(
+            b.name
+            for b in BUSY_STATES
+            if "s" in b.pending and b.txn in ("readex", "upgrade", "iow")
+        )
+    if response == "ddata":
+        return ("Busy-xm-s", "Busy-iowm-s")
+    if response == "sdone":
+        return tuple(
+            b.name
+            for b in BUSY_STATES
+            if "s" in b.pending and b.txn in ("read", "ior")
+        )
+    if response == "compl":
+        return tuple(b.name for b in BUSY_STATES if b.pending == "c")
+    raise ValueError(f"unknown response message {response!r}")
+
+
+def busy_pv_domain(busy: str) -> tuple[str, ...]:
+    """Legal busy-directory presence-vector values in a busy state.
+
+    States holding a copied sharer set carry one/gone; states whose busy
+    entry tracks no sharers carry zero; ``Busy-xm-*`` track the single old
+    owner.
+    """
+    b = BUSY_BY_NAME[busy]
+    if b.name in ("Busy-xs-sd", "Busy-xs-s", "Busy-u-s", "Busy-iows-s"):
+        return (PV_ONE, PV_GONE)
+    if b.name in ("Busy-rs-d", "Busy-iors-d"):
+        return (PV_ONE, PV_GONE)
+    if b.name in ("Busy-rm-s", "Busy-xm-s", "Busy-iorm-s", "Busy-iowm-s"):
+        return (PV_ONE,)
+    if b.name == "Busy-r-c":
+        # Holds the saved sharer set until the ack rewrites the directory.
+        return (PV_ZERO, PV_ONE, PV_GONE)
+    if b.name == "Busy-x-c":
+        return (PV_ZERO, PV_ONE)  # one: the old owner supplied ddata
+    return (PV_ZERO,)
+
+
+def dir_pv_domain(dirst: str) -> tuple[str, ...]:
+    """Legal directory presence-vector values per directory state — the
+    paper's first invariant in section 4.3."""
+    if dirst == DIR_I:
+        return (PV_ZERO,)
+    if dirst == DIR_SI:
+        return (PV_ONE, PV_GONE)
+    if dirst == DIR_MESI:
+        return (PV_ONE,)
+    raise ValueError(f"unknown directory state {dirst!r}")

@@ -1,0 +1,644 @@
+"""Endpoint models: directory, node (cache + node controller), memory.
+
+Each model is *table-driven*: it never hard-codes a transition.  It
+computes the input-column values for an incoming message, looks the row
+up in the generated controller table, and applies the row's outputs.  A
+missing row is a protocol hole and raises :class:`SimProtocolError` with
+full context — the dynamic analogue of the paper's static coverage
+checks.
+
+Models do not touch channels directly: :meth:`plan` returns a
+:class:`TransitionPlan` (output envelopes + a state-apply callback) and
+the scheduler performs the capacity check / commit, so blocking semantics
+live in one place.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..core.table import ControllerTable, NoMatchError
+from ..protocols import messages as M
+from ..protocols import states as S
+from .channel import Envelope
+
+__all__ = [
+    "SimProtocolError",
+    "TransitionPlan",
+    "DirectoryModel",
+    "NodeModel",
+    "MemoryModel",
+    "IOModel",
+    "quad_of",
+    "abstract_pv",
+]
+
+_seq = itertools.count(1)
+
+
+def next_seq() -> int:
+    return next(_seq)
+
+
+class SimProtocolError(RuntimeError):
+    """The generated tables have no transition for a reachable situation."""
+
+
+def quad_of(endpoint: str) -> int:
+    """Endpoint ids are ``node:<quad>.<idx>``, ``dir:<quad>``, ``mem:<quad>``."""
+    kind, rest = endpoint.split(":", 1)
+    if kind == "node":
+        return int(rest.split(".", 1)[0])
+    return int(rest)
+
+
+def abstract_pv(pv: set) -> str:
+    """Abstract a concrete sharer set to the table encoding zero/one/gone."""
+    if not pv:
+        return S.PV_ZERO
+    if len(pv) == 1:
+        return S.PV_ONE
+    return S.PV_GONE
+
+
+@dataclass
+class TransitionPlan:
+    """What committing one transition requires and does."""
+
+    outputs: list[Envelope]
+    apply: Callable[[], None]
+    label: str = ""
+
+
+@dataclass
+class BusyEntry:
+    state: str
+    pv: set
+    requester: str
+
+
+class DirectoryModel:
+    """The directory + busy directory of one quad, executing table D."""
+
+    def __init__(self, quad: int, table: ControllerTable, recorder=None) -> None:
+        self.quad = quad
+        self.table = table
+        self.recorder = recorder
+        self.endpoint = f"dir:{quad}"
+        self.lines: dict[str, dict] = {}        # addr -> {"st": str, "pv": set}
+        self.busy: dict[str, BusyEntry] = {}
+
+    # -- state helpers -----------------------------------------------------------
+    def line_state(self, addr: str) -> tuple[str, set]:
+        entry = self.lines.get(addr)
+        if entry is None:
+            return S.DIR_I, set()
+        return entry["st"], set(entry["pv"])
+
+    def preset(self, addr: str, dirst: str, pv: set) -> None:
+        """Install an initial directory entry (workload setup)."""
+        if dirst == S.DIR_I:
+            self.lines.pop(addr, None)
+        else:
+            self.lines[addr] = {"st": dirst, "pv": set(pv)}
+
+    # -- table-driven transition ----------------------------------------------------
+    def plan(self, env: Envelope) -> TransitionPlan:
+        addr = env.addr
+        dirst, pv = self.line_state(addr)
+        b = self.busy.get(addr)
+        bdirst = b.state if b else S.DIR_I
+        bpv = set(b.pv) if b else set()
+        is_req = env.msg in M.DIR_REQUEST_INPUTS
+        try:
+            rowid, row = self.table.lookup_id(
+                inmsg=env.msg,
+                inmsgsrc=env.src_role,
+                inmsgdst="home",
+                inmsgres="reqq" if is_req else "respq",
+                dirst=dirst,
+                dirpv=abstract_pv(pv),
+                dirlookup="miss" if dirst == S.DIR_I else "hit",
+                bdirst=bdirst,
+                bdirpv=abstract_pv(bpv),
+                bdirlookup="miss" if bdirst == S.DIR_I else "hit",
+                reqinpv="yes" if env.src in pv else "no",
+            )
+        except NoMatchError as e:
+            raise SimProtocolError(
+                f"directory {self.quad}: no transition for {env} "
+                f"(dirst={dirst}, pv={sorted(pv)}, bdirst={bdirst}, "
+                f"bpv={sorted(bpv)})"
+            ) from e
+        if self.recorder is not None:
+            self.recorder.record(self.table.schema.name, rowid)
+
+        # The requester a completion/retry is addressed to.
+        if b is not None and row["locmsg"] != "retry":
+            requester = b.requester
+        else:
+            requester = env.src
+
+        outputs: list[Envelope] = []
+        if row["locmsg"] is not None:
+            outputs.append(Envelope(
+                msg=row["locmsg"], src=self.endpoint, dst=requester, addr=addr,
+                src_role=row["locmsgsrc"], dst_role=row["locmsgdst"],
+                seq=next_seq(),
+            ))
+        snoop_targets: list[str] = []
+        if row["remmsg"] is not None:
+            snoop_targets = sorted(pv - {requester})
+            if not snoop_targets:
+                raise SimProtocolError(
+                    f"directory {self.quad}: snoop {row['remmsg']} for {addr} "
+                    f"with no targets (pv={sorted(pv)}, requester={requester})"
+                )
+            for target in snoop_targets:
+                outputs.append(Envelope(
+                    msg=row["remmsg"], src=self.endpoint, dst=target, addr=addr,
+                    src_role=row["remmsgsrc"], dst_role=row["remmsgdst"],
+                    seq=next_seq(),
+                ))
+        if row["memmsg"] is not None:
+            outputs.append(Envelope(
+                msg=row["memmsg"], src=self.endpoint, dst=f"mem:{self.quad}",
+                addr=addr, src_role=row["memmsgsrc"], dst_role=row["memmsgdst"],
+                seq=next_seq(),
+            ))
+
+        def apply() -> None:
+            self._apply_row(env, row, addr, pv, requester)
+
+        return TransitionPlan(outputs=outputs, apply=apply,
+                              label=f"D{self.quad}:{env.msg}({addr})")
+
+    def _apply_row(
+        self, env: Envelope, row: dict, addr: str, old_pv: set, requester: str
+    ) -> None:
+        b = self.busy.get(addr)
+        # Presence-vector operation, applied to the busy entry's saved
+        # sharer set when one exists (the entry migrated to the busy
+        # directory), otherwise to the live directory entry.
+        base = set(b.pv) if b is not None else set(old_pv)
+        op = row["nxtdirpv"]
+        if op == S.PV_INC:
+            base |= {requester}
+        elif op == S.PV_DEC:
+            base -= {env.src}
+        elif op == S.PV_REPL:
+            base = {requester}
+        elif op == S.PV_DREPL:
+            base -= {env.src}
+
+        nxtdirst = row["nxtdirst"]
+        if nxtdirst is not None:
+            if nxtdirst == S.DIR_I:
+                self.lines.pop(addr, None)
+            else:
+                self.lines[addr] = {"st": nxtdirst, "pv": base}
+        elif op is not None and addr in self.lines:
+            self.lines[addr]["pv"] = base
+
+        # Busy-directory update.
+        bop = row["nxtbdirpv"]
+        new_bpv: Optional[set] = None
+        if bop == S.BPV_LOAD:
+            new_bpv = set(old_pv)
+        elif bop == S.BPV_LOADX:
+            new_bpv = set(old_pv) - {requester}
+        elif bop == S.BPV_DEC:
+            new_bpv = (set(b.pv) if b else set()) - {env.src}
+        elif bop == S.BPV_CLR:
+            new_bpv = set()
+
+        nxtb = row["nxtbdirst"]
+        if nxtb is not None:
+            if nxtb == S.DIR_I:
+                self.busy.pop(addr, None)
+            elif b is None:
+                self.busy[addr] = BusyEntry(
+                    state=nxtb,
+                    pv=new_bpv if new_bpv is not None else set(),
+                    requester=env.src,
+                )
+            else:
+                b.state = nxtb
+                if new_bpv is not None:
+                    b.pv = new_bpv
+        elif new_bpv is not None and b is not None:
+            b.pv = new_bpv
+
+
+@dataclass
+class TxnRegister:
+    """One outstanding-transaction register of the node controller.
+
+    Real nodes keep the miss status register separate from the victim
+    (writeback) buffer — the paper's local node "concurrently issues
+    wb(B) and readex(A)", which requires both to be outstanding at once.
+    """
+
+    pend: str = "none"
+    addr: Optional[str] = None
+    cache_req: Optional[str] = None   # miss_rd / miss_wr / wb_victim / flush_victim
+    issue_linest: Optional[str] = None  # line state captured at issue time
+    retry_at: Optional[int] = None
+
+    @property
+    def free(self) -> bool:
+        return self.pend == "none"
+
+    def clear(self) -> None:
+        self.pend = "none"
+        self.addr = None
+        self.cache_req = None
+        self.issue_linest = None
+        self.retry_at = None
+
+
+#: Cache requests held in the miss register vs the writeback buffer.
+_MISS_REQS = ("miss_rd", "miss_wr")
+_WB_REQS = ("wb_victim", "flush_victim")
+
+
+class NodeModel:
+    """One node: a MESI cache driven by table C plus a node controller
+    driven by table N, with a miss register and a writeback buffer."""
+
+    def __init__(
+        self,
+        node_id: str,
+        cache_table: ControllerTable,
+        node_table: ControllerTable,
+        reissue_delay: int = 8,
+        recorder=None,
+    ) -> None:
+        self.endpoint = node_id
+        self.recorder = recorder
+        self.quad = quad_of(node_id)
+        self.cache_table = cache_table
+        self.node_table = node_table
+        self.reissue_delay = reissue_delay
+        self.cache: dict[str, str] = {}          # addr -> MESI (absent = I)
+        self.miss = TxnRegister()
+        self.wb = TxnRegister()
+        self.cpu_ops: list[tuple[str, str]] = []   # (op, addr) FIFO
+        self.stats = {"ops": 0, "hits": 0, "misses": 0,
+                      "retries": 0, "snoops": 0, "writebacks": 0}
+
+    # -- helpers ---------------------------------------------------------------------
+    def line(self, addr: str) -> str:
+        return self.cache.get(addr, "I")
+
+    def preset(self, addr: str, state: str) -> None:
+        if state == "I":
+            self.cache.pop(addr, None)
+        else:
+            self.cache[addr] = state
+
+    def _set_line(self, addr: str, state: Optional[str]) -> None:
+        if state is None:
+            return
+        if state == "I":
+            self.cache.pop(addr, None)
+        else:
+            self.cache[addr] = state
+
+    def _register_for(self, addr: str) -> Optional[TxnRegister]:
+        """The transaction register tracking ``addr``, if any."""
+        if self.miss.addr == addr and not self.miss.free:
+            return self.miss
+        if self.wb.addr == addr and not self.wb.free:
+            return self.wb
+        return None
+
+    def _cache_row(self, op: str, addr: str, fillmode: Optional[str] = None) -> dict:
+        try:
+            rowid, row = self.cache_table.lookup_id(
+                op=op, cachest=self.line(addr), fillmode=fillmode,
+            )
+            if self.recorder is not None:
+                self.recorder.record(self.cache_table.schema.name, rowid)
+            return row
+        except NoMatchError as e:
+            raise SimProtocolError(
+                f"{self.endpoint}: cache has no transition for op={op} "
+                f"state={self.line(addr)} fillmode={fillmode}"
+            ) from e
+
+    def _net_row_for_cache_req(self, cache_req: str, linest: str) -> dict:
+        """Node-controller row for a cache-originated request.
+
+        On re-issue after a retry the pending register is already occupied
+        by this very transaction, so the lookup constrains everything
+        except ``pend``.  Misses re-derive from the *current* line state
+        (an upgrade whose line has since been invalidated must become a
+        readex); writebacks use the state captured into the victim buffer.
+        """
+        matches = self.node_table._match({
+            "inmsg": cache_req,
+            "inmsgsrc": "cache",
+            "inmsgdst": "local",
+            "linest": linest,
+        })
+        if len(matches) != 1:
+            raise SimProtocolError(
+                f"{self.endpoint}: {len(matches)} node rows for cache request "
+                f"{cache_req} with line state {linest}"
+            )
+        rowid, row = matches[0]
+        if self.recorder is not None:
+            self.recorder.record(self.node_table.schema.name, rowid)
+        return row
+
+    def _request_envelope(self, nrow: dict, addr: str) -> Envelope:
+        return Envelope(
+            msg=nrow["netmsg"], src=self.endpoint, dst="dir:{home}", addr=addr,
+            src_role=nrow["netmsgsrc"], dst_role=nrow["netmsgdst"],
+            seq=next_seq(),
+        )
+
+    # -- processor side ---------------------------------------------------------------
+    def plan_cpu(self) -> Optional[TransitionPlan]:
+        """Try to make progress on the oldest processor operation."""
+        if not self.cpu_ops:
+            return None
+        op, addr = self.cpu_ops[0]
+        if op == "evict" and self.line(addr) == "I":
+            # Nothing to victimize (the line left the cache earlier);
+            # workload convenience, not a protocol transition.
+            def drop() -> None:
+                self.cpu_ops.pop(0)
+            return TransitionPlan([], drop, f"{self.endpoint}:evict({addr})noop")
+        if self._register_for(addr) is not None:
+            return None  # a transaction on this line is already in flight
+        crow = self._cache_row(op, addr)
+
+        if crow["nodemsg"] is None:
+            # Pure cache hit (or silent state change).
+            def apply_hit() -> None:
+                self.cpu_ops.pop(0)
+                self._set_line(addr, crow["nxtst"])
+                self.stats["hits"] += 1
+                self.stats["ops"] += 1
+            return TransitionPlan([], apply_hit, f"{self.endpoint}:{op}({addr})hit")
+
+        reg = self.miss if crow["nodemsg"] in _MISS_REQS else self.wb
+        if not reg.free:
+            return None
+        linest = self.line(addr)
+        nrow = self._net_row_for_cache_req(crow["nodemsg"], linest)
+        out = self._request_envelope(nrow, addr)
+
+        def apply_miss() -> None:
+            self.cpu_ops.pop(0)
+            self._set_line(addr, crow["nxtst"])
+            reg.pend = nrow["nxtpend"]
+            reg.addr = addr
+            reg.cache_req = crow["nodemsg"]
+            reg.issue_linest = linest
+            self.stats["ops"] += 1
+            if reg is self.miss:
+                self.stats["misses"] += 1
+            else:
+                self.stats["writebacks"] += 1
+
+        return TransitionPlan([out], apply_miss, f"{self.endpoint}:{op}({addr})miss")
+
+    def plan_reissue(self, now: int) -> Optional[TransitionPlan]:
+        """Re-issue a retried request once its backoff timer expires."""
+        for reg in (self.miss, self.wb):
+            if reg.retry_at is None or now < reg.retry_at:
+                continue
+            linest = (
+                self.line(reg.addr) if reg is self.miss else reg.issue_linest
+            )
+            nrow = self._net_row_for_cache_req(reg.cache_req, linest)
+            out = self._request_envelope(nrow, reg.addr)
+
+            def apply(reg=reg, nrow=nrow) -> None:
+                reg.retry_at = None
+                reg.pend = nrow["nxtpend"]
+
+            return TransitionPlan(
+                [out], apply, f"{self.endpoint}:reissue({reg.addr})"
+            )
+        return None
+
+    # -- network side --------------------------------------------------------------------
+    def plan(self, env: Envelope, now: int) -> TransitionPlan:
+        addr = env.addr
+        reg = self._register_for(addr)
+        pend_val = reg.pend if reg is not None else "none"
+        # Snoops also hit the victim buffer: a line evicted but whose
+        # writeback/flush has not been accepted yet is still this node's
+        # responsibility, answered from the buffered state; the pending
+        # writeback is then cancelled (its data travels with the reply).
+        snooped_buffer = (
+            env.msg in ("sinv", "sread")
+            and reg is self.wb
+            and reg.issue_linest is not None
+        )
+        linest = reg.issue_linest if snooped_buffer else self.line(addr)
+        try:
+            nrowid, nrow = self.node_table.lookup_id(
+                inmsg=env.msg,
+                inmsgsrc=env.src_role,
+                inmsgdst=env.dst_role,
+                pend=pend_val,
+                linest=linest,
+            )
+        except NoMatchError as e:
+            raise SimProtocolError(
+                f"{self.endpoint}: no node transition for {env} "
+                f"(pend={pend_val}, linest={self.line(addr)})"
+            ) from e
+        if self.recorder is not None:
+            self.recorder.record(self.node_table.schema.name, nrowid)
+
+        outputs: list[Envelope] = []
+        if nrow["netmsg"] is not None:
+            outputs.append(self._request_envelope(nrow, addr))
+
+        def apply() -> None:
+            if snooped_buffer:
+                self.stats["snoops"] += 1
+                reg.clear()  # the snoop reply carries/settles the victim
+                return
+            if nrow["cachemsg"] is not None:
+                crow = self._cache_row(nrow["cachemsg"], addr, nrow["fillmode"])
+                self._set_line(addr, crow["nxtst"])
+            if nrow["nxtpend"] is not None and reg is not None:
+                reg.pend = nrow["nxtpend"]
+                if reg.pend == "none":
+                    # Transaction done: replay the processor op that
+                    # missed, so the store performs through the table
+                    # (fill-exclusive lands E; the replayed st drives the
+                    # silent E -> M transition).
+                    if reg is self.miss and reg.cache_req == "miss_rd":
+                        self.cpu_ops.insert(0, ("ld", addr))
+                    elif reg is self.miss and reg.cache_req == "miss_wr":
+                        self.cpu_ops.insert(0, ("st", addr))
+                    reg.clear()
+            if nrow["reissue"] == "yes" and reg is not None:
+                reg.retry_at = now + self.reissue_delay
+                self.stats["retries"] += 1
+            if env.msg in ("sinv", "sread"):
+                self.stats["snoops"] += 1
+
+        return TransitionPlan(outputs, apply, f"{self.endpoint}:{env.msg}({addr})")
+
+
+class MemoryModel:
+    """The home memory controller of one quad, executing table M."""
+
+    def __init__(self, quad: int, table: ControllerTable, refresh_until: int = 0,
+                 recorder=None) -> None:
+        self.quad = quad
+        self.table = table
+        self.recorder = recorder
+        self.endpoint = f"mem:{quad}"
+        #: while ``now < refresh_until`` the DRAM bank reports ``refresh``
+        #: and the generated table's stall row holds the request.
+        self.refresh_until = refresh_until
+        self.versions: dict[str, int] = {}
+        self.stats = {"reads": 0, "writes": 0, "stalls": 0}
+
+    def plan(self, env: Envelope, now: int) -> Optional[TransitionPlan]:
+        bankst = "refresh" if now < self.refresh_until else "ready"
+        try:
+            rowid, row = self.table.lookup_id(
+                inmsg=env.msg, inmsgsrc=env.src_role, inmsgdst=env.dst_role,
+                inmsgres="memq", bankst=bankst,
+            )
+        except NoMatchError as e:
+            raise SimProtocolError(
+                f"memory {self.quad}: no transition for {env}"
+            ) from e
+        if self.recorder is not None:
+            self.recorder.record(self.table.schema.name, rowid)
+        if row["stall"] == "yes":
+            self.stats["stalls"] += 1
+            return None  # hold the request while the bank refreshes
+
+        outputs: list[Envelope] = []
+        if row["outmsg"] is not None:
+            outputs.append(Envelope(
+                msg=row["outmsg"], src=self.endpoint, dst=f"dir:{self.quad}",
+                addr=env.addr, src_role=row["outmsgsrc"], dst_role=row["outmsgdst"],
+                seq=next_seq(),
+            ))
+
+        def apply() -> None:
+            if row["arrayop"] == "wr":
+                self.versions[env.addr] = self.versions.get(env.addr, 0) + 1
+                self.stats["writes"] += 1
+            else:
+                self.stats["reads"] += 1
+
+        return TransitionPlan(outputs, apply, f"M{self.quad}:{env.msg}({env.addr})")
+
+
+class IOModel:
+    """The I/O controller of one quad, executing table IO.
+
+    Device-initiated reads/writes are queued on the (always sinkable)
+    device interface, issued onto the coherence fabric as ior/iow, and
+    completed back to the device.  Retries are absorbed and re-issued,
+    like the node controller's.
+    """
+
+    def __init__(self, quad: int, table: ControllerTable,
+                 reissue_delay: int = 8, recorder=None) -> None:
+        self.quad = quad
+        self.table = table
+        self.recorder = recorder
+        self.reissue_delay = reissue_delay
+        self.endpoint = f"io:{quad}"
+        self.iost = "idle"
+        self.pend_addr: Optional[str] = None
+        self.pend_op: Optional[str] = None   # io_read / io_write
+        self.retry_at: Optional[int] = None
+        self.dev_ops: list[tuple[str, str]] = []   # (op, addr) FIFO
+        self.delivered: list[tuple[str, str]] = []  # (devmsg, addr) to device
+        self.stats = {"reads": 0, "writes": 0, "intrs": 0, "retries": 0}
+
+    def _row(self, inmsg: str, src: str, dst: str, iost) -> dict:
+        try:
+            rowid, row = self.table.lookup_id(
+                inmsg=inmsg, inmsgsrc=src, inmsgdst=dst, iost=iost,
+            )
+        except NoMatchError as e:
+            raise SimProtocolError(
+                f"{self.endpoint}: no transition for {inmsg} (iost={iost})"
+            ) from e
+        if self.recorder is not None:
+            self.recorder.record(self.table.schema.name, rowid)
+        return row
+
+    def _issue_envelope(self, row: dict, addr: str) -> Envelope:
+        return Envelope(
+            msg=row["netmsg"], src=self.endpoint, dst="dir:{home}",
+            addr=addr, src_role=row["netmsgsrc"], dst_role=row["netmsgdst"],
+            seq=next_seq(),
+        )
+
+    # -- device side --------------------------------------------------------
+    def plan_dev(self) -> Optional[TransitionPlan]:
+        if not self.dev_ops:
+            return None
+        op, addr = self.dev_ops[0]
+        if op == "dev_intr":
+            row = self._row("dev_intr", "dev", "local", self.iost)
+
+            def apply_intr() -> None:
+                self.dev_ops.pop(0)
+                self.delivered.append((row["devmsg"], addr))
+                self.stats["intrs"] += 1
+            return TransitionPlan([], apply_intr,
+                                  f"{self.endpoint}:dev_intr")
+        if self.iost != "idle":
+            return None  # one outstanding I/O transaction
+        row = self._row(op, "dev", "local", "idle")
+        out = self._issue_envelope(row, addr)
+
+        def apply() -> None:
+            self.dev_ops.pop(0)
+            self.iost = row["nxtiost"]
+            self.pend_addr = addr
+            self.pend_op = op
+            self.stats["reads" if op == "io_read" else "writes"] += 1
+
+        return TransitionPlan([out], apply, f"{self.endpoint}:{op}({addr})")
+
+    def plan_reissue(self, now: int) -> Optional[TransitionPlan]:
+        if self.retry_at is None or now < self.retry_at:
+            return None
+        row = self._row(self.pend_op, "dev", "local", "idle")
+        out = self._issue_envelope(row, self.pend_addr)
+
+        def apply() -> None:
+            self.retry_at = None
+
+        return TransitionPlan([out], apply, f"{self.endpoint}:reissue")
+
+    # -- network side ---------------------------------------------------------
+    def plan(self, env: Envelope, now: int) -> TransitionPlan:
+        row = self._row(env.msg, env.src_role, env.dst_role, self.iost)
+
+        def apply() -> None:
+            if row["devmsg"] is not None:
+                self.delivered.append((row["devmsg"], env.addr))
+            if row["nxtiost"] is not None:
+                self.iost = row["nxtiost"]
+                if self.iost == "idle":
+                    self.pend_addr = None
+                    self.pend_op = None
+            if row["reissue"] == "yes":
+                self.retry_at = now + self.reissue_delay
+                self.stats["retries"] += 1
+
+        return TransitionPlan([], apply, f"{self.endpoint}:{env.msg}")

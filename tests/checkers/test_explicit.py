@@ -1,0 +1,81 @@
+"""Tests for the explicit-state model-checker baseline."""
+
+import pytest
+
+from repro.checkers import ExplicitStateChecker, snapshot_simulator
+from repro.checkers.explicit import restore_simulator
+from repro.sim import figure4_scenario, random_workload
+
+
+class TestSnapshot:
+    def test_roundtrip_preserves_state(self, system):
+        workload = figure4_scenario(system, "v5")
+        sim = workload.simulator
+        workload.inject_all()
+        for _ in range(3):
+            sim.step()
+        snap = snapshot_simulator(sim)
+        restore_simulator(sim, snap)
+        assert snapshot_simulator(sim) == snap
+
+    def test_snapshot_is_hashable_and_stable(self, system):
+        workload = figure4_scenario(system, "v5")
+        sim = workload.simulator
+        workload.inject_all()
+        s1 = snapshot_simulator(sim)
+        s2 = snapshot_simulator(sim)
+        assert s1 == s2 and hash(s1) == hash(s2)
+
+    def test_snapshot_changes_after_step(self, system):
+        workload = figure4_scenario(system, "v5")
+        sim = workload.simulator
+        workload.inject_all()
+        before = snapshot_simulator(sim)
+        sim.step()
+        assert snapshot_simulator(sim) != before
+
+
+class TestFigure4Search:
+    def test_finds_deadlock_under_v5(self, system):
+        mc = ExplicitStateChecker(figure4_scenario(system, "v5"))
+        result = mc.run(max_states=50_000)
+        assert result.found_deadlock
+        assert not result.truncated
+        # The witness is the Figure 4 channel configuration.
+        depth, description = result.deadlocks[0]
+        assert "VC4" in description and "VC2" in description
+
+    def test_no_deadlock_under_v5d(self, system):
+        mc = ExplicitStateChecker(figure4_scenario(system, "v5d"))
+        result = mc.run(max_states=50_000)
+        assert not result.found_deadlock
+        assert not result.violations
+        assert result.passed
+
+    def test_no_coherence_violation_in_any_reachable_state(self, system):
+        mc = ExplicitStateChecker(figure4_scenario(system, "v5d"))
+        assert mc.run(max_states=50_000).violations == []
+
+    def test_deterministic_exploration(self, system):
+        r1 = ExplicitStateChecker(figure4_scenario(system, "v5")).run()
+        r2 = ExplicitStateChecker(figure4_scenario(system, "v5")).run()
+        assert (r1.states, r1.transitions) == (r2.states, r2.transitions)
+
+    def test_truncation_flag(self, system):
+        mc = ExplicitStateChecker(figure4_scenario(system, "v5d"))
+        result = mc.run(max_states=10)
+        assert result.truncated and not result.passed
+
+
+class TestStateExplosion:
+    def test_states_grow_quickly_with_workload(self, system):
+        """The paper's point: exhaustive search blows up where the SQL
+        analysis stays a couple of table joins."""
+        sizes = []
+        for n_ops in (2, 4, 6):
+            w = random_workload(system, seed=1, n_ops=n_ops, n_lines=2,
+                                capacity=1)
+            result = ExplicitStateChecker(w).run(max_states=150_000)
+            sizes.append(result.states)
+        assert sizes[0] < sizes[1] < sizes[2]
+        assert sizes[2] > 5 * sizes[0]

@@ -1,0 +1,100 @@
+"""Unit tests for code generation from controller tables."""
+
+import itertools
+
+import pytest
+
+from repro.core.codegen import compile_python, generate_python, generate_verilog
+from repro.core.schema import Column, Role, TableSchema
+from repro.core.table import ControllerTable
+
+
+@pytest.fixture()
+def table(db):
+    schema = TableSchema("ctrl", [
+        Column("i1", ("a", "b"), Role.INPUT, nullable=False),
+        Column("i2", ("p", "q"), Role.INPUT, nullable=True),
+        Column("o1", ("x", "y"), Role.OUTPUT),
+        Column("o2", ("u",), Role.OUTPUT),
+    ])
+    return ControllerTable.from_rows(db, schema, [
+        {"i1": "a", "i2": "p", "o1": "x", "o2": None},
+        {"i1": "a", "i2": "q", "o1": "y", "o2": "u"},
+        {"i1": "b", "i2": None, "o1": None, "o2": None},  # wildcard i2
+    ])
+
+
+class TestPythonCodegen:
+    def test_source_contains_docstring(self, table):
+        src = generate_python(table)
+        assert "Generated from controller table 'ctrl'" in src
+
+    def test_compiled_matches_table_lookup(self, table):
+        fn = compile_python(table)
+        for i1, i2 in itertools.product(("a", "b"), ("p", "q", None)):
+            try:
+                expected = table.lookup(i1=i1, i2=i2)
+            except Exception:
+                with pytest.raises(LookupError):
+                    fn(i1=i1, i2=i2)
+                continue
+            got = fn(i1=i1, i2=i2)
+            assert got == {"o1": expected["o1"], "o2": expected["o2"]}
+
+    def test_wildcard_row_matches_any_value(self, table):
+        fn = compile_python(table)
+        assert fn(i1="b", i2="p") == {"o1": None, "o2": None}
+        assert fn(i1="b", i2="q") == {"o1": None, "o2": None}
+
+    def test_unmatched_inputs_raise(self, table):
+        fn = compile_python(table)
+        with pytest.raises(LookupError):
+            fn(i1="a", i2=None)
+
+    def test_custom_function_name(self, table):
+        assert "def my_ctrl(" in generate_python(table, "my_ctrl")
+
+    def test_empty_table(self, db):
+        schema = TableSchema("e", [
+            Column("i", ("a",), Role.INPUT, nullable=False),
+            Column("o", ("x",), Role.OUTPUT),
+        ])
+        t = ControllerTable.from_rows(db, schema, [])
+        fn = compile_python(t)
+        with pytest.raises(LookupError, match="empty"):
+            fn(i="a")
+
+    def test_identifier_sanitization(self, db):
+        schema = TableSchema("weird-name", [
+            Column("in-1", ("a",), Role.INPUT, nullable=False),
+            Column("out.1", ("x",), Role.OUTPUT),
+        ])
+        t = ControllerTable.from_rows(
+            db, schema, [{"in-1": "a", "out.1": "x"}]
+        )
+        fn = compile_python(t)
+        assert fn(in_1="a") == {"out.1": "x"}
+
+
+class TestVerilogCodegen:
+    def test_module_structure(self, table):
+        v = generate_verilog(table)
+        assert v.startswith("// Generated from controller table ctrl")
+        assert "module ctrl (" in v
+        assert "casez" in v and "endmodule" in v
+
+    def test_one_case_arm_per_row(self, table):
+        v = generate_verilog(table)
+        arms = [l for l in v.splitlines() if ": begin" in l]
+        assert len(arms) == table.row_count
+
+    def test_wildcard_inputs_become_question_marks(self, table):
+        v = generate_verilog(table)
+        assert "?" in v  # the i2 dontcare row
+
+    def test_localparams_enumerate_values(self, table):
+        v = generate_verilog(table)
+        assert "I1_A" in v and "O1_Y" in v
+
+    def test_default_arm_present(self, table):
+        assert "default:" in generate_verilog(table)

@@ -1,0 +1,164 @@
+"""Unit tests for column constraints and constraint sets."""
+
+import pytest
+
+from repro.core.constraints import (
+    ColumnConstraint,
+    ConstraintError,
+    ConstraintSet,
+    iter_nodes,
+)
+from repro.core.expr import And, C, cases, Eq, Lit, TRUE, when
+from repro.core.schema import Column, Role, TableSchema
+
+
+@pytest.fixture()
+def schema():
+    return TableSchema("t", [
+        Column("i1", ("a", "b"), Role.INPUT, nullable=False),
+        Column("i2", ("p", "q"), Role.INPUT, nullable=False),
+        Column("o1", ("x", "y"), Role.OUTPUT),
+        Column("o2", ("u", "v"), Role.OUTPUT),
+        Column("o3", ("m",), Role.OUTPUT),
+    ])
+
+
+class TestValidation:
+    def test_unknown_target_column(self, schema):
+        with pytest.raises(ConstraintError, match="unknown column"):
+            ColumnConstraint("nope", TRUE).validate(schema)
+
+    def test_unknown_referenced_column(self, schema):
+        c = ColumnConstraint("o1", C("ghost").eq("a"))
+        with pytest.raises(ConstraintError, match="ghost"):
+            c.validate(schema)
+
+    def test_literal_outside_domain_eq(self, schema):
+        c = ColumnConstraint("o1", C("i1").eq("zzz"))
+        with pytest.raises(ConstraintError, match="zzz"):
+            c.validate(schema)
+
+    def test_literal_outside_domain_in(self, schema):
+        c = ColumnConstraint("o1", C("i1").isin(("a", "zzz")))
+        with pytest.raises(ConstraintError, match="zzz"):
+            c.validate(schema)
+
+    def test_null_against_non_nullable_input_rejected(self, schema):
+        c = ColumnConstraint("o1", C("i1").is_null())
+        with pytest.raises(ConstraintError):
+            c.validate(schema)
+
+    def test_null_against_nullable_output_ok(self, schema):
+        ColumnConstraint("o1", C("o1").is_null()).validate(schema)
+
+    def test_reversed_comparison_checked(self, schema):
+        c = ColumnConstraint("o1", Eq(Lit("zzz"), C("i1")))
+        with pytest.raises(ConstraintError):
+            c.validate(schema)
+
+    def test_valid_nested_constraint(self, schema):
+        expr = when(C("i1").eq("a") & C("i2").eq("p"),
+                    C("o1").eq("x"), C("o1").is_null())
+        ColumnConstraint("o1", expr).validate(schema)
+
+    def test_dependencies_exclude_self(self, schema):
+        c = ColumnConstraint("o1", when(C("i1").eq("a"),
+                                        C("o1").eq("x"), C("o1").eq("y")))
+        assert c.dependencies() == frozenset({"i1"})
+
+
+class TestIterNodes:
+    def test_covers_all_node_types(self):
+        expr = when(
+            (C("a").eq("1") | ~C("b").isin(("2",))) & C("c").notin(("3",)),
+            C("o").eq("x"),
+            TRUE,
+        )
+        kinds = {type(n).__name__ for n in iter_nodes(expr)}
+        assert {"Ternary", "And", "Or", "Not", "Eq", "In", "NotIn",
+                "Col", "Lit", "TrueExpr"} <= kinds
+
+
+class TestConstraintSet:
+    def test_unconstrained_defaults_to_true(self, schema):
+        cs = ConstraintSet(schema)
+        assert cs.get("o1").expr == TRUE
+
+    def test_duplicate_constraint_rejected(self, schema):
+        cs = ConstraintSet(schema)
+        cs.set("o1", TRUE)
+        with pytest.raises(ConstraintError, match="duplicate"):
+            cs.set("o1", TRUE)
+
+    def test_iteration_follows_schema_order(self, schema):
+        cs = ConstraintSet(schema)
+        assert [c.column for c in cs] == list(schema.column_names)
+
+    def test_conjunction_skips_trues(self, schema):
+        cs = ConstraintSet(schema)
+        cs.set("o1", C("o1").eq("x"))
+        assert cs.conjunction() == C("o1").eq("x")
+
+    def test_conjunction_of_many(self, schema):
+        cs = ConstraintSet(schema)
+        cs.set("o1", C("o1").eq("x"))
+        cs.set("o2", C("o2").eq("u"))
+        conj = cs.conjunction()
+        assert isinstance(conj, And) and len(conj.operands) == 2
+
+    def test_conjunction_all_unconstrained(self, schema):
+        assert ConstraintSet(schema).conjunction() == TRUE
+
+
+class TestGenerationPlan:
+    def test_independent_outputs_each_own_group(self, schema):
+        cs = ConstraintSet(schema)
+        cs.set("o1", when(C("i1").eq("a"), C("o1").eq("x"), C("o1").eq("y")))
+        cs.set("o2", when(C("i2").eq("p"), C("o2").eq("u"), C("o2").eq("v")))
+        plan = cs.generation_plan()
+        assert sorted(len(g) for g in plan) == [1, 1, 1]
+
+    def test_dependent_output_ordered_after_dependency(self, schema):
+        cs = ConstraintSet(schema)
+        cs.set("o2", when(C("o1").eq("x"), C("o2").eq("u"), C("o2").eq("v")))
+        plan = cs.generation_plan()
+        flat = [c for g in plan for c in g]
+        assert flat.index("o1") < flat.index("o2")
+
+    def test_mutually_dependent_outputs_grouped(self, schema):
+        cs = ConstraintSet(schema)
+        cs.set("o1", when(C("o2").eq("u"), C("o1").eq("x"), C("o1").eq("y")))
+        cs.set("o2", when(C("o1").eq("x"), C("o2").eq("u"), C("o2").eq("v")))
+        plan = cs.generation_plan()
+        group = next(g for g in plan if "o1" in g)
+        assert set(group) == {"o1", "o2"}
+
+    def test_input_constraints_over_outputs_rejected(self, schema):
+        cs = ConstraintSet(schema)
+        cs.set("i1", when(C("o1").eq("x"), C("i1").eq("a"), C("i1").eq("b")))
+        with pytest.raises(ConstraintError, match="inputs only"):
+            cs.input_conjunction()
+
+    def test_input_conjunction_collects_input_constraints(self, schema):
+        cs = ConstraintSet(schema)
+        cs.set("i1", C("i1").eq("a"))
+        assert cs.input_conjunction() == C("i1").eq("a")
+
+
+class TestReplace:
+    def test_replace_returns_previous(self, schema):
+        cs = ConstraintSet(schema)
+        cs.set("o1", C("o1").eq("x"))
+        previous = cs.replace("o1", C("o1").eq("y"))
+        assert previous == C("o1").eq("x")
+        assert cs.get("o1").expr == C("o1").eq("y")
+
+    def test_replace_unset_column(self, schema):
+        cs = ConstraintSet(schema)
+        previous = cs.replace("o1", C("o1").eq("x"))
+        assert previous == TRUE
+
+    def test_replace_validates(self, schema):
+        cs = ConstraintSet(schema)
+        with pytest.raises(ConstraintError):
+            cs.replace("o1", C("ghost").eq("a"))

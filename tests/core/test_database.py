@@ -1,0 +1,116 @@
+"""Unit tests for the ProtocolDatabase layer."""
+
+import pytest
+
+from repro.core.database import DatabaseError, ProtocolDatabase
+from repro.core.schema import Column, Role, TableSchema
+
+
+@pytest.fixture()
+def schema():
+    return TableSchema("t", [
+        Column("a", ("x", "y"), Role.INPUT, nullable=False),
+        Column("b", ("p",), Role.OUTPUT, nullable=True),
+    ])
+
+
+class TestColumnTables:
+    def test_create_column_table_rows(self, db, schema):
+        name = db.create_column_table("t", schema.column("a"))
+        values = {r["a"] for r in db.rows(name)}
+        assert values == {"x", "y"}
+
+    def test_nullable_column_table_includes_null(self, db, schema):
+        name = db.create_column_table("t", schema.column("b"))
+        assert None in {r["b"] for r in db.rows(name)}
+
+    def test_create_column_tables_all(self, db, schema):
+        mapping = db.create_column_tables(schema)
+        assert set(mapping) == {"a", "b"}
+        for t in mapping.values():
+            assert db.table_exists(t)
+
+    def test_recreation_replaces(self, db, schema):
+        db.create_column_table("t", schema.column("a"))
+        name = db.create_column_table("t", schema.column("a"))
+        assert db.row_count(name) == 2
+
+
+class TestDataTables:
+    def test_create_insert_query(self, db):
+        db.create_table("d", ("a", "b"))
+        n = db.insert_rows("d", ("a", "b"), [{"a": "1", "b": None}])
+        assert n == 1
+        assert db.rows("d") == [{"a": "1", "b": None}]
+
+    def test_create_table_from_rows(self, db):
+        db.create_table_from_rows("d", ("a",), [{"a": "1"}, {"a": "2"}])
+        assert db.row_count("d") == 2
+
+    def test_rows_order_by(self, db):
+        db.create_table_from_rows("d", ("a",), [{"a": "2"}, {"a": "1"}])
+        assert [r["a"] for r in db.rows("d", order_by=("a",))] == ["1", "2"]
+
+    def test_table_exists(self, db):
+        assert not db.table_exists("d")
+        db.create_table("d", ("a",))
+        assert db.table_exists("d")
+
+    def test_drop_table(self, db):
+        db.create_table("d", ("a",))
+        db.drop_table("d")
+        assert not db.table_exists("d")
+
+    def test_table_columns(self, db):
+        db.create_table("d", ("a", "b"))
+        assert db.table_columns("d") == ["a", "b"]
+
+    def test_create_table_as(self, db):
+        db.create_table_from_rows("d", ("a",), [{"a": "1"}, {"a": "2"}])
+        db.create_table_as("e", "SELECT a FROM d WHERE a = '1'")
+        assert db.row_count("e") == 1
+
+    def test_scalar(self, db):
+        db.create_table_from_rows("d", ("a",), [{"a": "1"}])
+        assert db.scalar("SELECT COUNT(*) FROM d") == 1
+
+    def test_scalar_empty(self, db):
+        db.create_table("d", ("a",))
+        assert db.scalar("SELECT a FROM d") is None
+
+    def test_bad_sql_raises_with_context(self, db):
+        with pytest.raises(DatabaseError, match="SQL was"):
+            db.execute("SELECT * FROM missing_table")
+
+
+class TestSetOperations:
+    def test_difference_count(self, db):
+        db.create_table_from_rows("l", ("a",), [{"a": "1"}, {"a": "2"}])
+        db.create_table_from_rows("r", ("a",), [{"a": "1"}])
+        assert db.difference_count("l", "r", ("a",)) == 1
+        assert db.difference_count("r", "l", ("a",)) == 0
+
+    def test_tables_equal(self, db):
+        rows = [{"a": "1"}, {"a": "2"}]
+        db.create_table_from_rows("l", ("a",), rows)
+        db.create_table_from_rows("r", ("a",), list(reversed(rows)))
+        assert db.tables_equal("l", "r", ("a",))
+
+    def test_tables_not_equal(self, db):
+        db.create_table_from_rows("l", ("a",), [{"a": "1"}])
+        db.create_table_from_rows("r", ("a",), [{"a": "2"}])
+        assert not db.tables_equal("l", "r", ("a",))
+
+    def test_distinct_values(self, db):
+        db.create_table_from_rows(
+            "d", ("a",), [{"a": "1"}, {"a": "1"}, {"a": None}]
+        )
+        assert set(db.distinct_values("d", "a")) == {"1", None}
+
+
+class TestLifecycle:
+    def test_context_manager_closes(self):
+        with ProtocolDatabase() as d:
+            d.create_table("t", ("a",))
+        with pytest.raises(Exception):
+            d.execute("SELECT 1")

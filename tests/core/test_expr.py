@@ -1,0 +1,202 @@
+"""Unit tests for the constraint expression AST."""
+
+import pytest
+
+from repro.core.expr import (
+    And,
+    C,
+    cases,
+    Col,
+    Eq,
+    FALSE,
+    In,
+    Lit,
+    lit,
+    Ne,
+    Not,
+    NotIn,
+    Or,
+    Ternary,
+    TRUE,
+    when,
+)
+
+
+class TestValueExpressions:
+    def test_col_reads_row(self):
+        assert C("x").eval_value({"x": "a"}) == "a"
+
+    def test_col_missing_column_raises(self):
+        with pytest.raises(KeyError, match="no column"):
+            C("y").eval_value({"x": "a"})
+
+    def test_lit_ignores_row(self):
+        assert Lit("v").eval_value({}) == "v"
+
+    def test_lit_null(self):
+        assert lit(None).eval_value({"x": "a"}) is None
+
+    def test_col_free_columns(self):
+        assert C("x").free_columns() == frozenset({"x"})
+
+    def test_lit_free_columns_empty(self):
+        assert Lit("v").free_columns() == frozenset()
+
+
+class TestEquality:
+    def test_eq_true(self):
+        assert C("x").eq("a").eval({"x": "a"})
+
+    def test_eq_false(self):
+        assert not C("x").eq("a").eval({"x": "b"})
+
+    def test_eq_null_safe_both_null(self):
+        # NULL = NULL is true in the paper's dontcare semantics (SQL IS).
+        assert C("x").is_null().eval({"x": None})
+
+    def test_eq_null_vs_value(self):
+        assert not C("x").eq("a").eval({"x": None})
+
+    def test_ne(self):
+        assert C("x").ne("a").eval({"x": "b"})
+        assert not C("x").ne("a").eval({"x": "a"})
+
+    def test_ne_null_safe(self):
+        assert C("x").not_null().eval({"x": "a"})
+        assert not C("x").not_null().eval({"x": None})
+
+    def test_eq_two_columns(self):
+        e = Eq(C("x"), C("y"))
+        assert e.eval({"x": "a", "y": "a"})
+        assert not e.eval({"x": "a", "y": "b"})
+
+    def test_eq_accepts_plain_value(self):
+        assert isinstance(C("x").eq("a").right, Lit)
+
+    def test_eq_rejects_non_value(self):
+        with pytest.raises(TypeError):
+            C("x").eq(42)
+
+
+class TestMembership:
+    def test_in(self):
+        e = C("x").isin(("a", "b"))
+        assert e.eval({"x": "a"})
+        assert e.eval({"x": "b"})
+        assert not e.eval({"x": "c"})
+
+    def test_in_with_null_member(self):
+        e = C("x").isin(("a", None))
+        assert e.eval({"x": None})
+
+    def test_in_empty_set_is_false(self):
+        assert not In(C("x"), ()).eval({"x": "a"})
+
+    def test_notin(self):
+        e = C("x").notin(("a",))
+        assert e.eval({"x": "b"})
+        assert not e.eval({"x": "a"})
+
+    def test_notin_null_not_in_values(self):
+        assert C("x").notin(("a",)).eval({"x": None})
+
+
+class TestBooleanConnectives:
+    def test_and(self):
+        e = C("x").eq("a") & C("y").eq("b")
+        assert e.eval({"x": "a", "y": "b"})
+        assert not e.eval({"x": "a", "y": "c"})
+
+    def test_or(self):
+        e = C("x").eq("a") | C("y").eq("b")
+        assert e.eval({"x": "z", "y": "b"})
+        assert not e.eval({"x": "z", "y": "z"})
+
+    def test_not(self):
+        assert (~C("x").eq("a")).eval({"x": "b"})
+
+    def test_and_flattens_via_operator_chain(self):
+        e = C("x").eq("a") & C("y").eq("b") & C("z").eq("c")
+        assert e.eval({"x": "a", "y": "b", "z": "c"})
+
+    def test_empty_and_rejected(self):
+        with pytest.raises(ValueError):
+            And(())
+
+    def test_empty_or_rejected(self):
+        with pytest.raises(ValueError):
+            Or(())
+
+    def test_and_with_non_bool_rejected(self):
+        with pytest.raises(TypeError, match="BoolExpr"):
+            C("x").eq("a") & C("y")  # a bare column is not a predicate
+
+    def test_constants(self):
+        assert TRUE.eval({})
+        assert not FALSE.eval({})
+
+    def test_free_columns_union(self):
+        e = (C("a").eq("1") & C("b").eq("2")) | ~C("c").eq("3")
+        assert e.free_columns() == frozenset({"a", "b", "c"})
+
+
+class TestTernary:
+    def test_paper_dirpv_example(self):
+        # inmsg = "data" and dirst = "Busy-d" ? dirpv = zero : dirpv = one
+        e = when(
+            C("inmsg").eq("data") & C("dirst").eq("Busy-d"),
+            C("dirpv").eq("zero"),
+            C("dirpv").eq("one"),
+        )
+        assert e.eval({"inmsg": "data", "dirst": "Busy-d", "dirpv": "zero"})
+        assert not e.eval({"inmsg": "data", "dirst": "Busy-d", "dirpv": "one"})
+        assert e.eval({"inmsg": "readex", "dirst": "SI", "dirpv": "one"})
+
+    def test_paper_remmsg_example(self):
+        # inmsg = readex and dirst = SI ? remmsg = sinv : remmsg = NULL
+        e = when(
+            C("inmsg").eq("readex") & C("dirst").eq("SI"),
+            C("remmsg").eq("sinv"),
+            C("remmsg").is_null(),
+        )
+        assert e.eval({"inmsg": "readex", "dirst": "SI", "remmsg": "sinv"})
+        assert e.eval({"inmsg": "read", "dirst": "SI", "remmsg": None})
+        assert not e.eval({"inmsg": "read", "dirst": "SI", "remmsg": "sinv"})
+
+    def test_nested_ternary(self):
+        e = when(C("a").eq("1"), C("o").eq("x"),
+                 when(C("a").eq("2"), C("o").eq("y"), C("o").is_null()))
+        assert e.eval({"a": "1", "o": "x"})
+        assert e.eval({"a": "2", "o": "y"})
+        assert e.eval({"a": "3", "o": None})
+
+    def test_when_requires_bool_parts(self):
+        with pytest.raises(TypeError):
+            when(C("a").eq("1"), C("o"), C("o").is_null())
+
+    def test_cases_first_match_wins(self):
+        e = cases(
+            (C("a").eq("1"), C("o").eq("first")),
+            (TRUE, C("o").eq("second")),
+            default=C("o").is_null(),
+        )
+        assert e.eval({"a": "1", "o": "first"})
+        assert not e.eval({"a": "1", "o": "second"})
+        assert e.eval({"a": "2", "o": "second"})
+
+    def test_cases_default_only(self):
+        e = cases(default=C("o").is_null())
+        assert e.eval({"o": None})
+
+    def test_cases_free_columns(self):
+        e = cases((C("a").eq("1"), C("o").eq("x")), default=C("o").is_null())
+        assert e.free_columns() == frozenset({"a", "o"})
+
+
+class TestStructuralEquality:
+    def test_frozen_nodes_compare_structurally(self):
+        assert C("x").eq("a") == C("x").eq("a")
+        assert C("x").eq("a") != C("x").eq("b")
+
+    def test_nodes_are_hashable(self):
+        assert len({C("x").eq("a"), C("x").eq("a"), C("x").eq("b")}) == 2

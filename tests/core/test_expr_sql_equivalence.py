@@ -1,0 +1,104 @@
+"""Property tests: the Python evaluator and the SQL compilation of a
+constraint expression agree on every row.
+
+This equivalence is what makes the whole methodology trustworthy: every
+static check ultimately runs as SQL, while the simulator and the tests
+reason with the Python evaluator.
+"""
+
+import sqlite3
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.expr import (
+    And,
+    BoolExpr,
+    Eq,
+    C,
+    In,
+    Lit,
+    Ne,
+    Not,
+    NotIn,
+    Or,
+    Ternary,
+    TRUE,
+)
+from repro.core.sqlgen import quote_ident, to_sql
+
+COLUMNS = ("a", "b", "c")
+VALUES = ("x", "y", "z", "o'quote", None)
+
+values_st = st.sampled_from(VALUES)
+col_st = st.sampled_from(COLUMNS)
+
+
+def value_exprs():
+    return st.one_of(col_st.map(C), values_st.map(Lit))
+
+
+def bool_exprs(depth: int = 3):
+    leaf = st.one_of(
+        st.builds(Eq, value_exprs(), value_exprs()),
+        st.builds(Ne, value_exprs(), value_exprs()),
+        st.builds(In, value_exprs(), st.lists(values_st, max_size=3).map(tuple)),
+        st.builds(NotIn, value_exprs(), st.lists(values_st, max_size=3).map(tuple)),
+        st.just(TRUE),
+    )
+    if depth == 0:
+        return leaf
+    sub = bool_exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.builds(lambda a, b: And((a, b)), sub, sub),
+        st.builds(lambda a, b: Or((a, b)), sub, sub),
+        st.builds(Not, sub),
+        st.builds(Ternary, sub, sub, sub),
+    )
+
+
+rows_st = st.fixed_dictionaries({c: values_st for c in COLUMNS})
+
+
+def sql_eval(expr: BoolExpr, row: dict) -> bool:
+    conn = sqlite3.connect(":memory:")
+    cols = ", ".join(quote_ident(c) for c in row)
+    conn.execute(f"CREATE TABLE t ({cols})")
+    conn.execute(
+        f"INSERT INTO t VALUES ({', '.join('?' for _ in row)})",
+        tuple(row.values()),
+    )
+    n = conn.execute(
+        f"SELECT COUNT(*) FROM t WHERE {to_sql(expr)}"
+    ).fetchone()[0]
+    conn.close()
+    return n == 1
+
+
+@settings(max_examples=300, deadline=None)
+@given(expr=bool_exprs(), row=rows_st)
+def test_python_and_sql_evaluators_agree(expr, row):
+    assert expr.eval(row) == sql_eval(expr, row)
+
+
+@settings(max_examples=150, deadline=None)
+@given(expr=bool_exprs(), row=rows_st)
+def test_negation_flips_both_evaluators(expr, row):
+    neg = Not(expr)
+    assert neg.eval(row) == (not expr.eval(row))
+    assert sql_eval(neg, row) == (not sql_eval(expr, row))
+
+
+@settings(max_examples=150, deadline=None)
+@given(expr=bool_exprs(), row=rows_st)
+def test_free_columns_bound_row_dependency(expr, row):
+    """Changing columns outside free_columns() never changes the result."""
+    base = expr.eval(row)
+    free = expr.free_columns()
+    for col in COLUMNS:
+        if col in free:
+            continue
+        for v in VALUES:
+            mutated = dict(row)
+            mutated[col] = v
+            assert expr.eval(mutated) == base

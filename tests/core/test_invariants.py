@@ -1,0 +1,100 @@
+"""Unit tests for the invariant checker."""
+
+import pytest
+
+from repro.core.expr import C
+from repro.core.invariants import Invariant, InvariantChecker
+from repro.core.schema import Column, Role, TableSchema
+from repro.core.table import ControllerTable
+
+
+@pytest.fixture()
+def table(db):
+    schema = TableSchema("D", [
+        Column("dirst", ("I", "SI", "MESI"), Role.INPUT, nullable=False),
+        Column("dirpv", ("zero", "one", "gone"), Role.INPUT, nullable=False),
+    ])
+    return ControllerTable.from_rows(db, schema, [
+        {"dirst": "I", "dirpv": "zero"},
+        {"dirst": "SI", "dirpv": "gone"},
+        {"dirst": "MESI", "dirpv": "one"},
+    ])
+
+
+def pv_invariant():
+    return Invariant(
+        name="pv",
+        description="paper invariant 1",
+        table="D",
+        violation=(
+            (C("dirst").eq("MESI") & C("dirpv").ne("one"))
+            | (C("dirst").eq("I") & C("dirpv").ne("zero"))
+        ),
+    )
+
+
+class TestInvariantDefinition:
+    def test_needs_exactly_one_form(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            Invariant(name="x", description="", table="D")
+
+    def test_both_forms_rejected(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            Invariant(name="x", description="", table="D",
+                      violation=C("a").eq(None), violation_sql="SELECT 1")
+
+    def test_expression_form_needs_table(self):
+        with pytest.raises(ValueError, match="need a table"):
+            Invariant(name="x", description="", violation=C("a").is_null())
+
+    def test_query_renders_select(self):
+        q = pv_invariant().query()
+        assert q.startswith("SELECT * FROM \"D\" WHERE")
+
+    def test_report_columns_projected(self):
+        inv = Invariant(name="x", description="", table="D",
+                        violation=C("dirst").eq("I"),
+                        report_columns=("dirst",))
+        assert 'SELECT "dirst" FROM' in inv.query()
+
+
+class TestChecking:
+    def test_holding_invariant_passes(self, db, table):
+        checker = InvariantChecker(db)
+        result = checker.check(pv_invariant())
+        assert result.passed and not result.details
+
+    def test_violation_reported_with_rows(self, db, table):
+        db.insert_rows("D", ("dirst", "dirpv"),
+                       [{"dirst": "MESI", "dirpv": "gone"}])
+        result = InvariantChecker(db).check(pv_invariant())
+        assert not result.passed
+        assert result.details[0].row == {"dirst": "MESI", "dirpv": "gone"}
+
+    def test_violation_cap(self, db, table):
+        db.insert_rows("D", ("dirst", "dirpv"),
+                       [{"dirst": "I", "dirpv": "one"}] * 10)
+        result = InvariantChecker(db).check(pv_invariant(), max_violations=3)
+        assert len(result.details) == 3
+
+    def test_raw_sql_invariant(self, db, table):
+        inv = Invariant(
+            name="raw", description="",
+            violation_sql="SELECT dirst FROM D WHERE dirpv = 'gone' "
+                          "AND dirst != 'SI'",
+        )
+        assert InvariantChecker(db).check(inv).passed
+
+    def test_check_all_report(self, db, table):
+        checker = InvariantChecker(db)
+        checker.extend([pv_invariant()])
+        report = checker.check_all()
+        assert report.passed and len(report.results) == 1
+
+    def test_check_table_filters(self, db, table):
+        checker = InvariantChecker(db)
+        checker.add(pv_invariant())
+        checker.add(Invariant(name="other", description="", table="E",
+                              violation=C("x").is_null()))
+        report = checker.check_table(table)
+        assert [r.name for r in report.results] == ["pv"]

@@ -1,0 +1,166 @@
+"""Unit tests for the implementation-mapping machinery on a toy table."""
+
+import pytest
+
+from repro.core.constraints import ConstraintSet
+from repro.core.expr import C, TRUE, cases, when
+from repro.core.generator import TableGenerator
+from repro.core.mapping import (
+    ExtensionSpec,
+    ImplementationMapper,
+    MappingError,
+    PartitionSpec,
+    ReconstructionBranch,
+    ReconstructionPlan,
+)
+from repro.core.schema import Column, Role, TableSchema
+
+
+@pytest.fixture()
+def base(db):
+    """A small debugged table: kind/state inputs, two outputs."""
+    schema = TableSchema("B", [
+        Column("kind", ("rd", "wr"), Role.INPUT, nullable=False),
+        Column("state", ("s0", "s1"), Role.INPUT, nullable=False),
+        Column("out", ("go", "halt"), Role.OUTPUT),
+        Column("nxt", ("s0", "s1"), Role.OUTPUT),
+    ])
+    cs = ConstraintSet(schema)
+    cs.set("out", when(C("kind").eq("rd"), C("out").eq("go"),
+                       C("out").eq("halt")))
+    cs.set("nxt", when(C("state").eq("s0"), C("nxt").eq("s1"),
+                       C("nxt").is_null()))
+    table = TableGenerator(db, cs).generate_incremental().table
+    return db, table, cs
+
+
+def extension():
+    return ExtensionSpec(
+        name="BE",
+        extra_columns=(
+            Column("qfull", ("yes", "no"), Role.INPUT, nullable=False),
+        ),
+        constraints={
+            "out": cases(
+                (C("qfull").eq("yes"), C("out").eq("halt")),
+                (C("kind").eq("rd"), C("out").eq("go")),
+                default=C("out").eq("halt"),
+            ),
+        },
+    )
+
+
+class TestExtension:
+    def test_extended_schema_appends_columns(self, base):
+        db, table, cs = base
+        mapper = ImplementationMapper(db, table, cs)
+        schema = mapper.extended_schema(extension())
+        assert schema.column_names == ("kind", "state", "out", "nxt", "qfull")
+
+    def test_domain_extension(self, base):
+        db, table, cs = base
+        spec = ExtensionSpec(name="BE",
+                             domain_extensions={"kind": ("impl",)})
+        mapper = ImplementationMapper(db, table, cs)
+        schema = mapper.extended_schema(spec)
+        assert "impl" in schema.column("kind").values
+
+    def test_extend_doubles_rows_per_new_input(self, base):
+        db, table, cs = base
+        mapper = ImplementationMapper(db, table, cs)
+        ed = mapper.extend(extension()).table
+        assert ed.row_count == table.row_count * 2
+
+    def test_override_changes_behaviour(self, base):
+        db, table, cs = base
+        mapper = ImplementationMapper(db, table, cs)
+        ed = mapper.extend(extension()).table
+        row = ed.lookup(kind="rd", state="s0", qfull="yes")
+        assert row["out"] == "halt"
+        row = ed.lookup(kind="rd", state="s0", qfull="no")
+        assert row["out"] == "go"
+
+
+class TestPartitionAndReconstruct:
+    def build(self, base):
+        db, table, cs = base
+        mapper = ImplementationMapper(db, table, cs)
+        ed = mapper.extend(extension()).table
+        parts = mapper.partition(ed, (
+            PartitionSpec("P_out", ("out",), TRUE),
+            PartitionSpec("P_nxt", ("nxt",), TRUE),
+        ))
+        plan = ReconstructionPlan(
+            branches=(ReconstructionBranch(partitions=("P_out", "P_nxt")),),
+            restrict=C("qfull").eq("no"),
+        )
+        return mapper, ed, parts, plan
+
+    def test_partitions_have_inputs_plus_outputs(self, base):
+        mapper, ed, parts, _ = self.build(base)
+        assert parts["P_out"].schema.column_names == (
+            "kind", "state", "qfull", "out",
+        )
+
+    def test_partition_where_filters_rows(self, base):
+        db, table, cs = base
+        mapper = ImplementationMapper(db, table, cs)
+        ed = mapper.extend(extension()).table
+        parts = mapper.partition(ed, (
+            PartitionSpec("P_rd", ("out",), C("kind").eq("rd")),
+        ))
+        assert all(r["kind"] == "rd" for r in parts["P_rd"].rows())
+
+    def test_reconstruction_contains_base(self, base):
+        mapper, ed, parts, plan = self.build(base)
+        rec = mapper.reconstruct(ed.schema, parts, plan)
+        result = mapper.check_preserved(rec, plan)
+        assert result.passed
+
+    def test_reconstruction_detects_lost_rows(self, base):
+        mapper, ed, parts, plan = self.build(base)
+        db = mapper.db
+        # Sabotage a partition: drop the rows for kind = 'rd'.
+        db.execute('DELETE FROM "P_out" WHERE "kind" IS \'rd\'')
+        rec = mapper.reconstruct(ed.schema, parts, plan, table_name="rec2")
+        result = mapper.check_preserved(rec, plan)
+        assert not result.passed and result.details
+
+    def test_reconstruction_detects_corrupted_output(self, base):
+        mapper, ed, parts, plan = self.build(base)
+        mapper.db.execute('UPDATE "P_out" SET "out" = \'halt\'')
+        rec = mapper.reconstruct(ed.schema, parts, plan, table_name="rec3")
+        assert not mapper.check_preserved(rec, plan).passed
+
+    def test_unknown_partition_in_branch(self, base):
+        mapper, ed, parts, _ = self.build(base)
+        bad = ReconstructionPlan(
+            branches=(ReconstructionBranch(partitions=("ghost",)),),
+        )
+        with pytest.raises(MappingError, match="unknown partitions"):
+            mapper.reconstruct(ed.schema, parts, bad)
+
+    def test_uncovered_column_rejected(self, base):
+        mapper, ed, parts, _ = self.build(base)
+        bad = ReconstructionPlan(
+            branches=(ReconstructionBranch(partitions=("P_out",)),),
+        )
+        with pytest.raises(MappingError, match="no source for column"):
+            mapper.reconstruct(ed.schema, parts, bad)
+
+    def test_constants_fill_uncovered_columns(self, base):
+        mapper, ed, parts, _ = self.build(base)
+        plan = ReconstructionPlan(
+            branches=(ReconstructionBranch(
+                partitions=("P_out",), constants={"nxt": None},
+            ),),
+        )
+        rec = mapper.reconstruct(ed.schema, parts, plan, table_name="rec4")
+        assert set(rec.distinct("nxt")) == {None}
+
+    def test_empty_branch_rejected(self, base):
+        mapper, ed, parts, _ = self.build(base)
+        with pytest.raises(MappingError, match="no partitions"):
+            mapper.reconstruct(ed.schema, parts, ReconstructionPlan(
+                branches=(ReconstructionBranch(partitions=()),),
+            ))

@@ -1,0 +1,51 @@
+"""Unit tests for check reports."""
+
+from repro.core.report import CheckResult, Report, Severity
+
+
+class TestCheckResult:
+    def test_pass_status(self):
+        assert CheckResult("c", True).status == "PASS"
+
+    def test_fail_status(self):
+        assert CheckResult("c", False).status == "FAIL"
+
+    def test_warn_status(self):
+        r = CheckResult("c", False, severity=Severity.WARNING)
+        assert r.status == "WARN"
+
+    def test_summary_line_counts_findings(self):
+        r = CheckResult("c", False, details=["a", "b"])
+        assert "2 finding(s)" in r.summary_line()
+
+
+class TestReport:
+    def make(self):
+        rep = Report("demo")
+        rep.add(CheckResult("ok", True, seconds=0.5))
+        rep.add(CheckResult("bad", False, details=list("abcdefgh")))
+        return rep
+
+    def test_passed_aggregation(self):
+        assert not self.make().passed
+        rep = Report("r")
+        rep.add(CheckResult("ok", True))
+        assert rep.passed
+
+    def test_failures(self):
+        assert [r.name for r in self.make().failures] == ["bad"]
+
+    def test_total_seconds(self):
+        assert self.make().total_seconds == 0.5
+
+    def test_render_truncates_details(self):
+        text = self.make().render(max_details=3)
+        assert "... and 5 more" in text
+
+    def test_render_summary_footer(self):
+        assert "2 checks, 1 failing" in self.make().render()
+
+    def test_extend(self):
+        rep = Report("r")
+        rep.extend([CheckResult("a", True), CheckResult("b", True)])
+        assert len(rep.results) == 2

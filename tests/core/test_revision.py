@@ -1,0 +1,186 @@
+"""Unit tests for table revision management."""
+
+import pytest
+
+from repro.core.constraints import ConstraintSet
+from repro.core.expr import C, cases, when
+from repro.core.generator import TableGenerator
+from repro.core.revision import RevisionLog, diff_tables
+from repro.core.schema import Column, Role, TableSchema
+from repro.core.table import ControllerTable
+
+
+@pytest.fixture()
+def schema():
+    return TableSchema("t", [
+        Column("i1", ("a", "b"), Role.INPUT, nullable=False),
+        Column("i2", ("p", "q"), Role.INPUT, nullable=False),
+        Column("o1", ("x", "y"), Role.OUTPUT),
+        Column("o2", ("u",), Role.OUTPUT),
+    ])
+
+
+ROWS_V1 = [
+    {"i1": "a", "i2": "p", "o1": "x", "o2": None},
+    {"i1": "a", "i2": "q", "o1": "y", "o2": "u"},
+    {"i1": "b", "i2": "p", "o1": None, "o2": None},
+]
+
+# v2: (a,q) output changed, (b,p) removed, (b,q) added.
+ROWS_V2 = [
+    {"i1": "a", "i2": "p", "o1": "x", "o2": None},
+    {"i1": "a", "i2": "q", "o1": "x", "o2": None},
+    {"i1": "b", "i2": "q", "o1": "y", "o2": "u"},
+]
+
+
+@pytest.fixture()
+def revisions(db, schema):
+    t1 = ControllerTable.from_rows(db, schema, ROWS_V1, table_name="t_v1")
+    t2 = ControllerTable.from_rows(db, schema, ROWS_V2, table_name="t_v2")
+    return db, t1, t2
+
+
+class TestDiffTables:
+    def test_added_rows(self, revisions):
+        db, t1, t2 = revisions
+        diff = diff_tables(db, t1.schema, "t_v1", "t_v2")
+        assert len(diff.added) == 1
+        assert diff.added[0]["i1"] == "b" and diff.added[0]["i2"] == "q"
+
+    def test_removed_rows(self, revisions):
+        db, t1, t2 = revisions
+        diff = diff_tables(db, t1.schema, "t_v1", "t_v2")
+        assert len(diff.removed) == 1
+        assert diff.removed[0]["i2"] == "p" and diff.removed[0]["i1"] == "b"
+
+    def test_changed_rows(self, revisions):
+        db, t1, t2 = revisions
+        diff = diff_tables(db, t1.schema, "t_v1", "t_v2")
+        assert len(diff.changed) == 1
+        change = diff.changed[0]
+        assert dict(change.inputs) == {"i1": "a", "i2": "q"}
+        assert dict(change.before)["o1"] == "y"
+        assert dict(change.after)["o1"] == "x"
+
+    def test_identical_tables_empty_diff(self, revisions):
+        db, t1, _ = revisions
+        diff = diff_tables(db, t1.schema, "t_v1", "t_v1")
+        assert diff.is_empty
+
+    def test_diff_is_directional(self, revisions):
+        db, t1, _ = revisions
+        fwd = diff_tables(db, t1.schema, "t_v1", "t_v2")
+        back = diff_tables(db, t1.schema, "t_v2", "t_v1")
+        assert len(fwd.added) == len(back.removed)
+        assert len(fwd.removed) == len(back.added)
+
+    def test_summary_and_render(self, revisions):
+        db, t1, _ = revisions
+        diff = diff_tables(db, t1.schema, "t_v1", "t_v2")
+        assert diff.summary == "t: +1 rows, -1 rows, ~1 changed"
+        text = diff.render()
+        assert "added:" in text and "removed:" in text and "->" in text
+
+    def test_null_outputs_compared_null_safely(self, db, schema):
+        ControllerTable.from_rows(db, schema, [
+            {"i1": "a", "i2": "p", "o1": None, "o2": None},
+        ], table_name="n1")
+        ControllerTable.from_rows(db, schema, [
+            {"i1": "a", "i2": "p", "o1": "x", "o2": None},
+        ], table_name="n2")
+        diff = diff_tables(db, schema, "n1", "n2")
+        assert len(diff.changed) == 1 and not diff.added and not diff.removed
+
+
+class TestRevisionLog:
+    def test_commit_and_retrieve(self, revisions):
+        db, t1, t2 = revisions
+        log = RevisionLog(db, t1.schema)
+        log.commit(t1, "initial specification")
+        log.commit(t2, "retire (b,p), add (b,q)")
+        assert len(log) == 2
+        assert log.table_at(1).row_count == 3
+        assert log.revision(2).message.startswith("retire")
+
+    def test_diff_between_revisions(self, revisions):
+        db, t1, t2 = revisions
+        log = RevisionLog(db, t1.schema)
+        log.commit(t1)
+        log.commit(t2)
+        diff = log.diff(1, 2)
+        assert len(diff.added) == 1 and len(diff.changed) == 1
+
+    def test_diff_defaults_to_latest(self, revisions):
+        db, t1, t2 = revisions
+        log = RevisionLog(db, t1.schema)
+        log.commit(t1)
+        log.commit(t2)
+        assert log.diff(1).summary == log.diff(1, 2).summary
+
+    def test_snapshot_isolated_from_live_table(self, revisions):
+        db, t1, _ = revisions
+        log = RevisionLog(db, t1.schema)
+        log.commit(t1)
+        db.execute("UPDATE t_v1 SET o1 = 'y'")
+        assert log.table_at(1).rows()[0]["o1"] in ("x", "y", None)
+        # The snapshot kept the original values:
+        snap_rows = log.table_at(1).rows(order_by=("i1", "i2"))
+        assert snap_rows[0]["o1"] == "x"
+
+    def test_unknown_revision(self, revisions):
+        db, t1, _ = revisions
+        log = RevisionLog(db, t1.schema)
+        with pytest.raises(ValueError, match="no revision"):
+            log.revision(1)
+
+    def test_mismatched_schema_rejected(self, revisions, db):
+        _, t1, _ = revisions
+        other = TableSchema("other", [
+            Column("x", ("1",), Role.INPUT, nullable=False),
+        ])
+        log = RevisionLog(db, other)
+        with pytest.raises(ValueError, match="does not match"):
+            log.commit(t1)
+
+    def test_history_rendering(self, revisions):
+        db, t1, t2 = revisions
+        log = RevisionLog(db, t1.schema)
+        log.commit(t1, "v1")
+        log.commit(t2, "v2")
+        text = log.history()
+        assert "r1: 3 rows — v1" in text
+        assert "(+1/-1/~1)" in text
+
+
+class TestConstraintEditWorkflow:
+    def test_diff_after_constraint_change(self, db):
+        """The real workflow: edit a constraint, regenerate, review the
+        semantic diff of the change."""
+        schema = TableSchema("w", [
+            Column("inmsg", ("read", "readex"), Role.INPUT, nullable=False),
+            Column("dirst", ("I", "SI"), Role.INPUT, nullable=False),
+            Column("remmsg", ("sinv",), Role.OUTPUT),
+        ])
+        log = RevisionLog(db, schema)
+
+        cs1 = ConstraintSet(schema)
+        cs1.set("remmsg", when(
+            C("inmsg").eq("readex") & C("dirst").eq("SI"),
+            C("remmsg").eq("sinv"), C("remmsg").is_null(),
+        ))
+        t1 = TableGenerator(db, cs1, table_name="w").generate_incremental().table
+        log.commit(t1, "snoop on readex@SI only")
+
+        cs2 = ConstraintSet(schema)
+        cs2.set("remmsg", when(
+            C("dirst").eq("SI"),                      # now reads snoop too
+            C("remmsg").eq("sinv"), C("remmsg").is_null(),
+        ))
+        t2 = TableGenerator(db, cs2, table_name="w").generate_incremental().table
+        log.commit(t2, "snoop on any SI access")
+
+        diff = log.diff(1)
+        assert not diff.added and not diff.removed
+        assert len(diff.changed) == 1
+        assert dict(diff.changed[0].inputs)["inmsg"] == "read"

@@ -1,0 +1,120 @@
+"""Unit tests for columns and table schemas."""
+
+import pytest
+
+from repro.core.schema import Column, Role, SchemaError, TableSchema
+
+
+def col(name, values=("a", "b"), role=Role.INPUT, nullable=False):
+    return Column(name, tuple(values), role, nullable=nullable)
+
+
+class TestColumn:
+    def test_domain_without_null(self):
+        assert col("x").domain == ("a", "b")
+
+    def test_domain_with_null(self):
+        assert col("x", nullable=True).domain == (None, "a", "b")
+
+    def test_domain_size(self):
+        assert col("x").domain_size == 2
+        assert col("x", nullable=True).domain_size == 3
+
+    def test_admits(self):
+        c = col("x", nullable=True)
+        assert c.admits("a") and c.admits(None)
+        assert not c.admits("zzz")
+
+    def test_non_nullable_rejects_null(self):
+        assert not col("x").admits(None)
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            col("x", ("a", "a"))
+
+    def test_none_in_values_rejected(self):
+        with pytest.raises(SchemaError, match="NULL"):
+            Column("x", ("a", None), Role.INPUT)
+
+    def test_non_string_values_rejected(self):
+        with pytest.raises(SchemaError, match="strings"):
+            Column("x", ("a", 3), Role.INPUT)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(SchemaError, match="empty domain"):
+            Column("x", (), Role.INPUT, nullable=False)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("", ("a",), Role.INPUT)
+
+
+class TestTableSchema:
+    def make(self):
+        return TableSchema("t", [
+            col("i1"), col("i2", ("p", "q", "r")),
+            col("o1", role=Role.OUTPUT, nullable=True),
+        ])
+
+    def test_column_names_ordered(self):
+        assert self.make().column_names == ("i1", "i2", "o1")
+
+    def test_inputs_outputs_split(self):
+        s = self.make()
+        assert s.input_names == ("i1", "i2")
+        assert s.output_names == ("o1",)
+
+    def test_column_lookup(self):
+        assert self.make().column("i2").values == ("p", "q", "r")
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SchemaError, match="no column"):
+            self.make().column("nope")
+
+    def test_contains(self):
+        s = self.make()
+        assert "i1" in s and "nope" not in s
+
+    def test_len(self):
+        assert len(self.make()) == 3
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            TableSchema("t", [col("x"), col("x")])
+
+    def test_cross_product_size(self):
+        # 2 * 3 * 3 (o1 is nullable: 2 values + NULL)
+        assert self.make().cross_product_size() == 18
+
+    def test_cross_product_size_subset(self):
+        assert self.make().cross_product_size(("i1", "i2")) == 6
+
+    def test_validate_row_ok(self):
+        self.make().validate_row({"i1": "a", "i2": "p", "o1": None})
+
+    def test_validate_row_missing_column(self):
+        with pytest.raises(SchemaError, match="missing column"):
+            self.make().validate_row({"i1": "a", "i2": "p"})
+
+    def test_validate_row_bad_value(self):
+        with pytest.raises(SchemaError, match="not in domain"):
+            self.make().validate_row({"i1": "zzz", "i2": "p", "o1": None})
+
+    def test_validate_row_extra_column(self):
+        with pytest.raises(SchemaError, match="not in table"):
+            self.make().validate_row(
+                {"i1": "a", "i2": "p", "o1": None, "bogus": "x"}
+            )
+
+    def test_extended(self):
+        s = self.make().extended("t2", [col("o2", role=Role.OUTPUT, nullable=True)])
+        assert s.name == "t2"
+        assert s.column_names == ("i1", "i2", "o1", "o2")
+
+    def test_projected(self):
+        s = self.make().projected("p", ("o1", "i1"))
+        assert s.column_names == ("o1", "i1")
+
+    def test_projected_unknown_column(self):
+        with pytest.raises(SchemaError):
+            self.make().projected("p", ("nope",))

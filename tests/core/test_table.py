@@ -1,0 +1,138 @@
+"""Unit tests for ControllerTable: lookup, wildcards, determinism."""
+
+import pytest
+
+from repro.core.schema import Column, Role, SchemaError, TableSchema
+from repro.core.table import (
+    AmbiguousMatchError,
+    ControllerTable,
+    NoMatchError,
+)
+
+
+@pytest.fixture()
+def schema():
+    return TableSchema("t", [
+        Column("i1", ("a", "b"), Role.INPUT, nullable=True),
+        Column("i2", ("p", "q"), Role.INPUT, nullable=False),
+        Column("o", ("x", "y"), Role.OUTPUT),
+    ])
+
+
+ROWS = [
+    {"i1": "a", "i2": "p", "o": "x"},
+    {"i1": "a", "i2": "q", "o": "y"},
+    {"i1": "b", "i2": "p", "o": None},
+]
+
+
+@pytest.fixture()
+def table(db, schema):
+    return ControllerTable.from_rows(db, schema, ROWS)
+
+
+class TestConstruction:
+    def test_row_count(self, table):
+        assert table.row_count == 3
+
+    def test_rows_roundtrip(self, table):
+        assert sorted(r["i2"] for r in table.rows()) == ["p", "p", "q"]
+
+    def test_invalid_row_rejected(self, db, schema):
+        with pytest.raises(SchemaError):
+            ControllerTable.from_rows(
+                db, schema, [{"i1": "a", "i2": "ZZZ", "o": "x"}]
+            )
+
+    def test_validation_can_be_skipped(self, db, schema):
+        t = ControllerTable.from_rows(
+            db, schema, [{"i1": "a", "i2": "ZZZ", "o": "x"}], validate=False
+        )
+        assert t.row_count == 1
+
+    def test_missing_table_rejected(self, db, schema):
+        with pytest.raises(SchemaError, match="no table"):
+            ControllerTable(db, schema, "ghost")
+
+    def test_distinct(self, table):
+        assert set(table.distinct("o")) == {"x", "y", None}
+
+
+class TestLookup:
+    def test_exact_lookup(self, table):
+        assert table.lookup(i1="a", i2="q")["o"] == "y"
+
+    def test_lookup_requires_all_inputs(self, table):
+        with pytest.raises(SchemaError, match="missing input"):
+            table.lookup(i1="a")
+
+    def test_lookup_rejects_output_columns(self, table):
+        with pytest.raises(SchemaError, match="not an input"):
+            table.match_rows({"o": "x"})
+
+    def test_no_match(self, table):
+        with pytest.raises(NoMatchError):
+            table.lookup(i1="b", i2="q")
+
+    def test_try_lookup_none(self, table):
+        assert table.try_lookup(i1="b", i2="q") is None
+
+    def test_match_rows_partial(self, table):
+        assert len(table.match_rows({"i1": "a"})) == 2
+
+    def test_null_input_is_wildcard(self, db, schema):
+        t = ControllerTable.from_rows(db, schema, [
+            {"i1": None, "i2": "p", "o": "x"},  # dontcare i1
+        ])
+        assert t.lookup(i1="a", i2="p")["o"] == "x"
+        assert t.lookup(i1="b", i2="p")["o"] == "x"
+
+    def test_wildcard_overlap_is_ambiguous(self, db, schema):
+        t = ControllerTable.from_rows(db, schema, [
+            {"i1": None, "i2": "p", "o": "x"},
+            {"i1": "a", "i2": "p", "o": "y"},
+        ])
+        with pytest.raises(AmbiguousMatchError):
+            t.lookup(i1="a", i2="p")
+
+
+class TestDeterminism:
+    def test_disjoint_rows_deterministic(self, table):
+        assert table.is_deterministic()
+
+    def test_wildcard_overlap_detected(self, db, schema):
+        t = ControllerTable.from_rows(db, schema, [
+            {"i1": None, "i2": "p", "o": "x"},
+            {"i1": "a", "i2": "p", "o": "y"},
+        ])
+        pairs = t.find_overlapping_rows()
+        assert len(pairs) == 1
+        assert {pairs[0][0]["o"], pairs[0][1]["o"]} == {"x", "y"}
+
+    def test_duplicate_rows_detected(self, db, schema):
+        t = ControllerTable.from_rows(db, schema, [ROWS[0], ROWS[0]])
+        assert not t.is_deterministic()
+
+    def test_two_wildcards_overlap(self, db, schema):
+        t = ControllerTable.from_rows(db, schema, [
+            {"i1": None, "i2": "p", "o": "x"},
+            {"i1": None, "i2": "p", "o": "y"},
+        ])
+        assert len(t.find_overlapping_rows()) == 1
+
+
+class TestDerivation:
+    def test_project(self, table):
+        p = table.project("proj", ("i1", "o"))
+        assert p.schema.column_names == ("i1", "o")
+        assert p.row_count == 3
+
+    def test_project_distinct_collapses(self, db, schema):
+        t = ControllerTable.from_rows(db, schema, ROWS)
+        p = t.project("proj", ("i1",))
+        assert p.row_count == 2
+
+    def test_stats(self, table):
+        s = table.stats()
+        assert s.n_rows == 3 and s.n_inputs == 2 and s.n_outputs == 1
+        assert s.values_per_column["i1"] == 3  # two values + NULL

@@ -1,0 +1,125 @@
+"""Table-level tests for the coherent DMA (I/O) transitions of D."""
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def D(system):
+    return system.tables["D"]
+
+
+def req(D, inmsg, dirst, dirpv, bdirst="I", bdirpv="zero"):
+    return D.lookup(
+        inmsg=inmsg, inmsgsrc="local", inmsgdst="home", inmsgres="reqq",
+        dirst=dirst, dirpv=dirpv,
+        dirlookup="miss" if dirst == "I" else "hit",
+        bdirst=bdirst, bdirpv=bdirpv,
+        bdirlookup="miss" if bdirst == "I" else "hit",
+        reqinpv=None,
+    )
+
+
+def resp(D, inmsg, src, bdirst, bdirpv="zero"):
+    return D.lookup(
+        inmsg=inmsg, inmsgsrc=src, inmsgdst="home", inmsgres="respq",
+        dirst="I", dirpv="zero", dirlookup="miss",
+        bdirst=bdirst, bdirpv=bdirpv, bdirlookup="hit",
+        reqinpv=None,
+    )
+
+
+class TestDMARead:
+    def test_uncached(self, D):
+        row = req(D, "ior", "I", "zero")
+        assert row["memmsg"] == "mread"
+        assert row["nxtbdirst"] == "Busy-ior-d"
+        assert row["nxtdirst"] is None  # no directory change
+
+    def test_shared_reads_memory(self, D):
+        # S copies are clean: memory data is current, sharers untouched.
+        row = req(D, "ior", "SI", "gone")
+        assert row["memmsg"] == "mread" and row["remmsg"] is None
+        assert row["nxtbdirst"] == "Busy-iors-d"
+        assert row["nxtbdirpv"] == "load"     # sharers parked in busy dir
+        assert row["nxtdirst"] == "I"         # mutual exclusion
+
+    def test_shared_completion_restores_entry(self, D):
+        row = resp(D, "data", "home", "Busy-iors-d", "gone")
+        assert row["locmsg"] == "cdata"
+        assert row["nxtdirst"] == "SI"
+        assert row["nxtdirpv"] is None        # saved sharer set restored
+        assert row["nxtbdirst"] == "I"
+
+    def test_owned_snoops_owner(self, D):
+        row = req(D, "ior", "MESI", "one")
+        assert row["remmsg"] == "sread"
+        assert row["nxtbdirst"] == "Busy-iorm-s"
+
+    def test_owned_completion_downgrades_and_writes_back(self, D):
+        row = resp(D, "sdone", "remote", "Busy-iorm-s", "one")
+        assert row["locmsg"] == "cdata"
+        assert row["memmsg"] == "mwrite"      # dirty data to memory
+        assert row["nxtdirst"] == "SI"        # old owner is now a sharer
+        assert row["nxtbdirst"] == "I"
+
+
+class TestDMAWrite:
+    def test_uncached(self, D):
+        row = req(D, "iow", "I", "zero")
+        assert row["memmsg"] == "wbmem"       # request-triggered: finite VC4
+        assert row["nxtbdirst"] == "Busy-iow-m"
+
+    def test_shared_invalidates_all(self, D):
+        row = req(D, "iow", "SI", "gone")
+        assert row["remmsg"] == "sinv"
+        assert row["memmsg"] is None          # write waits for the idones
+        assert row["nxtbdirst"] == "Busy-iows-s"
+        assert row["nxtbdirpv"] == "load"
+
+    def test_idone_countdown(self, D):
+        more = resp(D, "idone", "remote", "Busy-iows-s", "gone")
+        assert more["nxtbdirst"] is None and more["nxtbdirpv"] == "dec"
+        last = resp(D, "idone", "remote", "Busy-iows-s", "one")
+        assert last["memmsg"] == "dwrite"     # response-triggered: dedicated
+        assert last["nxtbdirst"] == "Busy-iow-m"
+
+    def test_owned_invalidates_owner(self, D):
+        row = req(D, "iow", "MESI", "one")
+        assert row["remmsg"] == "sinv"
+        assert row["nxtbdirst"] == "Busy-iowm-s"
+
+    def test_clean_owner_idone_proceeds_to_write(self, D):
+        row = resp(D, "idone", "remote", "Busy-iowm-s", "one")
+        assert row["memmsg"] == "dwrite"
+        assert row["nxtbdirst"] == "Busy-iow-m"
+
+    def test_dirty_owner_data_discarded_dma_wins(self, D):
+        # Full-line DMA overwrites whatever the owner held.
+        row = resp(D, "ddata", "remote", "Busy-iowm-s", "one")
+        assert row["memmsg"] == "dwrite"
+        assert row["nxtbdirst"] == "Busy-iow-m"
+
+    def test_mdone_completes_to_io_controller(self, D):
+        row = resp(D, "mdone", "home", "Busy-iow-m", "zero")
+        assert row["locmsg"] == "compl"
+        assert row["nxtbdirst"] == "I"
+
+
+class TestDMAChannelDiscipline:
+    def test_response_triggered_writes_ride_dedicated_path(self, system):
+        """The extension of the paper's fix: no response processing may
+        emit onto a finite directory-to-memory channel."""
+        v5d = system.channel_assignments["v5d"]
+        D = system.tables["D"]
+        import repro.protocols.messages as M
+        for row in D.rows():
+            if row["inmsg"] in M.DIR_RESPONSE_INPUTS and row["memmsg"]:
+                vc = v5d.lookup(row["memmsg"], "home", "home")
+                assert vc in v5d.dedicated, row["inmsg"]
+
+    def test_request_triggered_writes_stay_on_vc4(self, system):
+        v5d = system.channel_assignments["v5d"]
+        assert v5d.lookup("wbmem", "home", "home") == "VC4"
+
+    def test_dma_flows_do_not_break_v5d(self, system):
+        assert system.analyze_deadlocks("v5d").is_deadlock_free()

@@ -1,0 +1,50 @@
+"""Unit tests for the message catalog."""
+
+from repro.protocols import messages as M
+
+
+class TestCatalog:
+    def test_about_fifty_messages(self):
+        # Paper section 2: "Around 50 different types of messages".
+        assert 45 <= len(M.CATALOG) <= 60
+
+    def test_names_unique(self):
+        names = [m.name for m in M.CATALOG]
+        assert len(names) == len(set(names))
+
+    def test_paper_messages_present(self):
+        # Every message the paper names explicitly.
+        for name in ("readex", "sinv", "mread", "idone", "compl", "data",
+                     "wb", "retry", "dfdback"):
+            assert name in M.BY_NAME, name
+
+    def test_request_response_partition(self):
+        assert not set(M.REQUEST_NAMES) & set(M.RESPONSE_NAMES)
+
+    def test_is_request(self):
+        assert M.is_request("readex")
+        assert not M.is_request("data")
+
+    def test_is_response(self):
+        assert M.is_response("compl")
+        assert not M.is_response("wb")
+
+    def test_groups_cover_catalog(self):
+        groups = {m.group for m in M.CATALOG}
+        for g in groups:
+            assert M.messages_in_group(g)
+
+    def test_dir_inputs_are_catalogued(self):
+        for name in M.DIR_INPUTS:
+            assert name in M.BY_NAME
+
+    def test_dir_request_inputs_are_requests(self):
+        for name in M.DIR_REQUEST_INPUTS:
+            assert M.is_request(name)
+
+    def test_dir_response_inputs_are_responses(self):
+        for name in M.DIR_RESPONSE_INPUTS:
+            assert M.is_response(name)
+
+    def test_every_message_documented(self):
+        assert all(m.doc for m in M.CATALOG)

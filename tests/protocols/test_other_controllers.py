@@ -1,0 +1,236 @@
+"""Spot tests for the seven non-directory controller tables."""
+
+import pytest
+
+from repro.protocols import states as S
+
+
+@pytest.fixture(scope="module")
+def tables(system):
+    return system.tables
+
+
+class TestMemoryController:
+    def look(self, tables, inmsg, bankst="ready"):
+        return tables["M"].lookup(
+            inmsg=inmsg, inmsgsrc="home", inmsgdst="home",
+            inmsgres="memq", bankst=bankst,
+        )
+
+    def test_mread_returns_data(self, tables):
+        row = self.look(tables, "mread")
+        assert row["outmsg"] == "data" and row["arrayop"] == "rd"
+
+    def test_wbmem_acknowledged(self, tables):
+        row = self.look(tables, "wbmem")
+        assert row["outmsg"] == "mdone" and row["arrayop"] == "wr"
+
+    def test_mwrite_posted(self, tables):
+        row = self.look(tables, "mwrite")
+        assert row["outmsg"] is None and row["arrayop"] == "wr"
+
+    def test_refresh_stalls(self, tables):
+        assert self.look(tables, "mread", "refresh")["stall"] == "yes"
+        assert self.look(tables, "mread", "ready")["stall"] is None
+
+    def test_responses_routed_home(self, tables):
+        row = self.look(tables, "mread")
+        assert row["outmsgsrc"] == "home" and row["outmsgdst"] == "home"
+
+
+class TestCacheController:
+    def look(self, tables, op, st, fillmode=None):
+        return tables["C"].lookup(op=op, cachest=st, fillmode=fillmode)
+
+    def test_load_hit(self, tables):
+        row = self.look(tables, "ld", "S")
+        assert row["procresp"] == "ld_resp" and row["nodemsg"] is None
+
+    def test_load_miss(self, tables):
+        assert self.look(tables, "ld", "I")["nodemsg"] == "miss_rd"
+
+    def test_store_hit_on_exclusive_upgrades_silently(self, tables):
+        row = self.look(tables, "st", "E")
+        assert row["procresp"] == "st_resp" and row["nxtst"] == "M"
+
+    def test_store_on_shared_misses(self, tables):
+        assert self.look(tables, "st", "S")["nodemsg"] == "miss_wr"
+
+    def test_evict_modified_writes_back(self, tables):
+        row = self.look(tables, "evict", "M")
+        assert row["nodemsg"] == "wb_victim" and row["dataout"] == "dirty"
+
+    def test_evict_clean_flushes(self, tables):
+        assert self.look(tables, "evict", "E")["nodemsg"] == "flush_victim"
+        assert self.look(tables, "evict", "S")["nodemsg"] == "flush_victim"
+
+    def test_fill_modes(self, tables):
+        assert self.look(tables, "fill", "I", "shared")["nxtst"] == "S"
+        assert self.look(tables, "fill", "I", "excl")["nxtst"] == "E"
+
+    def test_invalidate_supplies_dirty_data_from_m(self, tables):
+        row = self.look(tables, "inval", "M")
+        assert row["nxtst"] == "I" and row["dataout"] == "dirty"
+
+    def test_downgrade(self, tables):
+        assert self.look(tables, "down", "M")["nxtst"] == "S"
+        assert self.look(tables, "down", "E")["nxtst"] == "S"
+
+    def test_promote(self, tables):
+        assert self.look(tables, "promote", "S")["nxtst"] == "M"
+        assert self.look(tables, "promote", "I")["nxtst"] is None
+
+    def test_deterministic(self, tables):
+        assert tables["C"].is_deterministic()
+
+
+class TestNodeController:
+    def look(self, tables, inmsg, **kw):
+        defaults = dict(inmsgsrc="home", inmsgdst="local",
+                        pend="none", linest="I")
+        defaults.update(kw)
+        return tables["N"].lookup(inmsg=inmsg, **defaults)
+
+    def test_read_miss_becomes_read(self, tables):
+        row = self.look(tables, "miss_rd", inmsgsrc="cache")
+        assert row["netmsg"] == "read" and row["nxtpend"] == "rd"
+
+    def test_write_miss_on_shared_is_upgrade(self, tables):
+        row = self.look(tables, "miss_wr", inmsgsrc="cache", linest="S")
+        assert row["netmsg"] == "upgrade"
+
+    def test_write_miss_on_invalid_is_readex(self, tables):
+        row = self.look(tables, "miss_wr", inmsgsrc="cache", linest="I")
+        assert row["netmsg"] == "readex"
+
+    def test_sinv_on_modified_supplies_ddata(self, tables):
+        row = self.look(tables, "sinv", inmsgdst="remote", linest="M")
+        assert row["netmsg"] == "ddata" and row["cachemsg"] == "inval"
+        assert row["netmsgsrc"] == "remote"
+
+    def test_sinv_on_absent_line_still_answers(self, tables):
+        # The Figure 4 race: the line already left the cache.
+        row = self.look(tables, "sinv", inmsgdst="remote", linest="I")
+        assert row["netmsg"] == "idone" and row["cachemsg"] is None
+
+    def test_sread_downgrades_owner(self, tables):
+        row = self.look(tables, "sread", inmsgdst="remote", linest="M")
+        assert row["netmsg"] == "sdone" and row["cachemsg"] == "down"
+        assert row["dataout"] == "dirty"
+
+    def test_retry_absorbed_and_reissued(self, tables):
+        row = self.look(tables, "retry", pend="wr")
+        assert row["netmsg"] is None and row["reissue"] == "yes"
+
+    def test_stale_retry_noop(self, tables):
+        row = self.look(tables, "retry", pend="none")
+        assert row["netmsg"] is None and row["reissue"] is None
+
+    def test_cdata_fills_and_acknowledges(self, tables):
+        row = self.look(tables, "cdata", pend="wr")
+        assert row["cachemsg"] == "fill" and row["fillmode"] == "excl"
+        assert row["netmsg"] == "compl"       # "D receiving a compl"
+        assert row["nxtpend"] == "none"
+
+    def test_read_fill_is_shared(self, tables):
+        assert self.look(tables, "cdata", pend="rd")["fillmode"] == "shared"
+
+    def test_early_data_buffered_not_installed(self, tables):
+        row = self.look(tables, "data", pend="wr")
+        assert row["cachemsg"] is None        # SWMR: no install before compl
+        assert row["nxtpend"] == "wrd"
+
+    def test_completion_after_early_data_fills(self, tables):
+        row = self.look(tables, "compl", pend="wrd")
+        assert row["cachemsg"] == "fill" and row["fillmode"] == "excl"
+        assert row["netmsg"] == "compl"
+
+    def test_upgrade_completion_promotes(self, tables):
+        row = self.look(tables, "compl", pend="wr", linest="S")
+        assert row["cachemsg"] == "promote"
+        assert row["netmsg"] == "compl"
+
+    def test_writeback_completion_silent(self, tables):
+        row = self.look(tables, "compl", pend="wbp")
+        assert row["netmsg"] is None and row["nxtpend"] == "none"
+
+
+class TestRacController:
+    def test_lookup_hit_miss(self, tables):
+        t = tables["RAC"]
+        assert t.lookup(op="lookup", racst="inv")["result"] == "miss"
+        assert t.lookup(op="lookup", racst="valid")["result"] == "hit"
+
+    def test_dirty_eviction_needs_writeback(self, tables):
+        row = tables["RAC"].lookup(op="evict", racst="dirty")
+        assert row["victim"] == "dirty" and row["wbneeded"] == "yes"
+
+    def test_clean_eviction(self, tables):
+        row = tables["RAC"].lookup(op="evict", racst="valid")
+        assert row["victim"] == "clean" and row["wbneeded"] is None
+
+    def test_fill_validates(self, tables):
+        assert tables["RAC"].lookup(op="fill", racst="inv")["nxtracst"] == "valid"
+
+
+class TestIOController:
+    def look(self, tables, inmsg, **kw):
+        defaults = dict(inmsgsrc="home", inmsgdst="local", iost="idle")
+        defaults.update(kw)
+        return tables["IO"].lookup(inmsg=inmsg, **defaults)
+
+    def test_device_read(self, tables):
+        row = self.look(tables, "io_read", inmsgsrc="dev")
+        assert row["netmsg"] == "ior" and row["nxtiost"] == "rd_pend"
+
+    def test_device_write(self, tables):
+        row = self.look(tables, "io_write", inmsgsrc="dev")
+        assert row["netmsg"] == "iow" and row["nxtiost"] == "wr_pend"
+
+    def test_read_completion_delivers_data(self, tables):
+        row = self.look(tables, "cdata", iost="rd_pend")
+        assert row["devmsg"] == "io_data" and row["nxtiost"] == "idle"
+
+    def test_retry_absorbed(self, tables):
+        row = self.look(tables, "retry", iost="wr_pend")
+        assert row["netmsg"] is None and row["reissue"] == "yes"
+
+    def test_interrupt_acknowledged(self, tables):
+        row = self.look(tables, "dev_intr", inmsgsrc="dev", iost=None)
+        assert row["devmsg"] == "intr_ack"
+
+
+class TestLinkAndArbiter:
+    def test_ni_send_requires_credit(self, tables):
+        t = tables["NI"]
+        ok = t.lookup(event="tx", credst="avail", linkst="up")
+        assert ok["action"] == "send" and ok["nxtcredst"] == "low"
+        stall = t.lookup(event="tx", credst="empty", linkst="up")
+        assert stall["action"] == "stall"
+
+    def test_ni_delivery_returns_credit(self, tables):
+        row = tables["NI"].lookup(event="rx", credst="avail", linkst="up")
+        assert row["action"] == "deliver" and row["linkmsg"] == "creditret"
+
+    def test_ni_refill_path(self, tables):
+        row = tables["NI"].lookup(event="credit", credst="empty", linkst="up")
+        assert row["action"] == "refill" and row["nxtcredst"] == "low"
+
+    def test_pe_response_priority(self, tables):
+        row = tables["PE"].lookup(reqpend="yes", resppend="yes",
+                                  lastgrant="req")
+        assert row["grant"] == "resp"
+
+    def test_pe_round_robin_prevents_starvation(self, tables):
+        row = tables["PE"].lookup(reqpend="yes", resppend="yes",
+                                  lastgrant="resp")
+        assert row["grant"] == "req"
+
+    def test_pe_idle(self, tables):
+        row = tables["PE"].lookup(reqpend="no", resppend="no",
+                                  lastgrant="req")
+        assert row["grant"] is None
+
+    def test_all_controllers_deterministic(self, tables):
+        for name, t in tables.items():
+            assert t.is_deterministic(), name

@@ -1,0 +1,73 @@
+"""Unit tests for directory / busy-directory state definitions."""
+
+import pytest
+
+from repro.protocols import states as S
+
+
+class TestDirectoryStates:
+    def test_three_directory_states(self):
+        assert S.DIR_STATES == ("I", "SI", "MESI")
+
+    def test_pv_abstraction_values(self):
+        assert S.PV_VALUES == ("zero", "one", "gone")
+
+    def test_paper_pv_operations(self):
+        # Section 2.1 names inc, dec, repl, drepl.
+        assert set(S.PV_OPS) == {"inc", "dec", "repl", "drepl"}
+
+    def test_dir_pv_domain_invariant_one(self):
+        # MESI: exactly one sharer; SI: one or more; I: none.
+        assert S.dir_pv_domain("MESI") == ("one",)
+        assert set(S.dir_pv_domain("SI")) == {"one", "gone"}
+        assert S.dir_pv_domain("I") == ("zero",)
+
+    def test_dir_pv_domain_unknown_state(self):
+        with pytest.raises(ValueError):
+            S.dir_pv_domain("X")
+
+
+class TestBusyStates:
+    def test_busy_names_unique(self):
+        assert len(S.BUSY_NAMES) == len(set(S.BUSY_NAMES))
+
+    def test_figure2_progression_exists(self):
+        # Busy-sd -> Busy-s / Busy-d of Figure 2.
+        assert "Busy-xs-sd" in S.BUSY_NAMES
+        assert "Busy-xs-s" in S.BUSY_NAMES
+        assert "Busy-xs-d" in S.BUSY_NAMES
+
+    def test_bdir_domain_includes_idle(self):
+        assert S.BDIR_STATES[0] == "I"
+        assert set(S.BUSY_NAMES) <= set(S.BDIR_STATES)
+
+    def test_awaiting_data_means_d_pending(self):
+        for name in S.busy_awaiting("data"):
+            assert "d" in S.BUSY_BY_NAME[name].pending
+
+    def test_awaiting_idone_excludes_reads(self):
+        for name in S.busy_awaiting("idone"):
+            assert S.BUSY_BY_NAME[name].txn in ("readex", "upgrade", "iow")
+
+    def test_awaiting_sdone_only_read_like(self):
+        assert set(S.busy_awaiting("sdone")) == {"Busy-rm-s", "Busy-iorm-s"}
+
+    def test_awaiting_ddata_only_owner_invalidation(self):
+        assert set(S.busy_awaiting("ddata")) == {"Busy-xm-s", "Busy-iowm-s"}
+
+    def test_awaiting_compl_only_ack_states(self):
+        assert set(S.busy_awaiting("compl")) == {
+            "Busy-r-c", "Busy-x-c", "Busy-u-c",
+        }
+
+    def test_awaiting_unknown_response(self):
+        with pytest.raises(ValueError):
+            S.busy_awaiting("bogus")
+
+    def test_busy_pv_domains_subset_of_pv_values(self):
+        for name in S.BUSY_NAMES:
+            assert set(S.busy_pv_domain(name)) <= set(S.PV_VALUES)
+
+    def test_snoop_collecting_states_track_sharers(self):
+        assert set(S.busy_pv_domain("Busy-xs-sd")) == {"one", "gone"}
+        assert S.busy_pv_domain("Busy-w-m") == ("zero",)

@@ -1,0 +1,83 @@
+"""Unit tests for virtual channel queues and the fabric."""
+
+import pytest
+
+from repro.core.deadlock import ChannelAssignment, VCAssignment
+from repro.sim.channel import ChannelFabric, Envelope, VirtualChannelQueue
+
+
+def env(msg="m", addr="A"):
+    return Envelope(msg, "node:0.0", "dir:1", addr, "local", "home", seq=1)
+
+
+class TestQueue:
+    def test_fifo_order(self):
+        q = VirtualChannelQueue("VC0", 1, capacity=3)
+        q.push(env("a"))
+        q.push(env("b"))
+        assert q.pop().msg == "a"
+        assert q.head().msg == "b"
+
+    def test_capacity_enforced(self):
+        q = VirtualChannelQueue("VC0", 1, capacity=1)
+        q.push(env())
+        assert q.full and not q.can_accept()
+        with pytest.raises(RuntimeError, match="full"):
+            q.push(env())
+
+    def test_can_accept_multiple(self):
+        q = VirtualChannelQueue("VC0", 1, capacity=3)
+        q.push(env())
+        assert q.can_accept(2)
+        assert not q.can_accept(3)
+
+    def test_unbounded_queue(self):
+        q = VirtualChannelQueue("PDM", 1, capacity=None)
+        for _ in range(100):
+            q.push(env())
+        assert q.can_accept(10_000) and not q.full
+
+    def test_empty_head_is_none(self):
+        assert VirtualChannelQueue("VC0", 1, 1).head() is None
+
+
+@pytest.fixture()
+def fabric():
+    v = ChannelAssignment("v", [
+        VCAssignment("req", "local", "home", "VC0"),
+        VCAssignment("resp", "home", "local", "VC3"),
+        VCAssignment("mread", "home", "home", "PDM"),
+    ], dedicated=("PDM",))
+    return ChannelFabric(v, default_capacity=2, capacities={"VC3": 5})
+
+
+class TestFabric:
+    def test_routing_via_assignment(self, fabric):
+        assert fabric.channel_for("req", "local", "home") == "VC0"
+
+    def test_queue_instances_keyed_by_destination_quad(self, fabric):
+        q0 = fabric.queue("VC0", 0)
+        q1 = fabric.queue("VC0", 1)
+        assert q0 is not q1
+        assert fabric.queue("VC0", 0) is q0  # cached
+
+    def test_default_and_override_capacities(self, fabric):
+        assert fabric.queue("VC0", 0).capacity == 2
+        assert fabric.queue("VC3", 0).capacity == 5
+
+    def test_dedicated_channels_unbounded(self, fabric):
+        assert fabric.queue("PDM", 0).capacity is None
+
+    def test_pending_messages(self, fabric):
+        fabric.queue("VC0", 0).push(env())
+        fabric.queue("VC3", 1).push(env("resp"))
+        assert fabric.pending_messages() == 2
+
+    def test_occupancy_only_nonempty(self, fabric):
+        fabric.queue("VC0", 0)  # created but empty
+        fabric.queue("VC3", 1).push(env("resp"))
+        assert fabric.occupancy() == {("VC3", 1): 1}
+
+    def test_queue_for_combines_routing(self, fabric):
+        q = fabric.queue_for("req", "local", "home", 1)
+        assert q.key == ("VC0", 1)

@@ -1,0 +1,99 @@
+"""Dynamic failure injection: corrupted specifications must be caught by
+the simulator's safety nets (per-step SWMR checking, table-lookup holes,
+quiescence-time directory agreement) — the defence in depth behind the
+static checks."""
+
+import pytest
+
+from repro.protocols.asura import build_system
+from repro.sim import figure2_scenario, random_workload
+from repro.sim.models import SimProtocolError
+from repro.sim.system import CoherenceError
+
+
+def corrupted_system(sql: str):
+    system = build_system()
+    system.db.execute(sql)
+    return system
+
+
+class TestMissingTransitions:
+    def test_deleted_row_raises_protocol_hole(self):
+        # Remove the readex@SI transition: the Figure 2 scenario walks
+        # straight into the hole and the simulator names it precisely.
+        system = corrupted_system(
+            "DELETE FROM \"D\" WHERE inmsg = 'readex' AND dirst = 'SI'"
+        )
+        with pytest.raises(SimProtocolError, match="no transition"):
+            figure2_scenario(system).run()
+
+    def test_deleted_node_row_raises(self):
+        system = corrupted_system(
+            "DELETE FROM \"N\" WHERE inmsg = 'sinv'"
+        )
+        with pytest.raises(SimProtocolError, match="no node transition"):
+            figure2_scenario(system).run()
+
+
+class TestCoherenceViolations:
+    def test_shared_fill_on_readex_caught(self):
+        # A classic wrong-constraint bug: readex completions install the
+        # line shared... and the old sharers were invalidated, so SWMR
+        # holds, but the store replay loops; instead corrupt the *read*
+        # path: read fills exclusive while other sharers exist.
+        system = corrupted_system(
+            "UPDATE \"N\" SET fillmode = 'excl' "
+            "WHERE inmsg = 'cdata' AND pend = 'rd'"
+        )
+        w = random_workload(system, seed=4, n_ops=60)
+        with pytest.raises(CoherenceError):
+            w.run()
+
+    def test_skipped_invalidation_caught(self):
+        # D "optimizes away" the snoop on readex@SI: data arrives, the
+        # requester takes ownership while stale S copies survive.
+        system = corrupted_system(
+            "UPDATE \"D\" SET remmsg = NULL, remmsgsrc = NULL, "
+            "remmsgdst = NULL, remmsgres = NULL, "
+            "nxtbdirst = 'Busy-xs-d', nxtbdirpv = 'clr' "
+            "WHERE inmsg = 'readex' AND dirst = 'SI' AND reqinpv = 'no'"
+        )
+        w = random_workload(system, seed=1, n_ops=80)
+        with pytest.raises((CoherenceError, SimProtocolError)):
+            w.run()
+            w.simulator.check_directory_agreement()
+
+    def test_static_checks_catch_the_same_bug_first(self):
+        """The paper's pitch: the invariant suite flags the corruption
+        without running a single simulation step."""
+        system = corrupted_system(
+            "UPDATE \"D\" SET remmsg = NULL, remmsgsrc = NULL, "
+            "remmsgdst = NULL, remmsgres = NULL "
+            "WHERE inmsg = 'readex' AND dirst = 'SI' AND reqinpv = 'no'"
+        )
+        report = system.check_invariants()
+        assert not report.passed
+        names = {r.name for r in report.failures}
+        # This very test originally exposed a gap in the suite: nothing
+        # required a snoop-collecting busy state to be entered *with*
+        # snoops.  The converse invariant now catches it.
+        assert "snoop-pending-state-needs-snoop" in names
+
+
+class TestDirectoryAgreement:
+    def test_lost_presence_bit_caught_at_quiescence(self):
+        # Read completions forget to add the requester to the pv.
+        system = corrupted_system(
+            "UPDATE \"D\" SET nxtdirpv = NULL, nxtowner = NULL "
+            "WHERE inmsg = 'compl' AND bdirst = 'Busy-r-c'"
+        )
+        w = random_workload(system, seed=0, n_ops=40)
+        # Either the run walks into a protocol hole (the lost bit makes a
+        # later lookup unsatisfiable) or the final agreement check fails.
+        try:
+            result = w.run()
+        except SimProtocolError:
+            return
+        if result.status == "quiescent":
+            with pytest.raises(CoherenceError, match="misses cached"):
+                w.simulator.check_directory_agreement()

@@ -1,0 +1,221 @@
+"""Unit tests for the table-driven endpoint models."""
+
+import pytest
+
+from repro.sim.channel import Envelope
+from repro.sim.models import (
+    DirectoryModel,
+    MemoryModel,
+    NodeModel,
+    SimProtocolError,
+    abstract_pv,
+    quad_of,
+)
+
+
+class TestHelpers:
+    def test_quad_of_node(self):
+        assert quad_of("node:2.1") == 2
+
+    def test_quad_of_dir_and_mem(self):
+        assert quad_of("dir:3") == 3
+        assert quad_of("mem:0") == 0
+
+    def test_abstract_pv(self):
+        assert abstract_pv(set()) == "zero"
+        assert abstract_pv({"n"}) == "one"
+        assert abstract_pv({"a", "b"}) == "gone"
+        assert abstract_pv({"a", "b", "c"}) == "gone"
+
+
+@pytest.fixture()
+def directory(system):
+    return DirectoryModel(0, system.tables["D"])
+
+
+def request(msg, src="node:1.0", addr="A"):
+    return Envelope(msg, src, "dir:0", addr, "local", "home", seq=1)
+
+
+class TestDirectoryModel:
+    def test_initial_line_state(self, directory):
+        assert directory.line_state("A") == ("I", set())
+
+    def test_preset(self, directory):
+        directory.preset("A", "SI", {"node:0.1"})
+        assert directory.line_state("A") == ("SI", {"node:0.1"})
+
+    def test_read_miss_plan(self, directory):
+        plan = directory.plan(request("read"))
+        assert [e.msg for e in plan.outputs] == ["mread"]
+        plan.apply()
+        assert directory.busy["A"].state == "Busy-r-d"
+        assert directory.busy["A"].requester == "node:1.0"
+
+    def test_readex_at_si_snoops_all_sharers(self, directory):
+        directory.preset("A", "SI", {"node:0.1", "node:2.0"})
+        plan = directory.plan(request("readex"))
+        msgs = sorted(e.msg for e in plan.outputs)
+        assert msgs == ["mread", "sinv", "sinv"]
+        targets = {e.dst for e in plan.outputs if e.msg == "sinv"}
+        assert targets == {"node:0.1", "node:2.0"}
+        plan.apply()
+        assert directory.busy["A"].pv == {"node:0.1", "node:2.0"}
+        assert directory.lines.get("A") is None  # moved to busy directory
+
+    def test_busy_line_retries(self, directory):
+        directory.plan(request("read")).apply()
+        plan = directory.plan(request("readex", src="node:0.1"))
+        assert [e.msg for e in plan.outputs] == ["retry"]
+        assert plan.outputs[0].dst == "node:0.1"
+
+    def test_completion_addressed_to_original_requester(self, directory):
+        directory.plan(request("read", src="node:1.0")).apply()
+        data = Envelope("data", "mem:0", "dir:0", "A", "home", "home", seq=2)
+        plan = directory.plan(data)
+        assert plan.outputs[0].msg == "cdata"
+        assert plan.outputs[0].dst == "node:1.0"
+
+    def test_ack_rewrites_directory(self, directory):
+        directory.plan(request("read")).apply()
+        directory.plan(
+            Envelope("data", "mem:0", "dir:0", "A", "home", "home", seq=2)
+        ).apply()
+        ack = Envelope("compl", "node:1.0", "dir:0", "A", "local", "home", seq=3)
+        directory.plan(ack).apply()
+        assert directory.line_state("A") == ("SI", {"node:1.0"})
+        assert "A" not in directory.busy
+
+    def test_unknown_situation_raises_protocol_error(self, directory):
+        bogus = Envelope("idone", "node:0.1", "dir:0", "A", "remote", "home",
+                         seq=9)
+        with pytest.raises(SimProtocolError, match="no transition"):
+            directory.plan(bogus)  # idone with no busy entry
+
+
+@pytest.fixture()
+def node(system):
+    return NodeModel("node:0.0", system.tables["C"], system.tables["N"])
+
+
+class TestNodeModel:
+    def test_load_hit_no_messages(self, node):
+        node.preset("A", "S")
+        node.cpu_ops.append(("ld", "A"))
+        plan = node.plan_cpu()
+        assert plan.outputs == []
+        plan.apply()
+        assert node.cpu_ops == [] and node.stats["hits"] == 1
+
+    def test_load_miss_issues_read(self, node):
+        node.cpu_ops.append(("ld", "A"))
+        plan = node.plan_cpu()
+        assert plan.outputs[0].msg == "read"
+        plan.apply()
+        assert node.miss.pend == "rd" and node.miss.addr == "A"
+
+    def test_second_op_waits_for_register(self, node):
+        node.cpu_ops.extend([("ld", "A"), ("st", "A")])
+        node.plan_cpu().apply()
+        assert node.plan_cpu() is None  # same-line transaction in flight
+
+    def test_wb_uses_separate_buffer(self, node):
+        node.preset("A", "M")
+        node.cpu_ops.extend([("evict", "A"), ("st", "B")])
+        node.plan_cpu().apply()       # evict -> wb buffer
+        assert node.wb.pend == "wbp"
+        plan = node.plan_cpu()        # concurrent store miss allowed
+        assert plan is not None and plan.outputs[0].msg == "readex"
+
+    def test_evict_of_absent_line_is_noop(self, node):
+        node.cpu_ops.append(("evict", "A"))
+        plan = node.plan_cpu()
+        assert plan.outputs == []
+        plan.apply()
+        assert node.cpu_ops == []
+
+    def test_snoop_answers_from_victim_buffer(self, node):
+        node.preset("A", "M")
+        node.cpu_ops.append(("evict", "A"))
+        node.plan_cpu().apply()
+        sinv = Envelope("sinv", "dir:1", "node:0.0", "A", "home", "remote",
+                        seq=5)
+        plan = node.plan(sinv, now=0)
+        assert plan.outputs[0].msg == "ddata"   # buffered dirty data
+        plan.apply()
+        assert node.wb.free                     # writeback cancelled
+
+    def test_fill_replays_processor_op(self, node):
+        node.cpu_ops.append(("st", "A"))
+        node.plan_cpu().apply()
+        cdata = Envelope("cdata", "dir:1", "node:0.0", "A", "home", "local",
+                         seq=6)
+        plan = node.plan(cdata, now=0)
+        assert plan.outputs[0].msg == "compl"   # the acknowledgment
+        plan.apply()
+        assert node.cpu_ops == [("st", "A")]    # replayed
+        assert node.line("A") == "E"
+        # The replayed store completes through the silent E -> M upgrade.
+        node.plan_cpu().apply()
+        assert node.line("A") == "M"
+
+    def test_retry_sets_backoff(self, node):
+        node.cpu_ops.append(("ld", "A"))
+        node.plan_cpu().apply()
+        retry = Envelope("retry", "dir:1", "node:0.0", "A", "home", "local",
+                         seq=7)
+        node.plan(retry, now=10).apply()
+        assert node.miss.retry_at == 10 + node.reissue_delay
+        assert node.plan_reissue(now=10) is None
+        plan = node.plan_reissue(now=10 + node.reissue_delay)
+        assert plan.outputs[0].msg == "read"
+
+    def test_upgrade_reissue_rederives_readex(self, node):
+        node.preset("A", "S")
+        node.cpu_ops.append(("st", "A"))
+        node.plan_cpu().apply()
+        assert node.miss.cache_req == "miss_wr"
+        # The line is invalidated while our upgrade is outstanding
+        # (an earlier transaction's snoop).
+        sinv = Envelope("sinv", "dir:1", "node:0.0", "A", "home", "remote",
+                        seq=8)
+        node.plan(sinv, now=0).apply()
+        assert node.line("A") == "I"
+        retry = Envelope("retry", "dir:1", "node:0.0", "A", "home", "local",
+                         seq=9)
+        node.plan(retry, now=0).apply()
+        plan = node.plan_reissue(now=node.reissue_delay)
+        assert plan.outputs[0].msg == "readex"  # no longer an upgrade
+
+
+class TestMemoryModel:
+    def make(self, system, refresh_until=0):
+        return MemoryModel(0, system.tables["M"], refresh_until=refresh_until)
+
+    def env(self, msg):
+        return Envelope(msg, "dir:0", "mem:0", "A", "home", "home", seq=1)
+
+    def test_mread_returns_data(self, system):
+        mem = self.make(system)
+        plan = mem.plan(self.env("mread"), now=0)
+        assert plan.outputs[0].msg == "data"
+        plan.apply()
+        assert mem.stats["reads"] == 1
+
+    def test_wbmem_acknowledged_and_versioned(self, system):
+        mem = self.make(system)
+        plan = mem.plan(self.env("wbmem"), now=0)
+        assert plan.outputs[0].msg == "mdone"
+        plan.apply()
+        assert mem.versions["A"] == 1
+
+    def test_mwrite_posted(self, system):
+        mem = self.make(system)
+        plan = mem.plan(self.env("mwrite"), now=0)
+        assert plan.outputs == []
+
+    def test_refresh_holds_requests(self, system):
+        mem = self.make(system, refresh_until=5)
+        assert mem.plan(self.env("mread"), now=3) is None
+        assert mem.stats["stalls"] == 1
+        assert mem.plan(self.env("mread"), now=5) is not None

@@ -1,0 +1,55 @@
+"""Tests for the sequence-diagram trace renderer."""
+
+from repro.sim import figure2_scenario
+from repro.sim.system import TraceEvent
+from repro.sim.trace import render_sequence, transaction_slice
+
+
+def ev(msg, src, dst, addr="X", step=0, seq=1):
+    return TraceEvent(step, seq, msg, src, dst, addr, "VC0")
+
+
+class TestSlice:
+    def test_filters_by_address(self):
+        events = [ev("read", "node:0.0", "dir:0", addr="A"),
+                  ev("read", "node:0.0", "dir:0", addr="B")]
+        assert len(transaction_slice(events, "A")) == 1
+
+
+class TestRender:
+    def test_empty(self):
+        assert render_sequence([]) == "(no messages)"
+
+    def test_header_contains_endpoints(self):
+        text = render_sequence([ev("read", "node:0.0", "dir:0")])
+        header = text.splitlines()[0]
+        assert "node:0.0" in header and "dir:0" in header
+
+    def test_numbered_arcs(self):
+        events = [ev("read", "node:0.0", "dir:0"),
+                  ev("cdata", "dir:0", "node:0.0")]
+        text = render_sequence(events)
+        assert "1 read(X)" in text and "2 cdata(X)" in text
+
+    def test_arrow_direction(self):
+        events = [ev("read", "node:0.0", "dir:0"),
+                  ev("cdata", "dir:0", "node:0.0")]
+        lines = render_sequence(events).splitlines()
+        assert lines[2].rstrip().endswith(">")   # left-to-right
+        assert lines[3].lstrip().startswith("<")  # right-to-left
+
+    def test_nodes_column_before_directory(self):
+        text = render_sequence([ev("cdata", "dir:0", "node:1.0")])
+        header = text.splitlines()[0]
+        assert header.index("node:1.0") < header.index("dir:0")
+
+    def test_figure2_diagram(self, system):
+        workload = figure2_scenario(system)
+        result = workload.run()
+        text = render_sequence(result.trace, addr="X")
+        assert "1 readex(X)" in text
+        assert "sinv(X)" in text and "mread(X)" in text
+        # The diagram mentions every participant of Figure 2.
+        header = text.splitlines()[0]
+        for ep in ("node:1.0", "node:0.1", "dir:0", "mem:0"):
+            assert ep in header

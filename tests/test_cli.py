@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_deadlock_defaults(self):
+        args = build_parser().parse_args(["deadlock"])
+        assert args.assignment == "v5" and not args.closure
+
+    def test_simulate_options(self):
+        args = build_parser().parse_args(
+            ["simulate", "--workload", "fig4", "--assignment", "v5",
+             "--coverage"]
+        )
+        assert args.workload == "fig4" and args.coverage
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["codegen", "ZZZ"])
+
+
+class TestCommands:
+    def test_stats(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "controller tables" in out and "ours" in out
+
+    def test_check_passes(self, capsys):
+        assert main(["check"]) == 0
+        assert "0 failing" in capsys.readouterr().out
+
+    def test_deadlock_v5_reports_cycles(self, capsys):
+        assert main(["deadlock", "--assignment", "v5"]) == 1
+        out = capsys.readouterr().out
+        assert "VC2" in out and "VC4" in out and "waits on" in out
+
+    def test_deadlock_v5d_clean(self, capsys):
+        assert main(["deadlock", "--assignment", "v5d"]) == 0
+        assert "deadlock-free" in capsys.readouterr().out
+
+    def test_simulate_fig2(self, capsys):
+        assert main(["simulate", "--workload", "fig2", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "quiescent" in out and "readex" in out
+
+    def test_simulate_fig4_deadlocks(self, capsys):
+        assert main(["simulate", "--workload", "fig4",
+                     "--assignment", "v5"]) == 1
+        assert "wait cycle" in capsys.readouterr().out
+
+    def test_simulate_random_with_coverage(self, capsys):
+        assert main(["simulate", "--workload", "random", "--ops", "40",
+                     "--coverage"]) == 0
+        assert "transition coverage" in capsys.readouterr().out
+
+    def test_mc_finds_figure4(self, capsys):
+        assert main(["mc", "--assignment", "v5"]) == 1
+        assert "deadlock at depth" in capsys.readouterr().out
+
+    def test_map(self, capsys):
+        assert main(["map"]) == 0
+        out = capsys.readouterr().out
+        assert "ED:" in out and "Request_remmsg" in out
+
+    def test_codegen_python(self, capsys):
+        assert main(["codegen", "PE"]) == 0
+        assert "def PE_next(" in capsys.readouterr().out
+
+    def test_codegen_verilog(self, capsys):
+        assert main(["codegen", "PE", "--verilog"]) == 0
+        assert "module PE" in capsys.readouterr().out
+
+
+class TestRepairCommand:
+    def test_repair_v5(self, capsys):
+        assert main(["repair", "--assignment", "v5"]) == 0
+        out = capsys.readouterr().out
+        assert "repair search" in out and "deadlock-free" in out
+
+    def test_repair_v5d_no_op(self, capsys):
+        assert main(["repair", "--assignment", "v5d"]) == 0
+        assert "deadlock-free" in capsys.readouterr().out
