@@ -3,13 +3,40 @@
 Each benchmark module regenerates one table/figure/claim of the paper
 (see DESIGN.md's experiment index and EXPERIMENTS.md for the recorded
 results).  Run with ``pytest benchmarks/ --benchmark-only``.
+
+Every module additionally runs under its own telemetry tracer; when the
+module finishes, its run report (span durations, SQL statistics,
+counters — schema in ``docs/OBSERVABILITY.md``) is written to
+``BENCH_<name>.json`` at the repo root, so the performance trajectory of
+each pipeline accumulates across commits and can be diffed in CI.
 """
+
+import json
+import pathlib
 
 import pytest
 
+from repro import telemetry
 from repro.protocols.asura import build_system
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 
 
 @pytest.fixture(scope="session")
 def system():
     return build_system()
+
+
+@pytest.fixture(autouse=True, scope="module")
+def module_telemetry(request):
+    """Collect telemetry for one benchmark module and write its run
+    report to ``BENCH_<name>.json`` at the repo root."""
+    module = request.module.__name__.rpartition(".")[2]
+    name = module.removeprefix("bench_")
+    tracer = telemetry.Tracer()
+    with telemetry.use_tracer(tracer):
+        yield tracer
+    report = telemetry.build_report(tracer, command=f"benchmarks/{module}")
+    out = REPO_ROOT / f"BENCH_{name}.json"
+    out.write_text(json.dumps(report, indent=2, sort_keys=True, default=str)
+                   + "\n")

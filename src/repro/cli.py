@@ -8,15 +8,38 @@
     python -m repro mc --assignment v5     # model-checker baseline
     python -m repro map                    # section-5 hardware mapping
     python -m repro codegen M --verilog    # generated controller code
+
+Every subcommand also accepts the telemetry flags ``--profile``
+(human text summary), ``--trace-out events.jsonl`` (JSONL event
+stream), ``--report-out report.json`` (machine-readable run report),
+and ``--quiet`` (suppress the normal human output) — see
+``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import io
 import sys
 from typing import Optional, Sequence
 
 __all__ = ["main", "build_parser"]
+
+
+def _telemetry_parent() -> argparse.ArgumentParser:
+    """The telemetry flags shared by every subcommand."""
+    common = argparse.ArgumentParser(add_help=False)
+    g = common.add_argument_group("telemetry")
+    g.add_argument("--profile", action="store_true",
+                   help="print a telemetry summary (spans, SQL, counters)")
+    g.add_argument("--trace-out", metavar="PATH", default=None,
+                   help="stream every telemetry event to PATH as JSONL")
+    g.add_argument("--report-out", metavar="PATH", default=None,
+                   help="write the machine-readable JSON run report to PATH")
+    g.add_argument("--quiet", action="store_true",
+                   help="suppress the command's normal output")
+    return common
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -26,20 +49,25 @@ def build_parser() -> argparse.ArgumentParser:
         description=("SQL-based early error detection for cache coherence "
                      "protocols (IPPS 2003 reproduction)"),
     )
+    common = _telemetry_parent()
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("stats", help="protocol statistics vs the paper's")
+    sub.add_parser("stats", parents=[common],
+                   help="protocol statistics vs the paper's")
 
-    sub.add_parser("check", help="run all invariants and determinism checks")
+    sub.add_parser("check", parents=[common],
+                   help="run all invariants and determinism checks")
 
-    p = sub.add_parser("deadlock", help="static deadlock analysis")
+    p = sub.add_parser("deadlock", parents=[common],
+                       help="static deadlock analysis")
     p.add_argument("--assignment", choices=("v4", "v5", "v5d"), default="v5")
     p.add_argument("--closure", action="store_true",
                    help="transitive closure instead of one pairwise round")
     p.add_argument("--strict", action="store_true",
                    help="require message equality when composing")
 
-    p = sub.add_parser("simulate", help="run the table-driven simulator")
+    p = sub.add_parser("simulate", parents=[common],
+                       help="run the table-driven simulator")
     p.add_argument("--workload", choices=("fig2", "fig4", "random"),
                    default="random")
     p.add_argument("--assignment", choices=("v4", "v5", "v5d"), default="v5d")
@@ -49,17 +77,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="report controller-table transition coverage")
     p.add_argument("--trace", action="store_true", help="print every message")
 
-    p = sub.add_parser("mc", help="explicit-state model checker (baseline)")
+    p = sub.add_parser("mc", parents=[common],
+                       help="explicit-state model checker (baseline)")
     p.add_argument("--assignment", choices=("v4", "v5", "v5d"), default="v5")
     p.add_argument("--max-states", type=int, default=100_000)
 
-    p = sub.add_parser("repair", help="search for channel-assignment fixes")
+    p = sub.add_parser("repair", parents=[common],
+                       help="search for channel-assignment fixes")
     p.add_argument("--assignment", choices=("v4", "v5", "v5d"), default="v5")
     p.add_argument("--rounds", type=int, default=4)
 
-    sub.add_parser("map", help="hardware mapping of D (section 5)")
+    sub.add_parser("map", parents=[common],
+                   help="hardware mapping of D (section 5)")
 
-    p = sub.add_parser("codegen", help="generate controller code")
+    p = sub.add_parser("codegen", parents=[common],
+                       help="generate controller code")
     p.add_argument("table", choices=("D", "M", "C", "N", "RAC", "IO",
                                      "NI", "PE"))
     p.add_argument("--verilog", action="store_true",
@@ -202,18 +234,52 @@ _COMMANDS = {
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point: build the system once, dispatch to the subcommand."""
+    """Entry point: configure telemetry, build the system once (so table
+    generation is captured too), dispatch to the subcommand, then export
+    the requested telemetry artifacts."""
+    from . import telemetry
+
     args = build_parser().parse_args(argv)
-    from .protocols.asura import build_system
-    system = build_system()
-    try:
-        return _COMMANDS[args.command](system, args)
-    except BrokenPipeError:
-        # Output piped into a pager/head that exited early; not an error.
+    collect = bool(args.profile or args.trace_out or args.report_out)
+    if collect:
         try:
-            sys.stdout.close()
-        except Exception:
-            pass
-        return 0
+            if args.report_out:
+                # Fail fast on an unwritable report path — before the
+                # build, not after the run's work is already done.
+                open(args.report_out, "a", encoding="utf-8").close()
+            tracer = telemetry.configure(trace_path=args.trace_out)
+        except OSError as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        tracer = telemetry.get_tracer()
+
+    from .protocols.asura import build_system
+    try:
+        system = build_system()
+        try:
+            sink = io.StringIO() if args.quiet else None
+            with contextlib.redirect_stdout(sink) if sink else contextlib.nullcontext():
+                return _COMMANDS[args.command](system, args)
+        except BrokenPipeError:
+            # Output piped into a pager/head that exited early; not an error.
+            try:
+                sys.stdout.close()
+            except Exception:
+                pass
+            return 0
+        finally:
+            system.db.close()
     finally:
-        system.db.close()
+        if collect:
+            try:
+                if args.report_out:
+                    telemetry.write_report(
+                        tracer, args.report_out,
+                        command=args.command,
+                        argv=list(argv) if argv is not None else sys.argv[1:],
+                    )
+                if args.profile:
+                    print(telemetry.render_summary(tracer))
+            finally:
+                telemetry.shutdown()

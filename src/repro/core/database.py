@@ -13,8 +13,10 @@ SQL NULL.
 from __future__ import annotations
 
 import sqlite3
+import time
 from typing import Any, Iterable, Optional, Sequence
 
+from ..telemetry import get_tracer
 from .expr import Row, Value
 from .schema import Column, TableSchema
 from .sqlgen import quote_ident, quote_value
@@ -23,7 +25,28 @@ __all__ = ["ProtocolDatabase", "DatabaseError"]
 
 
 class DatabaseError(RuntimeError):
-    """A SQL statement failed; the message includes the statement."""
+    """A SQL statement failed; the message names the sqlite3 error class
+    and includes the offending statement."""
+
+
+#: statement prefixes whose plans ``EXPLAIN QUERY PLAN`` can prepare even
+#: after the original ran (a second CREATE would fail on "already exists").
+_PLANNABLE = ("SELECT", "WITH", "INSERT", "UPDATE", "DELETE")
+
+
+def _explain_target(sql: str) -> Optional[str]:
+    """The statement (or embedded SELECT) to run EXPLAIN QUERY PLAN on,
+    or None when the statement kind cannot be re-prepared safely."""
+    flat = sql.lstrip()
+    upper = flat.upper()
+    if upper.startswith(_PLANNABLE):
+        return flat
+    if upper.startswith("CREATE TABLE"):
+        # CREATE TABLE … AS SELECT …: plan the SELECT part.
+        idx = upper.find(" AS SELECT")
+        if idx >= 0:
+            return flat[idx + len(" AS "):]
+    return None
 
 
 def _dict_factory(cursor: sqlite3.Cursor, row: tuple) -> dict[str, Value]:
@@ -58,20 +81,84 @@ class ProtocolDatabase:
         return self._conn
 
     # -- raw access -----------------------------------------------------------
-    def execute(self, sql: str, params: Sequence = ()) -> sqlite3.Cursor:
+    def _explain(self, sql: str, params: Sequence) -> Optional[list]:
+        """Capture EXPLAIN QUERY PLAN rows for a slow statement; goes
+        straight to the connection so the plan query itself is untraced."""
+        target = _explain_target(sql)
+        if target is None:
+            return None
         try:
-            return self._conn.execute(sql, params)
+            cur = self._conn.execute(f"EXPLAIN QUERY PLAN {target}", params)
+            return [r.get("detail") for r in cur.fetchall()]
+        except sqlite3.Error:
+            return None
+
+    def execute(self, sql: str, params: Sequence = ()) -> sqlite3.Cursor:
+        tracer = get_tracer()
+        if not tracer.enabled:
+            try:
+                return self._conn.execute(sql, params)
+            except sqlite3.Error as e:
+                raise DatabaseError(
+                    f"{type(e).__name__}: {e}\nSQL was:\n{sql}"
+                ) from e
+        t0 = time.perf_counter()
+        try:
+            cursor = self._conn.execute(sql, params)
         except sqlite3.Error as e:
-            raise DatabaseError(f"{e}\nSQL was:\n{sql}") from e
+            tracer.record_sql(
+                sql,
+                n_params=len(params),
+                seconds=time.perf_counter() - t0,
+                status="error",
+                error=type(e).__name__,
+            )
+            raise DatabaseError(
+                f"{type(e).__name__}: {e}\nSQL was:\n{sql}"
+            ) from e
+        dt = time.perf_counter() - t0
+        plan = self._explain(sql, params) if tracer.wants_plan(dt) else None
+        changed = cursor.rowcount if cursor.rowcount >= 0 else None
+        tracer.record_sql(
+            sql, n_params=len(params), seconds=dt, plan=plan, changed=changed,
+        )
+        return cursor
 
     def executemany(self, sql: str, rows: Iterable[Sequence]) -> None:
+        tracer = get_tracer()
+        if not tracer.enabled:
+            try:
+                self._conn.executemany(sql, rows)
+            except sqlite3.Error as e:
+                raise DatabaseError(
+                    f"{type(e).__name__}: {e}\nSQL was:\n{sql}"
+                ) from e
+            return
+        t0 = time.perf_counter()
         try:
-            self._conn.executemany(sql, rows)
+            cursor = self._conn.executemany(sql, rows)
         except sqlite3.Error as e:
-            raise DatabaseError(f"{e}\nSQL was:\n{sql}") from e
+            tracer.record_sql(
+                sql,
+                seconds=time.perf_counter() - t0,
+                status="error",
+                error=type(e).__name__,
+            )
+            raise DatabaseError(
+                f"{type(e).__name__}: {e}\nSQL was:\n{sql}"
+            ) from e
+        changed = cursor.rowcount if cursor.rowcount >= 0 else None
+        tracer.record_sql(
+            sql, seconds=time.perf_counter() - t0, changed=changed,
+        )
 
     def query(self, sql: str, params: Sequence = ()) -> list[dict[str, Value]]:
-        return self.execute(sql, params).fetchall()
+        rows = self.execute(sql, params).fetchall()
+        if rows:
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.record_sql_rows(sql, len(rows))
+        return rows
 
     def scalar(self, sql: str, params: Sequence = ()) -> Any:
         rows = self.query(sql, params)

@@ -31,11 +31,12 @@ Pipeline, following the paper step by step:
 from __future__ import annotations
 
 import itertools
-import time
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Sequence
 
 import networkx as nx
+
+from ..telemetry import get_tracer, span
 
 from ..analysis.cycles import (
     canonical_cycle,
@@ -364,7 +365,9 @@ class DeadlockAnalyzer:
             )
             """
         )
-        return self.db.row_count(table) - before
+        added = self.db.row_count(table) - before
+        get_tracer().incr("deadlock.compositions", added)
+        return added
 
     def _compose_closure_sql(self, table: str, ignore_messages: bool) -> int:
         """Repeated composition to a fixpoint — the transitive closure the
@@ -403,6 +406,7 @@ class DeadlockAnalyzer:
                 """
             )
             added = self.db.row_count(table) - before
+            get_tracer().incr("deadlock.compositions", added)
             added_total += added
             if added == 0:
                 return added_total
@@ -415,34 +419,41 @@ class DeadlockAnalyzer:
         closure: bool = False,
         table_name: Optional[str] = None,
     ) -> "DeadlockAnalysis":
-        t0 = time.perf_counter()
-        exact: list[DependencyRow] = []
-        for spec in self.specs:
-            exact.extend(self.controller_dependency_rows(spec))
+        with span("deadlock.analyze", assignment=self.channels.name,
+                  closure=closure) as sp:
+            with span("deadlock.direct", assignment=self.channels.name):
+                exact: list[DependencyRow] = []
+                for spec in self.specs:
+                    exact.extend(self.controller_dependency_rows(spec))
 
-        all_rows: list[DependencyRow] = []
-        for placement in placements:
-            if placement is Placement.ALL_DISTINCT:
-                all_rows.extend(exact)
-            else:
-                all_rows.extend(self.apply_placement(exact, placement))
+                all_rows: list[DependencyRow] = []
+                for placement in placements:
+                    if placement is Placement.ALL_DISTINCT:
+                        all_rows.extend(exact)
+                    else:
+                        all_rows.extend(self.apply_placement(exact, placement))
 
-        table = table_name or f"pdt_{self.channels.name}"
-        self._materialize(all_rows, table)
-        if closure:
-            self._compose_closure_sql(table, ignore_messages)
-        else:
-            self._compose_pairwise_sql(table, ignore_messages)
+            table = table_name or f"pdt_{self.channels.name}"
+            with span("deadlock.materialize", table=table):
+                self._materialize(all_rows, table)
+            with span("deadlock.compose", table=table, closure=closure):
+                if closure:
+                    self._compose_closure_sql(table, ignore_messages)
+                else:
+                    self._compose_pairwise_sql(table, ignore_messages)
 
-        rows = [
-            DependencyRow(**{c: r[c] for c in _DEP_COLUMNS})
-            for r in self.db.rows(table)
-        ]
+            rows = [
+                DependencyRow(**{c: r[c] for c in _DEP_COLUMNS})
+                for r in self.db.rows(table)
+            ]
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.gauge("deadlock.dependency_rows", len(rows))
         return DeadlockAnalysis(
             channels=self.channels,
             dependency_rows=rows,
             table_name=table,
-            build_seconds=time.perf_counter() - t0,
+            build_seconds=sp.seconds,
         )
 
 
@@ -529,6 +540,7 @@ class DeadlockAnalysis:
     def report(self) -> Report:
         report = Report(f"deadlock analysis for V={self.channels.name}")
         cycles = self.cycles()
+        get_tracer().gauge("deadlock.cycles", len(cycles))
         report.add(
             CheckResult(
                 name="vcg-acyclic",

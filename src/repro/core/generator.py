@@ -18,10 +18,10 @@ Two strategies:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from ..telemetry import get_tracer, span
 from .constraints import ConstraintSet
 from .database import ProtocolDatabase
 from .expr import And, BoolExpr, TRUE, TrueExpr
@@ -111,22 +111,28 @@ class TableGenerator:
         cols = ", ".join(quote_ident(c) for c in self.schema.column_names)
         where = to_sql(self.constraints.conjunction())
         sql = f"SELECT {cols} FROM {self._cross_join(self.schema.column_names)} WHERE {where}"
-        t0 = time.perf_counter()
-        self.db.create_table_as(self.table_name, sql)
-        dt = time.perf_counter() - t0
+        with span("generate.monolithic", table=self.table_name,
+                  cross_product=size) as sp:
+            self.db.create_table_as(self.table_name, sql)
         table = ControllerTable(self.db, self.schema, self.table_name)
+        get_tracer().incr("generate.rows", table.row_count)
         step = StepTiming(
             label="monolithic",
             columns=self.schema.column_names,
             cross_product_size=size,
             result_rows=table.row_count,
-            seconds=dt,
+            seconds=sp.seconds,
         )
         return GenerationResult(table=table, strategy="monolithic", steps=[step])
 
     # -- incremental --------------------------------------------------------------
     def generate_incremental(self) -> GenerationResult:
         """Inputs first, then output columns one (group) at a time."""
+        with span("generate.table", table=self.table_name,
+                  strategy="incremental"):
+            return self._generate_incremental()
+
+    def _generate_incremental(self) -> GenerationResult:
         steps: list[StepTiming] = []
         work = f"__gen_{self.table_name}"
 
@@ -135,16 +141,15 @@ class TableGenerator:
         where = to_sql(self.constraints.input_conjunction())
         cols = ", ".join(quote_ident(c) for c in input_names)
         sql = f"SELECT {cols} FROM {self._cross_join(input_names)} WHERE {where}"
-        t0 = time.perf_counter()
-        self.db.create_table_as(work, sql)
-        dt = time.perf_counter() - t0
+        with span("generate.inputs", table=self.table_name) as sp:
+            self.db.create_table_as(work, sql)
         steps.append(
             StepTiming(
                 label="inputs",
                 columns=input_names,
                 cross_product_size=self.schema.cross_product_size(input_names),
                 result_rows=self.db.row_count(work),
-                seconds=dt,
+                seconds=sp.seconds,
             )
         )
 
@@ -161,9 +166,9 @@ class TableGenerator:
                 f"SELECT {prev_cols}, {new_cols} FROM {quote_ident(work)} "
                 f"CROSS JOIN {self._cross_join(group)} WHERE {where}"
             )
-            t0 = time.perf_counter()
-            self.db.create_table_as(nxt, sql)
-            dt = time.perf_counter() - t0
+            with span("generate.column", table=self.table_name,
+                      columns=",".join(group)) as sp:
+                self.db.create_table_as(nxt, sql)
             group_domain = 1
             for c in group:
                 group_domain *= self.schema.column(c).domain_size
@@ -173,7 +178,7 @@ class TableGenerator:
                     columns=tuple(group),
                     cross_product_size=base_rows * group_domain,
                     result_rows=self.db.row_count(nxt),
-                    seconds=dt,
+                    seconds=sp.seconds,
                 )
             )
             self.db.drop_table(work)
@@ -187,4 +192,5 @@ class TableGenerator:
         )
         self.db.drop_table(work)
         table = ControllerTable(self.db, self.schema, self.table_name)
+        get_tracer().incr("generate.rows", table.row_count)
         return GenerationResult(table=table, strategy="incremental", steps=steps)

@@ -9,10 +9,10 @@ SQL query (for invariants spanning several tables).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
+from ..telemetry import get_tracer, span
 from .database import ProtocolDatabase
 from .expr import BoolExpr
 from .report import CheckResult, Report
@@ -86,9 +86,14 @@ class InvariantChecker:
         self.invariants.extend(invariants)
 
     def check(self, invariant: Invariant, max_violations: int = 50) -> CheckResult:
-        t0 = time.perf_counter()
-        rows = self.db.query(invariant.query())
-        dt = time.perf_counter() - t0
+        with span("invariant.check", invariant=invariant.name) as sp:
+            rows = self.db.query(invariant.query())
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.incr("invariant.checks")
+            tracer.incr("invariant.passed" if not rows else "invariant.failed")
+            if rows:
+                tracer.incr("invariant.violations", len(rows))
         details = [
             InvariantViolation(invariant.name, r) for r in rows[:max_violations]
         ]
@@ -97,7 +102,7 @@ class InvariantChecker:
             passed=not rows,
             description=invariant.description,
             details=details,
-            seconds=dt,
+            seconds=sp.seconds,
         )
 
     def check_all(self, title: str = "protocol invariants") -> Report:

@@ -23,10 +23,10 @@ mapping itself is checkable:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
+from ..telemetry import span
 from .constraints import ColumnConstraint, ConstraintSet
 from .database import ProtocolDatabase
 from .expr import BoolExpr, TRUE, Value
@@ -148,14 +148,24 @@ class ImplementationMapper:
 
     def extend(self, spec: ExtensionSpec) -> GenerationResult:
         """Generate ED from the extended schema and constraints."""
-        cs = self.extended_constraints(spec)
-        return TableGenerator(self.db, cs, table_name=spec.name).generate_incremental()
+        with span("mapping.extend", table=spec.name):
+            cs = self.extended_constraints(spec)
+            return TableGenerator(
+                self.db, cs, table_name=spec.name
+            ).generate_incremental()
 
     # -- stage 2: partitioning -----------------------------------------------------
     def partition(
         self, ed: ControllerTable, specs: Sequence[PartitionSpec]
     ) -> dict[str, ControllerTable]:
         """Carve implementation tables out of ED, one per spec."""
+        with span("mapping.partition", table=ed.table_name,
+                  partitions=len(specs)):
+            return self._partition(ed, specs)
+
+    def _partition(
+        self, ed: ControllerTable, specs: Sequence[PartitionSpec]
+    ) -> dict[str, ControllerTable]:
         out: dict[str, ControllerTable] = {}
         input_names = ed.schema.input_names
         in_cols = ", ".join(quote_ident(c) for c in input_names)
@@ -184,6 +194,17 @@ class ImplementationMapper:
         table_name: str = "reconstructed",
     ) -> ControllerTable:
         """Join the partitions back into (a superset of) ED."""
+        with span("mapping.reconstruct", table=table_name,
+                  branches=len(plan.branches)):
+            return self._reconstruct(ed_schema, parts, plan, table_name)
+
+    def _reconstruct(
+        self,
+        ed_schema: TableSchema,
+        parts: Mapping[str, ControllerTable],
+        plan: ReconstructionPlan,
+        table_name: str,
+    ) -> ControllerTable:
         input_names = ed_schema.input_names
         selects: list[str] = []
         for branch in plan.branches:
@@ -234,18 +255,17 @@ class ImplementationMapper:
     ) -> CheckResult:
         """SQL containment: every row of the debugged table D must appear
         in the reconstructed table after restriction and projection."""
-        t0 = time.perf_counter()
         d_cols = self.base.schema.column_names
         cols = ", ".join(quote_ident(c) for c in d_cols)
         restricted = (
             f"SELECT DISTINCT {cols} FROM {quote_ident(reconstructed.table_name)} "
             f"WHERE {to_sql(plan.restrict)}"
         )
-        diff = self.db.query(
-            f"SELECT {cols} FROM {quote_ident(self.base.table_name)} "
-            f"EXCEPT {restricted}"
-        )
-        dt = time.perf_counter() - t0
+        with span("mapping.check", check=check_name) as sp:
+            diff = self.db.query(
+                f"SELECT {cols} FROM {quote_ident(self.base.table_name)} "
+                f"EXCEPT {restricted}"
+            )
         return CheckResult(
             name=check_name,
             passed=not diff,
@@ -254,5 +274,5 @@ class ImplementationMapper:
                 f"({reconstructed.row_count} rows)"
             ),
             details=diff[:20],
-            seconds=dt,
+            seconds=sp.seconds,
         )

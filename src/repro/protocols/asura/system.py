@@ -10,10 +10,10 @@ examples, the simulator, and the benchmarks.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from ...telemetry import get_tracer, span
 from ...core.constraints import ConstraintSet
 from ...core.database import ProtocolDatabase
 from ...core.deadlock import (
@@ -65,14 +65,14 @@ class AsuraSystem:
         self.constraint_sets: dict[str, ConstraintSet] = {}
         self.generation_results: dict[str, GenerationResult] = {}
         self.tables: dict[str, ControllerTable] = {}
-        t0 = time.perf_counter()
-        for name, builder in CONTROLLER_BUILDERS.items():
-            cs = builder()
-            self.constraint_sets[name] = cs
-            result = TableGenerator(self.db, cs, table_name=name).generate_incremental()
-            self.generation_results[name] = result
-            self.tables[name] = result.table
-        self.generation_seconds = time.perf_counter() - t0
+        with span("system.build", controllers=len(CONTROLLER_BUILDERS)) as sp:
+            for name, builder in CONTROLLER_BUILDERS.items():
+                cs = builder()
+                self.constraint_sets[name] = cs
+                result = TableGenerator(self.db, cs, table_name=name).generate_incremental()
+                self.generation_results[name] = result
+                self.tables[name] = result.table
+        self.generation_seconds = sp.seconds
         self._create_helper_tables()
         self.channel_assignments = channels.channel_assignments()
 
@@ -101,15 +101,22 @@ class AsuraSystem:
         """Run the full invariant suite plus per-table determinism checks
         (no two rows of any controller match the same concrete input)."""
         report = self.invariant_checker().check_all("ASURA protocol invariants")
+        tracer = get_tracer()
         for name, table in self.tables.items():
-            t0 = time.perf_counter()
-            overlaps = table.find_overlapping_rows()
+            with span("invariant.determinism", table=name) as sp:
+                overlaps = table.find_overlapping_rows()
+            if tracer.enabled:
+                tracer.incr("invariant.checks")
+                tracer.incr("invariant.passed" if not overlaps
+                            else "invariant.failed")
+                if overlaps:
+                    tracer.incr("invariant.violations", len(overlaps))
             report.add(CheckResult(
                 name=f"{name}-deterministic",
                 passed=not overlaps,
                 description=f"no two rows of {name} match the same input",
                 details=overlaps[:5],
-                seconds=time.perf_counter() - t0,
+                seconds=sp.seconds,
             ))
         return report
 

@@ -18,6 +18,7 @@ import networkx as nx
 
 from ..analysis.coverage import CoverageRecorder, CoverageReport, coverage_report
 from ..core.deadlock import ChannelAssignment
+from ..telemetry import get_tracer, span
 from ..protocols import messages as M
 from ..protocols.asura.system import AsuraSystem
 from .channel import ChannelFabric, Envelope, VirtualChannelQueue
@@ -143,6 +144,8 @@ class Simulator:
         self.trace: list[TraceEvent] = []
         self.messages_delivered = 0
         self._blocked_edges: list[tuple[VirtualChannelQueue, VirtualChannelQueue]] = []
+        # Resolved once: the hot paths check a single attribute per message.
+        self._tracer = get_tracer()
 
     # -- setup ------------------------------------------------------------------
     def home_quad(self, addr: str) -> int:
@@ -160,11 +163,17 @@ class Simulator:
 
     def inject_op(self, node_id: str, op: str, addr: str) -> None:
         self.nodes[node_id].cpu_ops.append((op, addr))
+        if self._tracer.enabled:
+            self._tracer.emit("sim.op", kind="cpu", endpoint=node_id,
+                              op=op, addr=addr)
 
     def inject_io(self, quad: int, op: str, addr: str) -> None:
         """Queue a device-initiated operation (io_read/io_write/dev_intr)
         at a quad's I/O controller."""
         self.ios[quad].dev_ops.append((op, addr))
+        if self._tracer.enabled:
+            self._tracer.emit("sim.op", kind="device", endpoint=f"io:{quad}",
+                              op=op, addr=addr)
 
     # -- routing ---------------------------------------------------------------------
     def _resolve_dst(self, env: Envelope) -> Envelope:
@@ -204,6 +213,11 @@ class Simulator:
             self.trace.append(TraceEvent(
                 self.now, e.seq, e.msg, e.src, e.dst, e.addr, q.name,
             ))
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "sim.message", step=self.now, seq=e.seq, msg=e.msg,
+                    src=e.src, dst=e.dst, addr=e.addr, channel=q.name,
+                )
         return True
 
     def _plan_for(self, env: Envelope) -> Optional[TransitionPlan]:
@@ -297,6 +311,19 @@ class Simulator:
 
     def run(self, max_steps: Optional[int] = None) -> SimResult:
         """Run to quiescence, deadlock, or the step limit."""
+        with span("sim.run", assignment=self.channels.name,
+                  quads=self.config.n_quads):
+            result = self._run(max_steps)
+        if self._tracer.enabled:
+            self._tracer.incr("sim.messages_delivered",
+                              self.messages_delivered)
+            self._tracer.incr("sim.steps", result.steps)
+            self._tracer.incr(f"sim.runs.{result.status}")
+            self._tracer.emit("sim.result", status=result.status,
+                              steps=result.steps, messages=result.messages)
+        return result
+
+    def _run(self, max_steps: Optional[int] = None) -> SimResult:
         limit = max_steps or self.config.max_steps
         while self.now < limit:
             progress = self.step()

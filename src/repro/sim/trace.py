@@ -18,7 +18,28 @@ from typing import Iterable, Optional, Sequence
 
 from .system import TraceEvent
 
-__all__ = ["render_sequence", "transaction_slice"]
+__all__ = ["render_sequence", "transaction_slice", "events_from_telemetry"]
+
+
+def events_from_telemetry(events: Iterable[dict]) -> list[TraceEvent]:
+    """Rebuild :class:`TraceEvent` records from a telemetry event stream.
+
+    The simulator emits one ``sim.message`` JSONL event per delivered
+    message (see ``--trace-out``); this filters a decoded stream (e.g.
+    from :func:`repro.telemetry.read_jsonl`) back into the trace-event
+    form the Figure-2 renderer consumes, so sequence diagrams can be
+    drawn offline from a recorded run.
+    """
+    out: list[TraceEvent] = []
+    for e in events:
+        if e.get("type") != "sim.message":
+            continue
+        out.append(TraceEvent(
+            step=e["step"], seq=e["seq"], msg=e["msg"],
+            src=e["src"], dst=e["dst"], addr=e["addr"],
+            channel=e["channel"],
+        ))
+    return out
 
 
 def _endpoint_order(events: Sequence[TraceEvent]) -> list[str]:

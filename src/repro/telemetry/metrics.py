@@ -1,0 +1,115 @@
+"""Metrics registry: counters, gauges, and histograms.
+
+The registry is a plain in-process aggregation structure — no external
+dependencies, no background threads.  Counters accumulate monotonically
+(``sql.queries``, ``invariant.violations``), gauges hold the last value
+written (``deadlock.dependency_rows``), and histograms retain samples so
+run reports can publish latency percentiles (``sql.seconds``).
+
+Histograms keep every sample up to :attr:`Histogram.max_samples` and
+exact count/sum/min/max beyond it, so percentile precision degrades
+gracefully on very long runs instead of memory growing without bound.
+The metric catalog lives in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["Histogram", "MetricsRegistry"]
+
+
+class Histogram:
+    """A sample-retaining histogram with nearest-rank percentiles."""
+
+    __slots__ = ("samples", "count", "total", "min", "max", "max_samples")
+
+    def __init__(self, max_samples: int = 65536) -> None:
+        self.samples: list[float] = []
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.max_samples = max_samples
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if len(self.samples) < self.max_samples:
+            self.samples.append(value)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the retained samples; ``p`` in
+        [0, 100].  Returns 0.0 for an empty histogram."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1, round(p / 100.0 * len(ordered)) - 1))
+        if p >= 100.0:
+            rank = len(ordered) - 1
+        return ordered[rank]
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean over *all* observed samples."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready summary with the standard percentile ladder."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms for one telemetry run."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def incr(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the counter ``name`` (creating it at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to its latest ``value``."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into the histogram ``name``."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    @property
+    def empty(self) -> bool:
+        """True when nothing has been recorded."""
+        return not (self.counters or self.gauges or self.histograms)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready view of every metric, sorted by name."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: h.as_dict()
+                for name, h in sorted(self.histograms.items())
+            },
+        }

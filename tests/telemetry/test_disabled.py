@@ -1,0 +1,46 @@
+"""The disabled (null) tracer: timed spans, zero recorded events."""
+
+from repro import telemetry
+from repro.core.database import ProtocolDatabase
+from repro.telemetry import NULL_TRACER, NullTracer, get_tracer
+
+
+class TestNullTracerIsDefault:
+    def test_default_tracer_is_disabled(self):
+        assert get_tracer() is NULL_TRACER
+        assert not get_tracer().enabled
+
+
+class TestDisabledRecordsNothing:
+    def test_spans_still_time_but_leave_no_trace(self):
+        with telemetry.span("phase", table="D") as sp:
+            x = sum(range(1000))
+        assert x and sp.seconds > 0  # timing works either way
+        assert NULL_TRACER.span_stats == {}
+        assert NULL_TRACER.registry.empty
+        assert NULL_TRACER.events_emitted == 0
+
+    def test_metrics_are_noops(self):
+        t = NullTracer()
+        t.incr("sql.queries", 100)
+        t.gauge("g", 1)
+        t.observe("h", 1.0)
+        t.emit("event", a=1)
+        t.record_sql("SELECT 1", rows=5, seconds=0.1)
+        t.record_sql_rows("SELECT 1", 5)
+        assert t.registry.empty
+        assert t.sql_statements == {}
+        assert t.events_emitted == 0
+
+    def test_database_traffic_adds_zero_events(self):
+        with ProtocolDatabase() as db:
+            db.execute("CREATE TABLE t (a TEXT)")
+            db.executemany("INSERT INTO t VALUES (?)", [("x",), ("y",)])
+            assert len(db.query("SELECT * FROM t")) == 2
+        assert NULL_TRACER.registry.empty
+        assert NULL_TRACER.sql_statements == {}
+        assert NULL_TRACER.slow_queries == []
+        assert NULL_TRACER.events_emitted == 0
+
+    def test_never_wants_query_plans(self):
+        assert not NULL_TRACER.wants_plan(10.0)

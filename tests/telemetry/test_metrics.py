@@ -1,0 +1,75 @@
+"""Metrics registry aggregation: counters, gauges, histograms."""
+
+import pytest
+
+from repro.telemetry import Histogram, MetricsRegistry
+
+
+class TestCounters:
+    def test_incr_accumulates(self):
+        reg = MetricsRegistry()
+        reg.incr("sql.queries")
+        reg.incr("sql.queries", 4)
+        assert reg.counter("sql.queries") == 5
+
+    def test_missing_counter_reads_zero(self):
+        assert MetricsRegistry().counter("nope") == 0
+
+
+class TestGauges:
+    def test_gauge_keeps_last_value(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("deadlock.dependency_rows", 100)
+        reg.set_gauge("deadlock.dependency_rows", 42)
+        assert reg.gauges["deadlock.dependency_rows"] == 42
+
+
+class TestHistogram:
+    def test_percentiles_nearest_rank(self):
+        h = Histogram()
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.percentile(50) == 50.0
+        assert h.percentile(90) == 90.0
+        assert h.percentile(100) == 100.0
+        assert h.count == 100
+        assert h.mean == pytest.approx(50.5)
+
+    def test_empty_histogram_is_safe(self):
+        h = Histogram()
+        assert h.percentile(99) == 0.0
+        assert h.as_dict()["count"] == 0
+
+    def test_sample_cap_keeps_exact_count_sum(self):
+        h = Histogram(max_samples=10)
+        for v in range(100):
+            h.observe(float(v))
+        assert h.count == 100
+        assert h.total == sum(range(100))
+        assert h.max == 99.0
+        assert len(h.samples) == 10
+
+    def test_registry_observe_creates_histogram(self):
+        reg = MetricsRegistry()
+        reg.observe("sql.seconds", 0.5)
+        reg.observe("sql.seconds", 1.5)
+        assert reg.histograms["sql.seconds"].count == 2
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.incr("a", 2)
+        reg.set_gauge("b", 7)
+        reg.observe("c", 1.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a": 2}
+        assert snap["gauges"] == {"b": 7}
+        assert snap["histograms"]["c"]["count"] == 1
+        assert {"p50", "p90", "p99"} <= set(snap["histograms"]["c"])
+
+    def test_empty_property(self):
+        reg = MetricsRegistry()
+        assert reg.empty
+        reg.incr("x")
+        assert not reg.empty

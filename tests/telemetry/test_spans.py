@@ -1,0 +1,82 @@
+"""Span nesting, timing, status, and aggregation."""
+
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import Tracer, use_tracer
+
+
+@pytest.fixture()
+def tracer():
+    t = Tracer()
+    with use_tracer(t):
+        yield t
+
+
+class TestSpanTiming:
+    def test_span_measures_wall_and_monotonic_time(self, tracer):
+        with tracer.span("outer") as sp:
+            time.sleep(0.01)
+        assert sp.seconds >= 0.01
+        assert sp.start_wall > 0
+        assert sp.status == "ok"
+
+    def test_module_level_span_uses_active_tracer(self, tracer):
+        with telemetry.span("phase", table="D") as sp:
+            pass
+        assert sp.seconds >= 0
+        assert "phase" in tracer.span_stats
+        assert tracer.span_stats["phase"].count == 1
+
+    def test_exception_marks_span_error(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        assert tracer.span_stats["failing"].errors == 1
+
+
+class TestSpanNesting:
+    def test_nested_span_records_parent_and_depth(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner") as inner:
+                assert inner.parent == "outer"
+                assert inner.depth == 1
+                assert tracer.current_span is inner
+        assert tracer.current_span is None
+
+    def test_sibling_spans_share_parent(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent == "outer" and b.parent == "outer"
+        assert a.depth == b.depth == 1
+
+    def test_attributes_added_inside_block_are_kept(self, tracer):
+        sink = telemetry.ListSink()
+        tracer.sinks.append(sink)
+        with tracer.span("step", table="M") as sp:
+            sp.attributes["rows"] = 42
+        (event,) = sink.of_type("span")
+        assert event["table"] == "M" and event["rows"] == 42
+
+
+class TestSpanStats:
+    def test_aggregation_across_same_name(self, tracer):
+        for _ in range(3):
+            with tracer.span("repeat"):
+                pass
+        stats = tracer.span_stats["repeat"]
+        assert stats.count == 3
+        assert stats.total_seconds >= stats.max_seconds >= stats.min_seconds
+        assert stats.mean_seconds == pytest.approx(stats.total_seconds / 3)
+
+    def test_as_dict_is_json_ready(self, tracer):
+        with tracer.span("x"):
+            pass
+        d = tracer.span_stats["x"].as_dict()
+        assert set(d) == {"count", "total_seconds", "mean_seconds",
+                          "min_seconds", "max_seconds", "errors"}

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -76,6 +78,65 @@ class TestCommands:
     def test_codegen_verilog(self, capsys):
         assert main(["codegen", "PE", "--verilog"]) == 0
         assert "module PE" in capsys.readouterr().out
+
+
+class TestTelemetryFlags:
+    def test_flags_accepted_after_any_subcommand(self):
+        args = build_parser().parse_args(
+            ["check", "--profile", "--report-out", "r.json", "--quiet"]
+        )
+        assert args.profile and args.report_out == "r.json" and args.quiet
+        args = build_parser().parse_args(
+            ["simulate", "--workload", "fig4", "--trace-out", "e.jsonl"]
+        )
+        assert args.trace_out == "e.jsonl"
+
+    def test_unwritable_output_path_fails_fast(self, capsys):
+        assert main(["stats", "--report-out", "/nonexistent/r.json"]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+        assert main(["stats", "--trace-out", "/nonexistent/t.jsonl"]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_check_report_out_emits_valid_json(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        assert main(["check", "--report-out", str(path), "--quiet"]) == 0
+        report = json.loads(path.read_text())
+        assert report["schema"] == "repro.telemetry.report/v1"
+        assert report["command"] == "check"
+        # per-phase span durations
+        assert report["spans"]["generate.table"]["count"] == 8
+        assert report["spans"]["invariant.check"]["total_seconds"] >= 0
+        # SQL counts / rows / latency percentiles
+        assert report["sql"]["queries"] > 0
+        assert report["sql"]["rows_returned"] > 0
+        assert report["sql"]["seconds"]["p99"] >= report["sql"]["seconds"]["p50"]
+        # invariant pass/fail tallies
+        inv = report["invariants"]
+        assert inv["checks"] == inv["passed"] + inv["failed"]
+        assert inv["checks"] > 0 and inv["failed"] == 0
+
+    def test_profile_prints_summary(self, capsys):
+        assert main(["stats", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry summary" in out and "system.build" in out
+
+    def test_quiet_suppresses_command_output(self, capsys):
+        assert main(["stats", "--quiet"]) == 0
+        assert "controller tables" not in capsys.readouterr().out
+
+    def test_trace_out_round_trips(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        assert main(["simulate", "--workload", "fig2", "--quiet",
+                     "--trace-out", str(path)]) == 0
+        from repro.telemetry import read_jsonl
+        events = read_jsonl(str(path))
+        assert any(e["type"] == "sim.message" for e in events)
+        assert any(e["type"] == "span" for e in events)
+
+    def test_telemetry_disabled_after_run(self, tmp_path):
+        from repro.telemetry import NULL_TRACER, get_tracer
+        main(["stats", "--report-out", str(tmp_path / "r.json"), "--quiet"])
+        assert get_tracer() is NULL_TRACER
 
 
 class TestRepairCommand:
