@@ -6,18 +6,30 @@ all eight controller tables, including recursive-SQL liveness checks and
 cross-controller joins) in milliseconds; the *shape* — declarative SQL
 checks are cheap enough to run on every specification edit — holds with
 orders of magnitude to spare.
+
+Benchmarks run with ``benchmark.pedantic`` and fixed round counts so the
+query totals in ``BENCH_invariants.json`` are deterministic and
+comparable across commits (auto-calibration would issue more queries the
+faster the sweep gets, masking round-trip reductions).  The default
+sweep is batched (one UNION ALL query for the whole suite); see
+``docs/PERFORMANCE.md``.
 """
 
 from repro.protocols.asura.invariants import build_invariants
+
+#: fixed pedantic rounds per benchmark — keep in sync with the docstring.
+ROUNDS_FULL = 50
+ROUNDS_FOUR = 50
+ROUNDS_LIVENESS = 100
+ROUNDS_DETERMINISM = 50
 
 
 def test_full_invariant_suite(benchmark, system):
     checker = system.invariant_checker()
 
-    def run():
-        return checker.check_all()
-
-    report = benchmark(run)
+    report = benchmark.pedantic(
+        checker.check_all, rounds=ROUNDS_FULL, iterations=1, warmup_rounds=2,
+    )
     assert report.passed
     assert len(report.results) >= 50
 
@@ -34,7 +46,9 @@ def test_paper_four_invariants(benchmark, system):
     checker.invariants = [i for i in checker.invariants if i.name in names]
     assert len(checker.invariants) == 4
 
-    report = benchmark(checker.check_all)
+    report = benchmark.pedantic(
+        checker.check_all, rounds=ROUNDS_FOUR, iterations=1, warmup_rounds=2,
+    )
     assert report.passed
 
 
@@ -44,7 +58,10 @@ def test_recursive_liveness_invariant(benchmark, system):
                if i.name == "every-busy-state-completable")
     checker = system.invariant_checker()
 
-    result = benchmark(lambda: checker.check(inv))
+    result = benchmark.pedantic(
+        lambda: checker.check(inv),
+        rounds=ROUNDS_LIVENESS, iterations=1, warmup_rounds=2,
+    )
     assert result.passed
 
 
@@ -52,5 +69,7 @@ def test_determinism_check_all_tables(benchmark, system):
     def run():
         return [t.find_overlapping_rows() for t in system.tables.values()]
 
-    overlaps = benchmark(run)
+    overlaps = benchmark.pedantic(
+        run, rounds=ROUNDS_DETERMINISM, iterations=1, warmup_rounds=2,
+    )
     assert all(not o for o in overlaps)

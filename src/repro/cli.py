@@ -55,8 +55,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("stats", parents=[common],
                    help="protocol statistics vs the paper's")
 
-    sub.add_parser("check", parents=[common],
-                   help="run all invariants and determinism checks")
+    p = sub.add_parser("check", parents=[common],
+                       help="run all invariants and determinism checks")
+    p.add_argument("--no-batch", action="store_true",
+                   help="one query per invariant instead of batched sweeps")
 
     p = sub.add_parser("deadlock", parents=[common],
                        help="static deadlock analysis")
@@ -65,6 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="transitive closure instead of one pairwise round")
     p.add_argument("--strict", action="store_true",
                    help="require message equality when composing")
+    p.add_argument("--engine", choices=("sql", "python"), default="sql",
+                   help="set-based SQL pipeline or the Python oracle")
+    p.add_argument("--workers", type=int, default=None,
+                   help="threads for parallel placement composition "
+                        "(default: one per CPU, capped at the placements)")
 
     p = sub.add_parser("simulate", parents=[common],
                        help="run the table-driven simulator")
@@ -112,7 +119,7 @@ def _cmd_stats(system, args) -> int:
 
 
 def _cmd_check(system, args) -> int:
-    report = system.check_invariants()
+    report = system.check_invariants(batch=not args.no_batch)
     print(report.render())
     return 0 if report.passed else 1
 
@@ -122,11 +129,13 @@ def _cmd_deadlock(system, args) -> int:
         args.assignment,
         ignore_messages=not args.strict,
         closure=args.closure,
+        engine=args.engine,
+        workers=args.workers,
     )
     cycles = analysis.cycles()
     print(f"V = {args.assignment}: {analysis.vcg.number_of_nodes()} channels, "
           f"{analysis.vcg.number_of_edges()} dependencies, "
-          f"{len(analysis.dependency_rows)} dependency rows "
+          f"{analysis.n_rows} dependency rows "
           f"({analysis.build_seconds:.2f}s)")
     if not cycles:
         print("no cycles: the assignment is deadlock-free")

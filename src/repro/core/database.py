@@ -12,8 +12,11 @@ SQL NULL.
 
 from __future__ import annotations
 
+import itertools
 import sqlite3
 import time
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Any, Iterable, Optional, Sequence
 
 from ..telemetry import get_tracer
@@ -21,12 +24,77 @@ from .expr import Row, Value
 from .schema import Column, TableSchema
 from .sqlgen import quote_ident, quote_value
 
-__all__ = ["ProtocolDatabase", "DatabaseError"]
+__all__ = ["ProtocolDatabase", "DatabaseError", "IndexSpec", "SNAPSHOT_SUPPORTED"]
+
+#: True when the running Python exposes ``sqlite3.Connection.serialize`` /
+#: ``deserialize`` (3.11+); the parallel deadlock workers fall back to
+#: sequential in-database execution without it.
+SNAPSHOT_SUPPORTED = hasattr(sqlite3.Connection, "serialize")
 
 
 class DatabaseError(RuntimeError):
     """A SQL statement failed; the message names the sqlite3 error class
     and includes the offending statement."""
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """A declarative index request: ``columns`` of ``table``, optionally
+    named (a stable name is derived otherwise) and UNIQUE."""
+
+    table: str
+    columns: tuple[str, ...]
+    name: Optional[str] = None
+    unique: bool = False
+
+    @property
+    def index_name(self) -> str:
+        """The index's database name (derived from table + columns when
+        not given explicitly)."""
+        return self.name or f"idx_{self.table}__{'_'.join(self.columns)}"
+
+    def sql(self) -> str:
+        """The ``CREATE INDEX IF NOT EXISTS`` statement for this spec."""
+        cols = ", ".join(quote_ident(c) for c in self.columns)
+        unique = "UNIQUE " if self.unique else ""
+        return (
+            f"CREATE {unique}INDEX IF NOT EXISTS {quote_ident(self.index_name)} "
+            f"ON {quote_ident(self.table)} ({cols})"
+        )
+
+
+class _LRUCache:
+    """A tiny bounded LRU map for metadata probe results."""
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self.maxsize = maxsize
+        self._data: OrderedDict[Any, Any] = OrderedDict()
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        try:
+            self._data.move_to_end(key)
+            return self._data[key]
+        except KeyError:
+            return default
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+    def put(self, key: Any, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+#: first SQL keyword -> which metadata caches the statement can invalidate.
+#: DML changes row counts; DDL can change schema *and* counts.  Unknown
+#: verbs conservatively invalidate everything.
+_READ_VERBS = frozenset({"SELECT", "WITH", "PRAGMA", "EXPLAIN", "ANALYZE"})
+_DML_VERBS = frozenset({"INSERT", "UPDATE", "DELETE", "REPLACE"})
 
 
 #: statement prefixes whose plans ``EXPLAIN QUERY PLAN`` can prepare even
@@ -59,12 +127,25 @@ class ProtocolDatabase:
     #: suffix used for per-column domain tables
     COLUMN_TABLE_PREFIX = "col_"
 
-    def __init__(self, path: str = ":memory:") -> None:
-        self._conn = sqlite3.connect(path)
+    #: rows per ``executemany`` batch in :meth:`insert_rows`.
+    INSERT_CHUNK = 512
+
+    def __init__(self, path: str = ":memory:", cache_metadata: bool = True) -> None:
+        # A generous prepared-statement cache: the pipelines re-issue the
+        # same parameterized probes (row counts, lookups) thousands of
+        # times per run.
+        self._conn = sqlite3.connect(path, cached_statements=256)
         self._conn.row_factory = _dict_factory
         # The workloads are bulk inserts + analytical reads; classic
         # journaling adds nothing for an in-memory scratch database.
         self._conn.execute("PRAGMA synchronous = OFF")
+        self._cache_metadata = cache_metadata
+        # Schema-level facts (table existence, column lists) survive DML;
+        # row counts survive only reads.  Both are invalidated from
+        # execute()/executemany(), so callers issuing writes through this
+        # class never observe a stale probe.
+        self._schema_cache = _LRUCache()
+        self._count_cache = _LRUCache()
 
     # -- lifecycle ------------------------------------------------------------
     def close(self) -> None:
@@ -80,6 +161,44 @@ class ProtocolDatabase:
     def connection(self) -> sqlite3.Connection:
         return self._conn
 
+    def snapshot(self) -> bytes:
+        """The whole database serialized to bytes (``sqlite3.serialize``),
+        cheap to hand to worker threads that ``deserialize`` private
+        copies.  Requires Python 3.11+ (:data:`SNAPSHOT_SUPPORTED`)."""
+        if not SNAPSHOT_SUPPORTED:
+            raise DatabaseError(
+                "sqlite3 serialize()/deserialize() needs Python 3.11+"
+            )
+        self._conn.commit()
+        return self._conn.serialize()
+
+    # -- metadata cache -----------------------------------------------------------
+    def invalidate_caches(self) -> None:
+        """Drop every cached metadata probe (automatic for writes issued
+        through this class; call manually after raw ``connection`` writes)."""
+        self._schema_cache.clear()
+        self._count_cache.clear()
+
+    def _note_statement(self, sql: str) -> None:
+        """Invalidate metadata caches according to the statement verb."""
+        verb = sql.lstrip().split(None, 1)[0].upper() if sql.strip() else ""
+        if verb in _READ_VERBS:
+            return
+        self._count_cache.clear()
+        if verb not in _DML_VERBS:
+            self._schema_cache.clear()
+
+    def _cached_probe(self, cache: _LRUCache, key: Any, compute) -> Any:
+        if not self._cache_metadata:
+            return compute()
+        if key in cache:
+            get_tracer().incr("db.cache.hits")
+            return cache.get(key)
+        get_tracer().incr("db.cache.misses")
+        value = compute()
+        cache.put(key, value)
+        return value
+
     # -- raw access -----------------------------------------------------------
     def _explain(self, sql: str, params: Sequence) -> Optional[list]:
         """Capture EXPLAIN QUERY PLAN rows for a slow statement; goes
@@ -94,6 +213,7 @@ class ProtocolDatabase:
             return None
 
     def execute(self, sql: str, params: Sequence = ()) -> sqlite3.Cursor:
+        self._note_statement(sql)
         tracer = get_tracer()
         if not tracer.enabled:
             try:
@@ -125,6 +245,7 @@ class ProtocolDatabase:
         return cursor
 
     def executemany(self, sql: str, rows: Iterable[Sequence]) -> None:
+        self._note_statement(sql)
         tracer = get_tracer()
         if not tracer.enabled:
             try:
@@ -161,19 +282,24 @@ class ProtocolDatabase:
         return rows
 
     def scalar(self, sql: str, params: Sequence = ()) -> Any:
-        rows = self.query(sql, params)
-        if not rows:
+        row = self.execute(sql, params).fetchone()
+        if row is None:
             return None
-        return next(iter(rows[0].values()))
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.record_sql_rows(sql, 1)
+        return next(iter(row.values()))
 
     # -- table management -------------------------------------------------------
     def table_exists(self, name: str) -> bool:
-        return (
-            self.scalar(
+        return self._cached_probe(
+            self._schema_cache,
+            ("exists", name),
+            lambda: self.scalar(
                 "SELECT COUNT(*) FROM sqlite_master WHERE type IN ('table','view') AND name = ?",
                 (name,),
             )
-            > 0
+            > 0,
         )
 
     def drop_table(self, name: str) -> None:
@@ -181,10 +307,46 @@ class ProtocolDatabase:
         self.execute(f"DROP VIEW IF EXISTS {quote_ident(name)}")
 
     def row_count(self, name: str) -> int:
-        return int(self.scalar(f"SELECT COUNT(*) FROM {quote_ident(name)}"))
+        return self._cached_probe(
+            self._count_cache,
+            name,
+            lambda: int(self.scalar(f"SELECT COUNT(*) FROM {quote_ident(name)}")),
+        )
 
     def table_columns(self, name: str) -> list[str]:
-        return [r["name"] for r in self.query(f"PRAGMA table_info({quote_ident(name)})")]
+        return self._cached_probe(
+            self._schema_cache,
+            ("columns", name),
+            lambda: [
+                r["name"]
+                for r in self.query(f"PRAGMA table_info({quote_ident(name)})")
+            ],
+        )
+
+    # -- indexes and planner statistics ------------------------------------------
+    def create_index(
+        self,
+        spec_or_table: "IndexSpec | str",
+        columns: Optional[Sequence[str]] = None,
+        name: Optional[str] = None,
+        unique: bool = False,
+    ) -> str:
+        """Create an index (``IF NOT EXISTS``) from an :class:`IndexSpec`
+        or from ``(table, columns)``; returns the index name."""
+        if isinstance(spec_or_table, IndexSpec):
+            spec = spec_or_table
+        else:
+            if not columns:
+                raise ValueError("create_index needs columns when given a table name")
+            spec = IndexSpec(spec_or_table, tuple(columns), name=name, unique=unique)
+        self.execute(spec.sql())
+        get_tracer().incr("db.indexes_created")
+        return spec.index_name
+
+    def analyze(self, table: Optional[str] = None) -> None:
+        """Run ``ANALYZE`` (optionally scoped to one table) so the query
+        planner has cardinality statistics for the new indexes."""
+        self.execute(f"ANALYZE {quote_ident(table)}" if table else "ANALYZE")
 
     def rows(self, name: str, order_by: Optional[Sequence[str]] = None) -> list[dict[str, Value]]:
         sql = f"SELECT * FROM {quote_ident(name)}"
@@ -222,9 +384,17 @@ class ProtocolDatabase:
     def insert_rows(self, name: str, columns: Sequence[str], rows: Iterable[Row]) -> int:
         cols = ", ".join(quote_ident(c) for c in columns)
         marks = ", ".join("?" for _ in columns)
-        data = [tuple(r[c] for c in columns) for r in rows]
-        self.executemany(f"INSERT INTO {quote_ident(name)} ({cols}) VALUES ({marks})", data)
-        return len(data)
+        sql = f"INSERT INTO {quote_ident(name)} ({cols}) VALUES ({marks})"
+        # Stream in bounded chunks instead of materializing the whole row
+        # list: generators of any size insert in O(chunk) memory.
+        tuples = (tuple(r[c] for c in columns) for r in rows)
+        total = 0
+        while True:
+            chunk = list(itertools.islice(tuples, self.INSERT_CHUNK))
+            if not chunk:
+                return total
+            self.executemany(sql, chunk)
+            total += len(chunk)
 
     def create_table_from_rows(
         self, name: str, columns: Sequence[str], rows: Iterable[Row]

@@ -161,7 +161,8 @@ class TableGenerator:
             prev_cols = ", ".join(quote_ident(c) for c in have)
             new_cols = ", ".join(quote_ident(c) for c in group)
             nxt = f"{work}_{group[0]}"
-            base_rows = self.db.row_count(work)
+            # The previous step already counted the working table.
+            base_rows = steps[-1].result_rows
             sql = (
                 f"SELECT {prev_cols}, {new_cols} FROM {quote_ident(work)} "
                 f"CROSS JOIN {self._cross_join(group)} WHERE {where}"

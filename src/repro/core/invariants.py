@@ -5,6 +5,19 @@ invariant holds when the query selecting its violating rows returns
 nothing.  An :class:`Invariant` carries that violation condition either as
 a constraint expression over one controller table's columns or as a raw
 SQL query (for invariants spanning several tables).
+
+Two execution strategies:
+
+* **per-invariant** — one SELECT per invariant, the paper's literal form.
+* **batched** (default for :meth:`InvariantChecker.check_all`) — every
+  expression invariant is compiled into one branch of a single
+  ``UNION ALL`` query tagged with the invariant's identity, so a whole
+  sweep costs a handful of database round trips instead of one per
+  invariant.  Branches are padded to a common width with NULLs so
+  invariants over different tables batch together; violating rows are
+  projected back to each invariant's own columns afterwards, which makes
+  the two strategies produce identical :class:`~repro.core.report.Report`
+  contents.  Raw-SQL invariants keep their private queries.
 """
 
 from __future__ import annotations
@@ -13,13 +26,17 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
 from ..telemetry import get_tracer, span
-from .database import ProtocolDatabase
+from .database import DatabaseError, ProtocolDatabase
 from .expr import BoolExpr
 from .report import CheckResult, Report
-from .sqlgen import quote_ident, to_sql
+from .sqlgen import quote_ident, quote_value, to_sql
 from .table import ControllerTable
 
 __all__ = ["Invariant", "InvariantChecker", "InvariantViolation"]
+
+#: compound-SELECT branches per batched query, comfortably below
+#: SQLite's default 500-term compound limit.
+MAX_BATCH_BRANCHES = 100
 
 
 @dataclass
@@ -73,11 +90,21 @@ class Invariant:
 
 
 class InvariantChecker:
-    """Runs invariants against the central database."""
+    """Runs invariants against the central database.
 
-    def __init__(self, db: ProtocolDatabase) -> None:
+    ``batch=True`` (the default) lets :meth:`check_all` /
+    :meth:`check_table` compile expression invariants into combined
+    ``UNION ALL`` sweeps; ``batch=False`` is the escape hatch that
+    restores the one-query-per-invariant behaviour everywhere.
+    """
+
+    def __init__(self, db: ProtocolDatabase, batch: bool = True) -> None:
         self.db = db
+        self.batch = batch
         self.invariants: list[Invariant] = []
+        # violation_sql -> output column names (None = not batchable),
+        # probed once with a LIMIT 0 prepare; purely schema-dependent.
+        self._sql_columns: dict[str, Optional[list[str]]] = {}
 
     def add(self, invariant: Invariant) -> None:
         self.invariants.append(invariant)
@@ -88,12 +115,7 @@ class InvariantChecker:
     def check(self, invariant: Invariant, max_violations: int = 50) -> CheckResult:
         with span("invariant.check", invariant=invariant.name) as sp:
             rows = self.db.query(invariant.query())
-        tracer = get_tracer()
-        if tracer.enabled:
-            tracer.incr("invariant.checks")
-            tracer.incr("invariant.passed" if not rows else "invariant.failed")
-            if rows:
-                tracer.incr("invariant.violations", len(rows))
+        self._tally(rows)
         details = [
             InvariantViolation(invariant.name, r) for r in rows[:max_violations]
         ]
@@ -105,16 +127,139 @@ class InvariantChecker:
             seconds=sp.seconds,
         )
 
-    def check_all(self, title: str = "protocol invariants") -> Report:
+    # -- batched sweeps ---------------------------------------------------------
+    @staticmethod
+    def _tally(rows: Sequence) -> None:
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.incr("invariant.checks")
+            tracer.incr("invariant.passed" if not rows else "invariant.failed")
+            if rows:
+                tracer.incr("invariant.violations", len(rows))
+
+    def _violation_columns(self, inv: Invariant) -> Optional[list[str]]:
+        """The columns a violating row of ``inv`` reports (``SELECT *``
+        order when no explicit report columns are given), or None when
+        the invariant cannot join a batch."""
+        if inv.violation is not None:
+            if inv.report_columns:
+                return list(inv.report_columns)
+            return self.db.table_columns(inv.table)
+        sql = inv.violation_sql
+        if sql not in self._sql_columns:
+            try:
+                cursor = self.db.execute(
+                    f'SELECT * FROM ({sql}) AS "__probe__" LIMIT 0'
+                )
+                cols = [d[0] for d in cursor.description]
+            except DatabaseError:
+                cols = None  # query shape does not nest; run it standalone
+            if cols is not None and len(set(cols)) != len(cols):
+                cols = None  # ambiguous duplicate output names
+            self._sql_columns[sql] = cols
+        return self._sql_columns[sql]
+
+    def _batch_sql(self, chunk: Sequence[tuple[int, Invariant, list[str]]], width: int) -> str:
+        """One UNION ALL query over ``chunk``; every branch is padded to
+        ``width`` value columns and tagged with the invariant's index."""
+        branches = []
+        for idx, inv, cols in chunk:
+            if inv.violation is not None:
+                source = quote_ident(inv.table)
+                where = f" WHERE {to_sql(inv.violation)}"
+            else:
+                source = f"({inv.violation_sql}) AS \"__b{idx}__\""
+                where = ""
+            selected = [f"{quote_value(str(idx))} AS \"__invariant__\""]
+            for i in range(width):
+                value = quote_ident(cols[i]) if i < len(cols) else "NULL"
+                selected.append(f"{value} AS \"v{i}\"")
+            branches.append(
+                f"SELECT {', '.join(selected)} FROM {source}{where}"
+            )
+        return "\nUNION ALL\n".join(branches)
+
+    def _check_batched(
+        self, invariants: Sequence[Invariant], max_violations: int = 50
+    ) -> list[CheckResult]:
+        """Check ``invariants`` with batched UNION ALL sweeps, returning
+        results in input order and identical in content to the
+        per-invariant path (raw-SQL invariants still run individually)."""
+        batchable = []
+        for idx, inv in enumerate(invariants):
+            cols = self._violation_columns(inv)
+            if cols is not None:
+                batchable.append((idx, inv, cols))
+        violations: dict[int, list[dict]] = {idx: [] for idx, _, _ in batchable}
+        seconds: dict[int, float] = {}
+        tracer = get_tracer()
+        for start in range(0, len(batchable), MAX_BATCH_BRANCHES):
+            chunk = batchable[start:start + MAX_BATCH_BRANCHES]
+            width = max(len(cols) for _, _, cols in chunk)
+            sql = self._batch_sql(chunk, width)
+            with span("invariant.check_batch", invariants=len(chunk)) as sp:
+                rows = self.db.query(sql)
+            if tracer.enabled:
+                tracer.incr("invariant.batches")
+                tracer.incr("invariant.batched", len(chunk))
+            for r in rows:
+                violations[int(r["__invariant__"])].append(r)
+            # Attribute the sweep's wall time evenly across its branches
+            # so Report.total_seconds still sums to real time spent.
+            share = sp.seconds / len(chunk)
+            for idx, _, _ in chunk:
+                seconds[idx] = share
+
+        columns_of = {idx: cols for idx, _, cols in batchable}
+        results: list[CheckResult] = []
+        for idx, inv in enumerate(invariants):
+            if idx not in columns_of:
+                results.append(self.check(inv, max_violations))
+                continue
+            cols = columns_of[idx]
+            rows = [
+                {c: r[f"v{i}"] for i, c in enumerate(cols)}
+                for r in violations[idx]
+            ]
+            self._tally(rows)
+            results.append(CheckResult(
+                name=inv.name,
+                passed=not rows,
+                description=inv.description,
+                details=[
+                    InvariantViolation(inv.name, r)
+                    for r in rows[:max_violations]
+                ],
+                seconds=seconds[idx],
+            ))
+        return results
+
+    def _sweep(self, invariants: Sequence[Invariant], batch: Optional[bool]) -> list[CheckResult]:
+        use_batch = self.batch if batch is None else batch
+        if use_batch and invariants:
+            return self._check_batched(invariants)
+        return [self.check(inv) for inv in invariants]
+
+    def check_all(
+        self, title: str = "protocol invariants", batch: Optional[bool] = None
+    ) -> Report:
+        """Run every invariant; ``batch`` overrides the checker default."""
         report = Report(title)
-        for inv in self.invariants:
-            report.add(self.check(inv))
+        report.extend(self._sweep(self.invariants, batch))
         return report
 
-    def check_table(self, table: ControllerTable, title: Optional[str] = None) -> Report:
+    def check_table(
+        self,
+        table: ControllerTable,
+        title: Optional[str] = None,
+        batch: Optional[bool] = None,
+    ) -> Report:
         """Run only the invariants that target ``table``."""
         report = Report(title or f"invariants on {table.schema.name}")
-        for inv in self.invariants:
-            if inv.table == table.table_name or inv.table == table.schema.name:
-                report.add(self.check(inv))
+        selected = [
+            inv
+            for inv in self.invariants
+            if inv.table == table.table_name or inv.table == table.schema.name
+        ]
+        report.extend(self._sweep(selected, batch))
         return report

@@ -92,15 +92,16 @@ class AsuraSystem:
         return self.tables[name]
 
     # -- static checks ----------------------------------------------------------
-    def invariant_checker(self) -> InvariantChecker:
-        checker = InvariantChecker(self.db)
+    def invariant_checker(self, batch: bool = True) -> InvariantChecker:
+        checker = InvariantChecker(self.db, batch=batch)
         checker.extend(asura_invariants.build_invariants())
         return checker
 
-    def check_invariants(self) -> Report:
+    def check_invariants(self, batch: bool = True) -> Report:
         """Run the full invariant suite plus per-table determinism checks
         (no two rows of any controller match the same concrete input)."""
-        report = self.invariant_checker().check_all("ASURA protocol invariants")
+        report = self.invariant_checker(batch=batch).check_all(
+            "ASURA protocol invariants")
         tracer = get_tracer()
         for name, table in self.tables.items():
             with span("invariant.determinism", table=name) as sp:
@@ -163,15 +164,24 @@ class AsuraSystem:
         placements: Sequence[Placement] = ALL_PLACEMENTS,
         ignore_messages: bool = True,
         closure: bool = False,
+        engine: str = "sql",
+        workers: Optional[int] = None,
+        table_name: Optional[str] = None,
     ) -> DeadlockAnalysis:
         """Run the section 4.1 analysis for one channel assignment
-        (``v4``, ``v5`` or ``v5d``)."""
+        (``v4``, ``v5`` or ``v5d``).  ``engine`` picks the set-based SQL
+        pipeline (default) or the row-at-a-time Python oracle; ``workers``
+        fans placements across snapshot threads when > 1."""
         channels_ = self.channel_assignments[assignment]
-        analyzer = DeadlockAnalyzer(self.db, self.deadlock_specs(), channels_)
+        analyzer = DeadlockAnalyzer(
+            self.db, self.deadlock_specs(), channels_,
+            engine=engine, workers=workers,
+        )
         return analyzer.analyze(
             placements=placements,
             ignore_messages=ignore_messages,
             closure=closure,
+            table_name=table_name,
         )
 
     # -- statistics --------------------------------------------------------------------

@@ -1,8 +1,16 @@
 """Unit tests for the ProtocolDatabase layer."""
 
+import sqlite3
+
 import pytest
 
-from repro.core.database import DatabaseError, ProtocolDatabase
+from repro import telemetry
+from repro.core.database import (
+    SNAPSHOT_SUPPORTED,
+    DatabaseError,
+    IndexSpec,
+    ProtocolDatabase,
+)
 from repro.core.schema import Column, Role, TableSchema
 
 
@@ -106,6 +114,130 @@ class TestSetOperations:
             "d", ("a",), [{"a": "1"}, {"a": "1"}, {"a": None}]
         )
         assert set(db.distinct_values("d", "a")) == {"1", None}
+
+
+class TestIndexSpec:
+    def test_derived_name_is_stable(self):
+        spec = IndexSpec("dep", ("m", "s", "d"))
+        assert spec.index_name == "idx_dep__m_s_d"
+
+    def test_explicit_name_wins(self):
+        assert IndexSpec("dep", ("m",), name="dep_in").index_name == "dep_in"
+
+    def test_sql_is_idempotent_create(self):
+        sql = IndexSpec("dep", ("m", "s")).sql()
+        assert sql.startswith("CREATE INDEX IF NOT EXISTS")
+        assert '"dep"' in sql and '"m", "s"' in sql
+
+    def test_unique_spec(self):
+        assert IndexSpec("dep", ("m",), unique=True).sql().startswith(
+            "CREATE UNIQUE INDEX"
+        )
+
+    def test_create_index_registers_in_sqlite_master(self, db):
+        db.create_table("d", ("a", "b"))
+        name = db.create_index("d", ("a", "b"))
+        found = db.scalar(
+            "SELECT COUNT(*) FROM sqlite_master WHERE type='index' AND name=?",
+            (name,),
+        )
+        assert found == 1
+        # IF NOT EXISTS: re-creating is a no-op, not an error.
+        assert db.create_index("d", ("a", "b")) == name
+
+    def test_create_index_without_columns_rejected(self, db):
+        with pytest.raises(ValueError, match="columns"):
+            db.create_index("d")
+
+    def test_analyze_accepts_indexed_table(self, db):
+        db.create_table("d", ("a",))
+        db.insert_rows("d", ("a",), [{"a": "1"}, {"a": "2"}])
+        db.create_index("d", ("a",))
+        db.analyze("d")
+        db.analyze()
+
+
+class TestMetadataCache:
+    def test_row_count_served_from_cache(self, db):
+        db.create_table_from_rows("d", ("a",), [{"a": "1"}])
+        tracer = telemetry.Tracer()
+        with telemetry.use_tracer(tracer):
+            db.row_count("d")
+            db.row_count("d")
+            db.row_count("d")
+        assert tracer.registry.counters["db.cache.misses"] == 1
+        assert tracer.registry.counters["db.cache.hits"] == 2
+
+    def test_insert_invalidates_row_count(self, db):
+        db.create_table_from_rows("d", ("a",), [{"a": "1"}])
+        assert db.row_count("d") == 1
+        db.insert_rows("d", ("a",), [{"a": "2"}])
+        assert db.row_count("d") == 2
+
+    def test_ddl_invalidates_schema_probes(self, db):
+        assert not db.table_exists("d")
+        db.create_table("d", ("a",))
+        assert db.table_exists("d")
+        assert db.table_columns("d") == ["a"]
+        db.drop_table("d")
+        assert not db.table_exists("d")
+
+    def test_raw_connection_writes_need_manual_invalidate(self, db):
+        db.create_table_from_rows("d", ("a",), [{"a": "1"}])
+        assert db.row_count("d") == 1
+        db.connection.execute("INSERT INTO d VALUES ('2')")
+        # The probe is (documentedly) stale until invalidated.
+        assert db.row_count("d") == 1
+        db.invalidate_caches()
+        assert db.row_count("d") == 2
+
+    def test_cache_can_be_disabled(self):
+        with ProtocolDatabase(cache_metadata=False) as d:
+            d.create_table_from_rows("d", ("a",), [{"a": "1"}])
+            tracer = telemetry.Tracer()
+            with telemetry.use_tracer(tracer):
+                d.row_count("d")
+                d.row_count("d")
+            assert "db.cache.hits" not in tracer.registry.counters
+
+
+class TestChunkedInsert:
+    def test_generator_larger_than_chunk_inserts_every_row(self, db):
+        n = ProtocolDatabase.INSERT_CHUNK * 2 + 7
+        db.create_table("d", ("a",))
+        inserted = db.insert_rows("d", ("a",), ({"a": str(i)} for i in range(n)))
+        assert inserted == n
+        assert db.row_count("d") == n
+        assert db.scalar("SELECT COUNT(DISTINCT a) FROM d") == n
+
+    def test_empty_iterable(self, db):
+        db.create_table("d", ("a",))
+        assert db.insert_rows("d", ("a",), iter(())) == 0
+
+
+@pytest.mark.skipif(not SNAPSHOT_SUPPORTED,
+                    reason="sqlite3 serialize() needs Python 3.11+")
+class TestSnapshot:
+    def test_round_trip_preserves_rows(self, db):
+        db.create_table_from_rows("d", ("a",), [{"a": "1"}, {"a": "2"}])
+        blob = db.snapshot()
+        assert isinstance(blob, bytes) and blob
+        conn = sqlite3.connect(":memory:")
+        try:
+            conn.deserialize(blob)
+            assert conn.execute("SELECT COUNT(*) FROM d").fetchone()[0] == 2
+        finally:
+            conn.close()
+
+    def test_private_copy_isolated_from_source(self, db):
+        db.create_table_from_rows("d", ("a",), [{"a": "1"}])
+        conn = sqlite3.connect(":memory:")
+        try:
+            conn.deserialize(db.snapshot())
+            conn.execute("INSERT INTO d VALUES ('worker-only')")
+            assert db.row_count("d") == 1
+        finally:
+            conn.close()
 
 
 class TestLifecycle:

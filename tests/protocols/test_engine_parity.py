@@ -1,0 +1,212 @@
+"""Parity and query-plan regression tests for the verification engine.
+
+Two guarantees the performance work must never erode:
+
+* **Parity** — the batched invariant sweep and the SQL deadlock engine
+  are pure optimizations: their outputs are identical (content *and*
+  order) to the per-invariant checker and the Python row-at-a-time
+  extraction loops they replaced.
+
+* **Plans** — the composition self-joins and direct-extraction joins
+  actually use the indexes :func:`~repro.core.deadlock._dep_index_specs`
+  and friends create.  Without these EXPLAIN checks, a refactor could
+  silently fall back to nested full scans and only show up as a slow CI
+  run much later.
+"""
+
+import pytest
+
+from repro.core.database import SNAPSHOT_SUPPORTED, ProtocolDatabase
+from repro.core.deadlock import (
+    ChannelAssignment,
+    DeadlockAnalyzer,
+    MissingAssignmentError,
+    VCAssignment,
+    _DEP_COLUMNS,
+)
+from repro.core.expr import C
+from repro.core.invariants import Invariant, InvariantChecker
+from repro.core.schema import Column, Role, TableSchema
+from repro.core.table import ControllerTable
+
+
+def result_key(r):
+    """Everything a CheckResult reports except wall time."""
+    return (r.name, r.passed, r.description,
+            tuple((v.invariant, tuple(sorted(v.row.items())))
+                  for v in r.details))
+
+
+@pytest.fixture(scope="module")
+def analyzer(system):
+    return DeadlockAnalyzer(
+        system.db, system.deadlock_specs(), system.channel_assignments["v5"],
+    )
+
+
+class TestInvariantBatchParity:
+    def test_full_suite_identical(self, system):
+        batched = system.invariant_checker(batch=True).check_all("b")
+        unbatched = system.invariant_checker(batch=False).check_all("u")
+        assert [result_key(r) for r in batched.results] == \
+               [result_key(r) for r in unbatched.results]
+
+    def test_violations_identical_including_order(self, db):
+        schema = TableSchema("D", [
+            Column("dirst", ("I", "SI", "MESI"), Role.INPUT, nullable=False),
+            Column("dirpv", ("zero", "one", "gone"), Role.INPUT,
+                   nullable=False),
+        ])
+        ControllerTable.from_rows(db, schema, [
+            {"dirst": "MESI", "dirpv": "gone"},
+            {"dirst": "I", "dirpv": "one"},
+            {"dirst": "MESI", "dirpv": "zero"},
+            {"dirst": "SI", "dirpv": "gone"},
+        ])
+        invs = [
+            Invariant(name="pv", description="inv 1", table="D",
+                      violation=(C("dirst").eq("MESI") & C("dirpv").ne("one"))
+                      | (C("dirst").eq("I") & C("dirpv").ne("zero"))),
+            Invariant(name="no-gone", description="inv 2", table="D",
+                      violation=C("dirpv").eq("gone"),
+                      report_columns=("dirpv",)),
+            Invariant(name="raw", description="inv 3",
+                      violation_sql="SELECT dirst FROM D WHERE dirst = 'SI'"),
+        ]
+        batched = InvariantChecker(db, batch=True)
+        unbatched = InvariantChecker(db, batch=False)
+        batched.extend(invs)
+        unbatched.extend(invs)
+        b, u = batched.check_all("b"), unbatched.check_all("u")
+        assert [result_key(r) for r in b.results] == \
+               [result_key(r) for r in u.results]
+        # And the failing results really carry rows, in table order.
+        assert [str(v) for v in b.results[0].details] == [
+            "pv: dirst=MESI, dirpv=gone",
+            "pv: dirst=I, dirpv=one",
+            "pv: dirst=MESI, dirpv=zero",
+        ]
+
+
+def rows_of(analysis):
+    return [tuple(getattr(r, c) for c in _DEP_COLUMNS)
+            for r in analysis.dependency_rows]
+
+
+class TestDeadlockEngineParity:
+    @pytest.mark.parametrize("assignment", ["v4", "v5", "v5d"])
+    def test_sql_matches_python_oracle(self, system, assignment):
+        sql = system.analyze_deadlocks(
+            assignment, engine="sql", workers=1,
+            table_name=f"pdt_par_sql_{assignment}")
+        py = system.analyze_deadlocks(
+            assignment, engine="python",
+            table_name=f"pdt_par_py_{assignment}")
+        assert rows_of(sql) == rows_of(py)
+        assert sql.n_rows == py.n_rows
+        assert sql.edges() == py.edges()
+        assert sql.cycles() == py.cycles()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"closure": True},
+        {"ignore_messages": False},
+    ], ids=["closure", "strict"])
+    def test_variant_parity(self, system, kwargs):
+        tag = "_".join(kwargs)
+        sql = system.analyze_deadlocks(
+            "v5", engine="sql", workers=1,
+            table_name=f"pdt_var_sql_{tag}", **kwargs)
+        py = system.analyze_deadlocks(
+            "v5", engine="python", table_name=f"pdt_var_py_{tag}", **kwargs)
+        assert sorted(rows_of(sql)) == sorted(rows_of(py))
+        assert sql.cycles() == py.cycles()
+
+    @pytest.mark.skipif(not SNAPSHOT_SUPPORTED,
+                        reason="sqlite3 serialize() needs Python 3.11+")
+    def test_parallel_workers_match_sequential(self, system):
+        seq = system.analyze_deadlocks(
+            "v5", engine="sql", workers=1, table_name="pdt_seq")
+        par = system.analyze_deadlocks(
+            "v5", engine="sql", workers=4, table_name="pdt_par")
+        assert sorted(rows_of(par)) == sorted(rows_of(seq))
+        assert par.cycles() == seq.cycles()
+
+    def test_missing_assignment_error_parity(self, system):
+        v5 = system.channel_assignments["v5"]
+        broken = ChannelAssignment(
+            "broken",
+            [a for a in v5.assignments if a.message != "mread"],
+            v5.dedicated,
+        )
+        errors = {}
+        for engine in ("python", "sql"):
+            analyzer = DeadlockAnalyzer(
+                system.db, system.deadlock_specs(), broken, engine=engine)
+            with pytest.raises(MissingAssignmentError) as exc:
+                analyzer.analyze(table_name=f"pdt_broken_{engine}")
+            errors[engine] = str(exc.value)
+        assert errors["python"] == errors["sql"]
+        assert "mread" in errors["sql"]
+
+    def test_unknown_engine_rejected(self, system):
+        with pytest.raises(ValueError, match="unknown deadlock engine"):
+            DeadlockAnalyzer(system.db, system.deadlock_specs(),
+                             system.channel_assignments["v5"],
+                             engine="pandas")
+
+
+def plan_lines(db, sql):
+    cur = db.execute("EXPLAIN QUERY PLAN " + sql)
+    return [r["detail"] for r in cur.fetchall()]
+
+
+class TestQueryPlans:
+    """EXPLAIN QUERY PLAN regressions: the engine's hot joins must stay
+    index-backed.  sqlite reports an index-free probe as ``SCAN <alias>``
+    and an indexed one as ``SEARCH <alias> USING ... INDEX <name>``."""
+
+    def test_composition_join_and_dedup_use_indexes(self, system, analyzer):
+        analyzer.analyze(table_name="pdt_plan", workers=1)
+        stmts = analyzer._compose_round_stmts(
+            "pdt_plan", ignore_messages=True, closure=False)
+        *setup, insert, drop = stmts
+        for stmt in setup:
+            system.db.execute(stmt)
+        try:
+            lines = plan_lines(system.db, insert)
+        finally:
+            system.db.execute(drop)
+        joined = "\n".join(lines)
+        # The b-side probe of the self-join and the NOT EXISTS dedup probe
+        # must both be index searches, never full scans.
+        assert "USING INDEX pdt_plan__cand_in" in joined
+        assert "USING INDEX pdt_plan_dedup" in joined
+        assert not any(line.startswith("SCAN b") for line in lines)
+        assert not any(line.startswith("SCAN c") for line in lines)
+
+    def test_direct_extraction_probes_v_index(self, system, analyzer):
+        v_table = analyzer._assignment_table()
+        system.db.create_table("__exact_plan", _DEP_COLUMNS)
+        spec = analyzer.specs[0]
+        lines = plan_lines(
+            system.db, analyzer._direct_sql(spec, v_table, "__exact_plan"))
+        system.db.drop_table("__exact_plan")
+        indexed = [l for l in lines if "USING" in l and "INDEX" in l]
+        # Both V probes (vi and vo) of every branch hit the covering index.
+        assert len(indexed) >= 2 * len(spec.output_triples)
+        assert not any(l.startswith(("SCAN vi", "SCAN vo")) for l in lines)
+
+    def test_invariant_batch_is_one_compound_statement(self, system):
+        checker = system.invariant_checker()
+        batchable = []
+        for idx, inv in enumerate(checker.invariants):
+            cols = checker._violation_columns(inv)
+            if cols is not None:
+                batchable.append((idx, inv, cols))
+        assert len(batchable) >= 50
+        width = max(len(cols) for _, _, cols in batchable)
+        sql = checker._batch_sql(batchable, width)
+        lines = plan_lines(system.db, sql)
+        # One prepared compound statement covering every branch — this is
+        # where the ~40x round-trip reduction comes from.
+        assert any("COMPOUND" in l or "UNION ALL" in l for l in lines)
