@@ -8,12 +8,15 @@
     python -m repro mc --assignment v5     # model-checker baseline
     python -m repro map                    # section-5 hardware mapping
     python -m repro codegen M --verilog    # generated controller code
+    python -m repro mutate --seed 0 --count 50   # fault-injection campaign
 
 Every subcommand also accepts the telemetry flags ``--profile``
 (human text summary), ``--trace-out events.jsonl`` (JSONL event
 stream), ``--report-out report.json`` (machine-readable run report),
 and ``--quiet`` (suppress the normal human output) — see
-``docs/OBSERVABILITY.md``.
+``docs/OBSERVABILITY.md`` — plus the database flags ``--db PATH``
+(attach to an existing generated database file) and ``--save-db PATH``
+(generate into a file for later ``--db`` runs).
 """
 
 from __future__ import annotations
@@ -39,6 +42,13 @@ def _telemetry_parent() -> argparse.ArgumentParser:
                    help="write the machine-readable JSON run report to PATH")
     g.add_argument("--quiet", action="store_true",
                    help="suppress the command's normal output")
+    d = common.add_argument_group("database")
+    d.add_argument("--db", metavar="PATH", default=None,
+                   help="attach to an existing generated protocol database "
+                        "file instead of regenerating (error if missing)")
+    d.add_argument("--save-db", metavar="PATH", default=None,
+                   help="generate the protocol into a database file at PATH "
+                        "(reusable later via --db)")
     return common
 
 
@@ -103,6 +113,29 @@ def build_parser() -> argparse.ArgumentParser:
                                      "NI", "PE"))
     p.add_argument("--verilog", action="store_true",
                    help="emit Verilog instead of Python")
+
+    p = sub.add_parser("mutate", parents=[common],
+                       help="protocol mutation / fault-injection campaign")
+    p.add_argument("--seed", type=int, default=0,
+                   help="RNG seed; the mutant stream is deterministic and "
+                        "prefix-stable per seed (default: %(default)s)")
+    p.add_argument("--count", type=int, default=50,
+                   help="number of mutants to run (default: %(default)s)")
+    p.add_argument("--classes", metavar="LIST", default=None,
+                   help="comma-separated fault classes (default: all; see "
+                        "docs/FAULT_INJECTION.md)")
+    p.add_argument("--assignment", choices=("v4", "v5", "v5d"),
+                   default="v5d",
+                   help="channel assignment the campaign perturbs and "
+                        "analyzes (default: %(default)s)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="threads fanning mutants across snapshot clones "
+                        "(default: 4; forced to 1 under telemetry)")
+    p.add_argument("--matrix-out", metavar="PATH", default=None,
+                   help="write the detection-matrix JSON report to PATH")
+    p.add_argument("--baseline", metavar="PATH", default=None,
+                   help="compare against a committed detection matrix and "
+                        "exit 1 on any detection regression")
     return parser
 
 
@@ -230,6 +263,56 @@ def _cmd_codegen(system, args) -> int:
     return 0
 
 
+def _cmd_mutate(system, args) -> int:
+    import json
+
+    from .faults import compare_to_baseline, run_campaign
+
+    classes = None
+    if args.classes:
+        classes = tuple(c.strip() for c in args.classes.split(",")
+                        if c.strip())
+    if args.matrix_out:
+        try:
+            # Fail fast on an unwritable matrix path, before the campaign.
+            open(args.matrix_out, "a", encoding="utf-8").close()
+        except OSError as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
+    baseline = None
+    if args.baseline:
+        try:
+            with open(args.baseline, encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"repro: error: cannot read baseline "
+                  f"{args.baseline!r}: {exc}", file=sys.stderr)
+            return 2
+    try:
+        result = run_campaign(
+            system=system, seed=args.seed, count=args.count,
+            classes=classes, assignment=args.assignment,
+            workers=args.workers)
+    except ValueError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    print(result.render())
+    current = result.to_dict()
+    if args.matrix_out:
+        with open(args.matrix_out, "w", encoding="utf-8") as fh:
+            json.dump(current, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if baseline is not None:
+        failures = compare_to_baseline(current, baseline)
+        if failures:
+            print("detection regressions vs baseline:")
+            for failure in failures:
+                print(f"  FAIL {failure}")
+            return 1
+        print(f"no detection regressions vs baseline ({args.baseline})")
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "check": _cmd_check,
@@ -239,7 +322,48 @@ _COMMANDS = {
     "repair": _cmd_repair,
     "map": _cmd_map,
     "codegen": _cmd_codegen,
+    "mutate": _cmd_mutate,
 }
+
+
+class _SystemLoadError(RuntimeError):
+    """A --db/--save-db path could not be used; the message is the
+    user-facing diagnostic (printed without a traceback)."""
+
+
+def _load_system(args):
+    """Build or attach the protocol system per the --db/--save-db flags."""
+    import os
+    import sqlite3
+
+    from .core.database import DatabaseError, ProtocolDatabase
+    from .core.schema import SchemaError
+    from .protocols.asura import build_system
+    from .protocols.asura.system import AsuraSystem
+
+    db_path = getattr(args, "db", None)
+    save_path = getattr(args, "save_db", None)
+    if db_path and save_path:
+        raise _SystemLoadError("--db and --save-db are mutually exclusive")
+    if db_path:
+        if not os.path.exists(db_path):
+            raise _SystemLoadError(
+                f"database file {db_path!r} does not exist "
+                f"(generate one with --save-db)")
+        try:
+            return AsuraSystem.from_database(ProtocolDatabase(db_path))
+        except (DatabaseError, SchemaError, sqlite3.Error) as exc:
+            raise _SystemLoadError(
+                f"cannot load protocol database {db_path!r}: "
+                f"{str(exc).splitlines()[0]}") from exc
+    if save_path:
+        try:
+            return build_system(ProtocolDatabase(save_path))
+        except (DatabaseError, sqlite3.Error) as exc:
+            raise _SystemLoadError(
+                f"cannot generate a database at {save_path!r}: "
+                f"{str(exc).splitlines()[0]}") from exc
+    return build_system()
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -263,9 +387,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         tracer = telemetry.get_tracer()
 
-    from .protocols.asura import build_system
     try:
-        system = build_system()
+        try:
+            system = _load_system(args)
+        except _SystemLoadError as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
         try:
             sink = io.StringIO() if args.quiet else None
             with contextlib.redirect_stdout(sink) if sink else contextlib.nullcontext():

@@ -24,12 +24,25 @@ from .expr import Row, Value
 from .schema import Column, TableSchema
 from .sqlgen import quote_ident, quote_value
 
-__all__ = ["ProtocolDatabase", "DatabaseError", "IndexSpec", "SNAPSHOT_SUPPORTED"]
+__all__ = [
+    "ProtocolDatabase",
+    "DatabaseError",
+    "IndexSpec",
+    "SNAPSHOT_SUPPORTED",
+    "PORTABLE_SNAPSHOT_MAGIC",
+]
 
 #: True when the running Python exposes ``sqlite3.Connection.serialize`` /
 #: ``deserialize`` (3.11+); the parallel deadlock workers fall back to
 #: sequential in-database execution without it.
 SNAPSHOT_SUPPORTED = hasattr(sqlite3.Connection, "serialize")
+
+#: Prefix tagging the portable snapshot format: a full SQL dump of the
+#: database (schema *including indexes and views* plus every row) that
+#: :meth:`ProtocolDatabase.deserialize` can restore on any Python.  Raw
+#: ``sqlite3.serialize`` images instead start with the sqlite file magic
+#: ``b"SQLite format 3\\x00"``, so the two formats are self-describing.
+PORTABLE_SNAPSHOT_MAGIC = b"repro-snapshot:sqldump:1\n"
 
 
 class DatabaseError(RuntimeError):
@@ -149,6 +162,13 @@ class ProtocolDatabase:
 
     # -- lifecycle ------------------------------------------------------------
     def close(self) -> None:
+        """Commit any open implicit transaction and close the connection
+        (without the commit, a file-backed database would roll back
+        everything written since the last snapshot on close)."""
+        try:
+            self._conn.commit()
+        except sqlite3.Error:
+            pass
         self._conn.close()
 
     def __enter__(self) -> "ProtocolDatabase":
@@ -161,16 +181,58 @@ class ProtocolDatabase:
     def connection(self) -> sqlite3.Connection:
         return self._conn
 
-    def snapshot(self) -> bytes:
-        """The whole database serialized to bytes (``sqlite3.serialize``),
-        cheap to hand to worker threads that ``deserialize`` private
-        copies.  Requires Python 3.11+ (:data:`SNAPSHOT_SUPPORTED`)."""
-        if not SNAPSHOT_SUPPORTED:
-            raise DatabaseError(
-                "sqlite3 serialize()/deserialize() needs Python 3.11+"
-            )
+    def snapshot(self, portable: bool = False) -> bytes:
+        """The whole database serialized to bytes, cheap to hand to
+        worker threads that :meth:`deserialize` into private copies.
+
+        Uses ``sqlite3.Connection.serialize`` when available (Python
+        3.11+, :data:`SNAPSHOT_SUPPORTED`).  Without it — or when
+        ``portable`` is True — falls back to a tagged SQL-dump format
+        (:data:`PORTABLE_SNAPSHOT_MAGIC`).  Both formats round-trip the
+        complete schema: tables, views, and crucially the indexes created
+        via :class:`IndexSpec`, which the analysis engines rely on after a
+        clone."""
         self._conn.commit()
-        return self._conn.serialize()
+        if SNAPSHOT_SUPPORTED and not portable:
+            return self._conn.serialize()
+        # iterdump()'s generator unpacks sqlite_master rows positionally,
+        # which the dict row factory would break — swap it out while the
+        # dump is materialized.
+        prev = self._conn.row_factory
+        self._conn.row_factory = None
+        try:
+            script = "\n".join(self._conn.iterdump())
+        finally:
+            self._conn.row_factory = prev
+        return PORTABLE_SNAPSHOT_MAGIC + script.encode("utf-8")
+
+    @classmethod
+    def deserialize(cls, data: bytes, cache_metadata: bool = True) -> "ProtocolDatabase":
+        """A new in-memory database restored from :meth:`snapshot` bytes.
+
+        Accepts both snapshot formats (raw ``sqlite3.serialize`` image and
+        the portable SQL dump) and restores rows *and* the full schema —
+        including :class:`IndexSpec` indexes, so a restored clone keeps the
+        query plans the analysis engines were tuned for.  Raw images
+        require Python 3.11+; the portable format restores anywhere."""
+        db = cls(cache_metadata=cache_metadata)
+        if data.startswith(PORTABLE_SNAPSHOT_MAGIC):
+            script = data[len(PORTABLE_SNAPSHOT_MAGIC):].decode("utf-8")
+            db._conn.executescript(script)
+            db._conn.commit()
+        elif SNAPSHOT_SUPPORTED:
+            db._conn.deserialize(data)
+            # deserialize() swaps out the whole main database and with it
+            # the per-database synchronous setting from __init__.
+            db._conn.execute("PRAGMA synchronous = OFF")
+        else:
+            raise DatabaseError(
+                "cannot restore a raw sqlite3 snapshot on this Python "
+                "(serialize()/deserialize() need 3.11+); create the "
+                "snapshot with snapshot(portable=True) instead"
+            )
+        db.invalidate_caches()
+        return db
 
     # -- metadata cache -----------------------------------------------------------
     def invalidate_caches(self) -> None:

@@ -1,0 +1,401 @@
+"""The mutation campaign: every mutant through the full detection pipeline.
+
+Each sampled mutation is applied to a private clone of the generated
+system (database snapshot → :meth:`ProtocolDatabase.deserialize` →
+:meth:`AsuraSystem.from_database`) and pushed through the three detection
+layers in the paper's order:
+
+1. **invariants** — the behavioral suite + per-table determinism checks
+   + the structural audits (conformance/completeness, see
+   :mod:`repro.faults.audits`);
+2. **deadlock** — the SQL VCG analysis; a mutant is caught when the cycle
+   set differs from the clean system's or the V lookup fails;
+3. **simulation** — Figure 2 plus a short random workload; protocol
+   lookup failures, coherence violations, deadlocks, and non-quiescent
+   runs all count as detection.
+
+The per-mutant :class:`DetectionReport` records the earliest layer that
+fired (or ESCAPED); :class:`CampaignResult` aggregates the fault-class ×
+layer detection matrix that ``repro mutate`` prints and commits as
+``BENCH_mutation.json``.  :func:`compare_to_baseline` gates CI: a mutant
+that a previous campaign caught at some layer must never be caught later
+(or escape) after a code change.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core.database import DatabaseError, ProtocolDatabase
+from ..core.deadlock import MissingAssignmentError
+from ..core.invariants import InvariantChecker
+from ..core.table import LookupError_
+from ..telemetry import get_tracer, span
+from .audits import prepare_reference_tables, structural_invariants
+from .mutations import FAULT_CLASSES, Mutation, MutationEngine
+
+__all__ = [
+    "DetectionReport",
+    "CampaignResult",
+    "run_campaign",
+    "compare_to_baseline",
+    "MATRIX_SCHEMA",
+]
+
+#: schema tag of the detection-matrix JSON report.
+MATRIX_SCHEMA = "repro.faults.matrix/v1"
+
+#: detection layers, earliest first; ESCAPED sorts after all of them.
+LAYERS = ("invariants", "deadlock", "simulation")
+
+_LAYER_RANK = {"invariants": 0, "deadlock": 1, "simulation": 2, None: 3}
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """The outcome of one mutant's trip through the pipeline."""
+
+    mutant_id: int
+    fault_class: str
+    target: str
+    description: str
+    detected_by: Optional[str]  # one of LAYERS, or None for ESCAPED
+    detail: str = ""
+    seconds: float = 0.0
+
+    @property
+    def caught(self) -> bool:
+        """Whether any layer detected the mutant."""
+        return self.detected_by is not None
+
+    @property
+    def caught_pre_sim(self) -> bool:
+        """Whether a static layer (invariants or deadlock) detected the
+        mutant before any simulation ran — the paper's headline claim."""
+        return self.detected_by in ("invariants", "deadlock")
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form; timing is excluded so the report is
+        byte-for-byte deterministic for a given seed and code version."""
+        return {
+            "mutant_id": self.mutant_id,
+            "fault_class": self.fault_class,
+            "target": self.target,
+            "description": self.description,
+            "detected_by": self.detected_by,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class CampaignResult:
+    """All detection reports of one campaign plus the aggregate matrix."""
+
+    seed: int
+    assignment: str
+    classes: tuple[str, ...]
+    reports: list[DetectionReport] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def count(self) -> int:
+        """Number of mutants the campaign ran."""
+        return len(self.reports)
+
+    def matrix(self) -> dict[str, dict[str, int]]:
+        """fault class -> {count, invariants, deadlock, simulation,
+        escaped} detection counts."""
+        out: dict[str, dict[str, int]] = {}
+        for cls in self.classes:
+            out[cls] = {"count": 0, "invariants": 0, "deadlock": 0,
+                        "simulation": 0, "escaped": 0}
+        for r in self.reports:
+            row = out.setdefault(
+                r.fault_class,
+                {"count": 0, "invariants": 0, "deadlock": 0,
+                 "simulation": 0, "escaped": 0})
+            row["count"] += 1
+            row[r.detected_by or "escaped"] += 1
+        return out
+
+    def totals(self) -> dict:
+        """Campaign-wide counts and rates."""
+        n = self.count
+        by_layer = {layer: sum(1 for r in self.reports
+                               if r.detected_by == layer)
+                    for layer in LAYERS}
+        escaped = sum(1 for r in self.reports if not r.caught)
+        pre_sim = by_layer["invariants"] + by_layer["deadlock"]
+        return {
+            "count": n,
+            **by_layer,
+            "escaped": escaped,
+            "pre_sim_rate": round(pre_sim / n, 4) if n else 0.0,
+            "detection_rate": round((n - escaped) / n, 4) if n else 0.0,
+        }
+
+    def to_dict(self) -> dict:
+        """The detection-matrix report (``BENCH_mutation.json`` format)."""
+        return {
+            "schema": MATRIX_SCHEMA,
+            "seed": self.seed,
+            "count": self.count,
+            "assignment": self.assignment,
+            "classes": list(self.classes),
+            "matrix": self.matrix(),
+            "totals": self.totals(),
+            "mutants": [r.to_dict() for r in self.reports],
+        }
+
+    def render(self) -> str:
+        """Human-readable detection matrix."""
+        lines = [f"mutation campaign: seed={self.seed} count={self.count} "
+                 f"assignment={self.assignment} "
+                 f"({self.wall_seconds:.2f}s)"]
+        header = (f"{'fault class':<22}{'n':>4}{'invariants':>12}"
+                  f"{'deadlock':>10}{'simulation':>12}{'escaped':>9}")
+        lines.append(header)
+        matrix = self.matrix()
+        for cls, row in matrix.items():
+            lines.append(f"{cls:<22}{row['count']:>4}{row['invariants']:>12}"
+                         f"{row['deadlock']:>10}{row['simulation']:>12}"
+                         f"{row['escaped']:>9}")
+        t = self.totals()
+        lines.append(f"{'total':<22}{t['count']:>4}{t['invariants']:>12}"
+                     f"{t['deadlock']:>10}{t['simulation']:>12}"
+                     f"{t['escaped']:>9}")
+        pre = t["invariants"] + t["deadlock"]
+        lines.append(f"caught before simulation: {pre}/{t['count']} "
+                     f"({t['pre_sim_rate'] * 100:.1f}%), overall "
+                     f"{t['count'] - t['escaped']}/{t['count']} "
+                     f"({t['detection_rate'] * 100:.1f}%)")
+        escaped = [r for r in self.reports if not r.caught]
+        if escaped:
+            lines.append("escaped mutants:")
+            for r in escaped:
+                lines.append(f"  #{r.mutant_id} {r.fault_class}: "
+                             f"{r.description}")
+        return "\n".join(lines)
+
+
+def _detected(mutation: Mutation, layer: Optional[str], detail: str,
+              t0: float) -> DetectionReport:
+    return DetectionReport(
+        mutant_id=mutation.mutant_id,
+        fault_class=mutation.fault_class,
+        target=mutation.target,
+        description=mutation.description,
+        detected_by=layer,
+        detail=detail,
+        seconds=time.perf_counter() - t0,
+    )
+
+
+def _run_mutant(snapshot: bytes, mutation: Mutation, assignment: str,
+                clean_cycles: frozenset, sim_ops: int) -> DetectionReport:
+    """Clone the system, apply one mutation, and run the three layers."""
+    from ..protocols.asura.system import AsuraSystem
+    from ..sim import figure2_scenario, random_workload
+    from ..sim.models import SimProtocolError
+    from ..sim.system import CoherenceError
+
+    t0 = time.perf_counter()
+    db = ProtocolDatabase.deserialize(snapshot)
+    try:
+        system = AsuraSystem.from_database(db)
+        # Audits must capture the *clean* constraints, so build them
+        # before the mutation lands (relax-constraint edits them).
+        audits = structural_invariants(system)
+        mutation.apply_to(system)
+
+        # Layer 1: invariant sweep + determinism + structural audits.
+        with span("mutate.invariants", mutant=mutation.mutant_id):
+            try:
+                report = system.check_invariants()
+                checker = InvariantChecker(db)
+                checker.extend(audits)
+                audit_report = checker.check_all("structural audits")
+            except DatabaseError as exc:
+                return _detected(mutation, "invariants",
+                                 f"checker error: {exc}".splitlines()[0], t0)
+        failed = [r.name for r in (*report.results, *audit_report.results)
+                  if not r.passed]
+        if failed:
+            return _detected(
+                mutation, "invariants",
+                f"{len(failed)} checks failed: {', '.join(failed[:4])}", t0)
+
+        # Layer 2: VCG deadlock analysis against the clean cycle set.
+        with span("mutate.deadlock", mutant=mutation.mutant_id):
+            try:
+                analysis = system.analyze_deadlocks(
+                    assignment, engine="sql", workers=1,
+                    table_name="__mut_dep")
+                cycles = frozenset(tuple(c) for c in analysis.cycles())
+            except MissingAssignmentError as exc:
+                return _detected(mutation, "deadlock",
+                                 f"missing V entry: {exc}", t0)
+            except DatabaseError as exc:
+                return _detected(mutation, "deadlock",
+                                 f"analysis error: {exc}".splitlines()[0], t0)
+        if cycles != clean_cycles:
+            new = sorted(cycles - clean_cycles)
+            gone = len(clean_cycles - cycles)
+            detail = f"{len(new)} new VCG cycles"
+            if new:
+                detail += f": {' -> '.join(new[0])}"
+            if gone:
+                detail += f"; {gone} clean cycles vanished"
+            return _detected(mutation, "deadlock", detail, t0)
+
+        # Layer 3: short simulation workloads.
+        with span("mutate.simulate", mutant=mutation.mutant_id):
+            try:
+                for workload in (
+                    figure2_scenario(system, assignment=assignment),
+                    random_workload(system, assignment=assignment,
+                                    seed=1, n_ops=sim_ops),
+                ):
+                    result = workload.run()
+                    if result.status != "quiescent":
+                        return _detected(
+                            mutation, "simulation",
+                            f"{workload.description}: {result.status} "
+                            f"after {result.steps} steps", t0)
+                    workload.simulator.check_directory_agreement()
+            except (LookupError_, SimProtocolError, CoherenceError,
+                    DatabaseError) as exc:
+                return _detected(
+                    mutation, "simulation",
+                    f"{type(exc).__name__}: {exc}".splitlines()[0], t0)
+
+        return _detected(mutation, None, "", t0)
+    finally:
+        db.close()
+
+
+def run_campaign(
+    system=None,
+    seed: int = 0,
+    count: int = 50,
+    classes: Optional[Sequence[str]] = None,
+    assignment: str = "v5d",
+    workers: Optional[int] = None,
+    sim_ops: int = 40,
+) -> CampaignResult:
+    """Sample ``count`` mutants and measure the detection matrix.
+
+    ``system`` defaults to a freshly generated one; when supplied it must
+    be clean (the campaign verifies this) and gains the audit reference
+    tables as a side effect.  ``workers`` > 1 fans mutants across threads,
+    each on a private snapshot clone; with telemetry collection enabled
+    the campaign runs sequentially, because the tracer is not
+    thread-safe."""
+    from ..protocols.asura import build_system
+
+    t0 = time.perf_counter()
+    tracer = get_tracer()
+    with span("mutate.campaign", count=count, seed=seed,
+              assignment=assignment):
+        if system is None:
+            system = build_system()
+        prepare_reference_tables(system)
+
+        engine = MutationEngine(system, seed=seed, classes=classes,
+                                assignment=assignment)
+        mutations = engine.sample(count)
+
+        # The clean system anchors every comparison; refuse to measure
+        # detection against a baseline that is already failing.
+        clean = system.check_invariants()
+        checker = InvariantChecker(system.db)
+        checker.extend(structural_invariants(system))
+        clean_audits = checker.check_all("clean audits")
+        if not (clean.passed and clean_audits.passed):
+            raise ValueError(
+                "the clean system already fails its invariants/audits; "
+                "mutation detection would be meaningless")
+        clean_cycles = frozenset(
+            tuple(c) for c in system.analyze_deadlocks(
+                assignment, engine="sql", workers=1,
+                table_name="__mut_clean_dep").cycles())
+
+        snapshot = system.db.snapshot()
+        if workers is None:
+            workers = 4
+        if tracer.enabled:
+            workers = 1  # the tracer is not thread-safe
+        if workers <= 1 or count <= 1:
+            reports = [_run_mutant(snapshot, m, assignment,
+                                   clean_cycles, sim_ops)
+                       for m in mutations]
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                reports = list(pool.map(
+                    lambda m: _run_mutant(snapshot, m, assignment,
+                                          clean_cycles, sim_ops),
+                    mutations))
+
+        tracer.incr("mutate.mutants", len(reports))
+        for r in reports:
+            tracer.incr(f"mutate.detected.{r.detected_by}"
+                        if r.caught else "mutate.escaped")
+        result = CampaignResult(
+            seed=seed,
+            assignment=assignment,
+            classes=engine.classes,
+            reports=reports,
+            wall_seconds=time.perf_counter() - t0,
+        )
+        tracer.gauge("mutate.pre_sim_rate", result.totals()["pre_sim_rate"])
+        return result
+
+
+def compare_to_baseline(current: dict, baseline: dict) -> list[str]:
+    """Detection regressions of ``current`` vs a committed baseline.
+
+    Returns human-readable failure strings (empty = no regression).  The
+    comparison is per mutant: sampling is deterministic and prefix-stable,
+    so mutant *i* of a ``--count 25`` smoke run is mutant *i* of the
+    committed ``--count 50`` baseline.  A mutant counts as regressed when
+    it is now caught at a *later* layer than the baseline recorded (or
+    escapes).  Baselines from a different seed/assignment/classes cannot
+    be compared and are reported as failures outright."""
+    failures: list[str] = []
+    if baseline.get("schema") != MATRIX_SCHEMA:
+        return [f"baseline has schema {baseline.get('schema')!r}, "
+                f"expected {MATRIX_SCHEMA!r}"]
+    for key in ("seed", "assignment", "classes"):
+        if baseline.get(key) != current.get(key):
+            failures.append(
+                f"campaign parameter {key!r} differs from baseline "
+                f"({current.get(key)!r} vs {baseline.get(key)!r}); "
+                f"regenerate the baseline")
+    if failures:
+        return failures
+    base_mutants = baseline.get("mutants", [])
+    for cur in current.get("mutants", []):
+        i = cur["mutant_id"]
+        if i >= len(base_mutants):
+            continue  # beyond the committed campaign; nothing to gate
+        base = base_mutants[i]
+        if (base.get("fault_class") != cur["fault_class"]
+                or base.get("description") != cur["description"]):
+            failures.append(
+                f"mutant #{i} diverged from baseline "
+                f"({cur['fault_class']}: {cur['description']!r} vs "
+                f"{base.get('fault_class')}: {base.get('description')!r}); "
+                f"regenerate the baseline")
+            continue
+        cur_rank = _LAYER_RANK.get(cur.get("detected_by"), 3)
+        base_rank = _LAYER_RANK.get(base.get("detected_by"), 3)
+        if cur_rank > base_rank:
+            now = cur.get("detected_by") or "ESCAPED"
+            was = base.get("detected_by") or "ESCAPED"
+            failures.append(
+                f"mutant #{i} ({cur['fault_class']}: {cur['description']}) "
+                f"was caught by {was}, now {now}")
+    return failures

@@ -76,6 +76,34 @@ class AsuraSystem:
         self._create_helper_tables()
         self.channel_assignments = channels.channel_assignments()
 
+    @classmethod
+    def from_database(cls, db: ProtocolDatabase) -> "AsuraSystem":
+        """Attach to a database that already holds the 8 generated
+        controller tables — a ``--db`` file or a ``deserialize()``'d
+        snapshot — without regenerating anything.
+
+        Raises :class:`~repro.core.schema.SchemaError` when the database
+        lacks a controller table or its columns, so callers get a clean
+        diagnostic for a wrong or corrupt file.  This is the fast path the
+        mutation-campaign workers use: each worker clones the generated
+        system from a snapshot in milliseconds instead of re-solving the
+        constraints."""
+        self = cls.__new__(cls)
+        self.db = db
+        self.constraint_sets = {}
+        self.generation_results = {}
+        self.tables = {}
+        with span("system.attach", controllers=len(CONTROLLER_BUILDERS)):
+            for name, builder in CONTROLLER_BUILDERS.items():
+                cs = builder()
+                self.constraint_sets[name] = cs
+                self.tables[name] = ControllerTable(db, cs.schema, name)
+            self.generation_seconds = 0.0
+            if not db.table_exists(asura_invariants.BUSY_STATE_HELPER_TABLE):
+                self._create_helper_tables()
+            self.channel_assignments = channels.channel_assignments()
+        return self
+
     def _create_helper_tables(self) -> None:
         self.db.create_table_from_rows(
             asura_invariants.BUSY_STATE_HELPER_TABLE,

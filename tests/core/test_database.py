@@ -246,3 +246,90 @@ class TestLifecycle:
             d.create_table("t", ("a",))
         with pytest.raises(Exception):
             d.execute("SELECT 1")
+
+
+def snapshot_formats():
+    """The snapshot formats this interpreter can produce."""
+    formats = [pytest.param(True, id="portable")]
+    if SNAPSHOT_SUPPORTED:
+        formats.insert(0, pytest.param(False, id="raw"))
+    return formats
+
+
+class TestDeserializeRoundTrip:
+    """Regression tests for ProtocolDatabase.snapshot()/deserialize():
+    the clone-a-system path the deadlock workers and the mutation
+    campaign both stand on must carry rows AND indexes."""
+
+    def populate(self, db):
+        db.create_table_from_rows(
+            "d", ("a", "b"),
+            [{"a": "1", "b": "x"}, {"a": "2", "b": "y"},
+             {"a": "3", "b": None}])
+        db.create_index(IndexSpec("d", ("a", "b"), name="d_ab"))
+        db.create_index(IndexSpec("d", ("b",), unique=False))
+
+    def index_names(self, db):
+        return {r["name"] for r in db.query(
+            "SELECT name FROM sqlite_master "
+            "WHERE type = 'index' AND tbl_name = 'd'")}
+
+    @pytest.mark.parametrize("portable", snapshot_formats())
+    def test_rows_survive(self, db, portable):
+        self.populate(db)
+        clone = ProtocolDatabase.deserialize(db.snapshot(portable=portable))
+        try:
+            assert clone.rows("d", order_by=("a",)) == \
+                db.rows("d", order_by=("a",))
+        finally:
+            clone.close()
+
+    @pytest.mark.parametrize("portable", snapshot_formats())
+    def test_index_specs_survive(self, db, portable):
+        self.populate(db)
+        clone = ProtocolDatabase.deserialize(db.snapshot(portable=portable))
+        try:
+            assert self.index_names(clone) == self.index_names(db)
+            # And the carried index is live, not just catalogued.
+            plan = clone.query(
+                "EXPLAIN QUERY PLAN SELECT * FROM d "
+                "WHERE a = '1' AND b = 'x'")
+            assert any("d_ab" in r["detail"] for r in plan)
+        finally:
+            clone.close()
+
+    @pytest.mark.parametrize("portable", snapshot_formats())
+    def test_clone_is_isolated(self, db, portable):
+        self.populate(db)
+        clone = ProtocolDatabase.deserialize(db.snapshot(portable=portable))
+        try:
+            clone.execute("DELETE FROM d")
+            assert db.row_count("d") == 3
+        finally:
+            clone.close()
+
+    def test_portable_snapshot_is_tagged(self, db):
+        from repro.core.database import PORTABLE_SNAPSHOT_MAGIC
+
+        self.populate(db)
+        blob = db.snapshot(portable=True)
+        assert blob.startswith(PORTABLE_SNAPSHOT_MAGIC)
+
+    def test_garbage_blob_rejected(self):
+        with pytest.raises((DatabaseError, sqlite3.Error)):
+            ProtocolDatabase.deserialize(b"not a snapshot at all")
+
+
+class TestFileDatabasePersistence:
+    def test_close_commits_pending_writes(self, tmp_path):
+        # Regression: sqlite3's implicit transactions roll back on close,
+        # so `repro --save-db` used to write an empty database file.
+        path = str(tmp_path / "saved.sqlite")
+        db = ProtocolDatabase(path)
+        db.create_table_from_rows("d", ("a",), [{"a": "1"}, {"a": "2"}])
+        db.close()
+        reopened = ProtocolDatabase(path)
+        try:
+            assert reopened.row_count("d") == 2
+        finally:
+            reopened.close()

@@ -102,3 +102,38 @@ def test_free_columns_bound_row_dependency(expr, row):
             mutated = dict(row)
             mutated[col] = v
             assert expr.eval(mutated) == base
+
+
+def chain_of(pairs, final):
+    """Right-fold (cond, branch) pairs into the paper's ternary chains."""
+    chain = final
+    for cond, branch in reversed(pairs):
+        chain = Ternary(cond, branch, chain)
+    return chain
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    pairs=st.lists(st.tuples(bool_exprs(0), bool_exprs(0)),
+                   min_size=1, max_size=5),
+    final=bool_exprs(0),
+    row=rows_st,
+)
+def test_ternary_chains_flatten_to_one_case(pairs, final, row):
+    """A cond?e:cond?e:...:e chain compiles to a single flat CASE (not
+    nested CASEs) and still agrees with the Python evaluator."""
+    chain = chain_of(pairs, final)
+    sql = to_sql(chain)
+    assert sql.count("CASE") == 1
+    assert sql.count("WHEN") == len(pairs)
+    assert chain.eval(row) == sql_eval(chain, row)
+
+
+@settings(max_examples=30, deadline=None)
+@given(row=rows_st, depth=st.integers(min_value=20, max_value=120))
+def test_deep_ternary_chains_survive_compilation(row, depth):
+    """Long decision chains (real constraints nest dozens deep) must not
+    trip SQLite's parser depth limit the way nested booleans would."""
+    pairs = [(Eq(C("a"), Lit("x")), Eq(C("b"), Lit("y")))] * depth
+    chain = chain_of(pairs, Eq(C("c"), Lit("z")))
+    assert chain.eval(row) == sql_eval(chain, row)

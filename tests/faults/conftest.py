@@ -1,0 +1,25 @@
+"""Shared helpers for the fault-injection tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import ProtocolDatabase
+from repro.protocols.asura.system import AsuraSystem
+
+
+@pytest.fixture()
+def clone_of():
+    """Clone a system the way the campaign does: snapshot, deserialize,
+    re-attach.  Returned as a factory so tests can clone repeatedly."""
+
+    made = []
+
+    def factory(system):
+        db = ProtocolDatabase.deserialize(system.db.snapshot())
+        made.append(db)
+        return AsuraSystem.from_database(db)
+
+    yield factory
+    for db in made:
+        db.close()

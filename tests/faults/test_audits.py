@@ -1,0 +1,93 @@
+"""Tests for the structural audits (conformance + completeness).
+
+These are what make single-cell and dropped-row mutations visible to the
+static layer: a generated table is exactly the solution set of its column
+constraints, so any corruption either violates the conjunction or leaves
+an input combination uncovered.
+"""
+
+from repro.core.invariants import InvariantChecker
+from repro.faults import prepare_reference_tables, structural_invariants
+from repro.faults.audits import REF_INPUT_PREFIX
+
+
+def audit_report(system):
+    checker = InvariantChecker(system.db)
+    checker.extend(structural_invariants(system))
+    return checker.check_all("structural audits")
+
+
+class TestReferenceTables:
+    def test_one_reference_table_per_controller(self, fresh_system):
+        names = prepare_reference_tables(fresh_system)
+        assert names == [REF_INPUT_PREFIX + n for n in fresh_system.tables]
+        for name in names:
+            assert fresh_system.db.table_exists(name)
+
+    def test_idempotent(self, fresh_system):
+        prepare_reference_tables(fresh_system)
+        counts = {n: fresh_system.db.row_count(n)
+                  for n in prepare_reference_tables(fresh_system)}
+        assert all(c > 0 for c in counts.values())
+
+    def test_reference_tables_survive_snapshot(self, fresh_system, clone_of):
+        prepare_reference_tables(fresh_system)
+        clone = clone_of(fresh_system)
+        ref = REF_INPUT_PREFIX + "D"
+        assert clone.db.row_count(ref) == fresh_system.db.row_count(ref)
+
+
+class TestStructuralAudits:
+    def test_clean_system_passes(self, fresh_system):
+        prepare_reference_tables(fresh_system)
+        report = audit_report(fresh_system)
+        assert report.passed
+        names = {r.name for r in report.results}
+        for table in fresh_system.tables:
+            assert f"audit-{table}-conforms" in names
+            assert f"audit-{table}-complete" in names
+
+    def test_completeness_needs_reference_tables(self, fresh_system):
+        invs = structural_invariants(fresh_system)
+        names = {i.name for i in invs}
+        assert all(not n.endswith("-complete") for n in names)
+        assert len(invs) == len(fresh_system.tables)
+
+    def test_dropped_row_breaks_completeness(self, fresh_system):
+        prepare_reference_tables(fresh_system)
+        fresh_system.db.execute(
+            "DELETE FROM D WHERE rowid = (SELECT MIN(rowid) FROM D)")
+        report = audit_report(fresh_system)
+        failed = {r.name for r in report.results if not r.passed}
+        assert "audit-D-complete" in failed
+        assert "audit-D-conforms" not in failed
+
+    def test_corrupt_cell_breaks_conformance(self, system, clone_of):
+        from repro.faults import MutationEngine
+
+        mutation = MutationEngine(
+            system, seed=0, classes=("flip-next-state",)).sample(1)[0]
+        clone = clone_of(system)
+        prepare_reference_tables(clone)
+        mutation.apply_to(clone)
+        report = audit_report(clone)
+        failed = {r.name for r in report.results if not r.passed}
+        assert f"audit-{mutation.target}-conforms" in failed
+
+    def test_audits_built_before_mutation_see_original_constraints(
+            self, system, clone_of):
+        # relax-constraint rewrites the clone's ConstraintSet; audits
+        # captured beforehand still enforce the clean specification.
+        from repro.faults import MutationEngine
+
+        mutation = MutationEngine(
+            system, seed=1, classes=("relax-constraint",)).sample(1)[0]
+        clone = clone_of(system)
+        prepare_reference_tables(clone)
+        invs = structural_invariants(clone)
+        mutation.apply_to(clone)
+        checker = InvariantChecker(clone.db)
+        checker.extend(invs)
+        report = checker.check_all("pre-captured audits")
+        failed = {r.name for r in report.results if not r.passed}
+        assert f"audit-{mutation.target}-conforms" in failed

@@ -1,0 +1,172 @@
+"""Tests for the mutation campaign: determinism, detection layers, and
+the baseline-comparison gate used by CI."""
+
+import types
+
+import pytest
+
+import repro.faults.campaign as campaign_mod
+from repro.faults import (
+    FAULT_CLASSES,
+    compare_to_baseline,
+    prepare_reference_tables,
+    run_campaign,
+)
+from repro.faults.campaign import MATRIX_SCHEMA, _run_mutant
+from repro.faults.mutations import Mutation
+
+
+@pytest.fixture(scope="module")
+def small_campaign(system):
+    """One deterministic 8-mutant campaign shared by the shape tests."""
+    return run_campaign(system=system, seed=0, count=8, workers=2)
+
+
+class TestCampaignDeterminism:
+    def test_worker_count_does_not_change_results(self, system,
+                                                  small_campaign):
+        sequential = run_campaign(system=system, seed=0, count=8, workers=1)
+        a, b = sequential.to_dict(), small_campaign.to_dict()
+        assert a == b
+
+    def test_smoke_slice_is_prefix_of_full_run(self, system, small_campaign):
+        longer = run_campaign(system=system, seed=0, count=12, workers=2)
+        assert (longer.to_dict()["mutants"][:8]
+                == small_campaign.to_dict()["mutants"])
+
+
+class TestDetectionExpectations:
+    def test_table_mutations_caught_by_invariants(self, system):
+        classes = tuple(c for c in FAULT_CLASSES if c != "reassign-channel")
+        result = run_campaign(system=system, seed=0, count=10,
+                              classes=classes, workers=2)
+        assert all(r.detected_by == "invariants" for r in result.reports)
+
+    def test_channel_mutations_caught_by_deadlock_layer(self, system):
+        result = run_campaign(system=system, seed=0, count=3,
+                              classes=("reassign-channel",), workers=1)
+        # Audits cannot see V; the VCG cycle comparison is what fires.
+        assert all(r.detected_by == "deadlock" for r in result.reports)
+        assert all(r.caught_pre_sim for r in result.reports)
+
+    def test_dirty_input_system_is_rejected(self, fresh_system):
+        fresh_system.db.execute(
+            "DELETE FROM D WHERE rowid = (SELECT MIN(rowid) FROM D)")
+        with pytest.raises(ValueError, match="clean system"):
+            run_campaign(system=fresh_system, seed=0, count=1, workers=1)
+
+
+class TestDetectionLayers:
+    def _snapshot_and_cycles(self, system, clone_of):
+        clone = clone_of(system)
+        prepare_reference_tables(clone)
+        cycles = frozenset(
+            tuple(c) for c in clone.analyze_deadlocks(
+                "v5d", engine="sql", workers=1,
+                table_name="__t_clean_dep").cycles())
+        return clone.db.snapshot(), cycles
+
+    def test_noop_mutation_escapes(self, system, clone_of):
+        snapshot, cycles = self._snapshot_and_cycles(system, clone_of)
+        noop = Mutation(mutant_id=0, fault_class="drop-row", target="D",
+                        description="no-op")
+        report = _run_mutant(snapshot, noop, "v5d", cycles, sim_ops=10)
+        assert report.detected_by is None
+        assert not report.caught
+        assert not report.caught_pre_sim
+
+    def test_simulation_layer_is_a_real_backstop(self, system, clone_of,
+                                                 monkeypatch):
+        # Blind the static layers; a gutted cache controller must still
+        # be caught when the simulator tries to look transitions up.
+        from repro.protocols.asura.system import AsuraSystem
+
+        snapshot, cycles = self._snapshot_and_cycles(system, clone_of)
+        passing = types.SimpleNamespace(results=(), passed=True)
+        monkeypatch.setattr(AsuraSystem, "check_invariants",
+                            lambda self, *a, **kw: passing)
+        monkeypatch.setattr(campaign_mod, "structural_invariants",
+                            lambda s: [])
+        gut = Mutation(mutant_id=1, fault_class="drop-row", target="C",
+                       description="all C rows deleted",
+                       statements=("DELETE FROM C",))
+        report = _run_mutant(snapshot, gut, "v5d", cycles, sim_ops=10)
+        assert report.detected_by == "simulation"
+        assert report.caught and not report.caught_pre_sim
+
+
+class TestMatrixReport:
+    def test_to_dict_shape(self, small_campaign):
+        d = small_campaign.to_dict()
+        assert d["schema"] == MATRIX_SCHEMA
+        assert d["seed"] == 0
+        assert d["count"] == 8 == len(d["mutants"])
+        assert set(d["classes"]) <= set(FAULT_CLASSES)
+        totals = d["totals"]
+        assert totals["count"] == 8
+        assert (totals["invariants"] + totals["deadlock"]
+                + totals["simulation"] + totals["escaped"]) == 8
+        per_class = sum(row["count"] for row in d["matrix"].values())
+        assert per_class == 8
+
+    def test_render_mentions_rates(self, small_campaign):
+        text = small_campaign.render()
+        assert "caught before simulation:" in text
+        assert "fault class" in text
+
+
+def matrix(detected, *, seed=0, assignment="v5d", classes=("drop-row",),
+           schema=MATRIX_SCHEMA, descriptions=None):
+    mutants = []
+    for i, layer in enumerate(detected):
+        desc = descriptions[i] if descriptions else f"mutant {i}"
+        mutants.append({"mutant_id": i, "fault_class": classes[0],
+                        "description": desc, "detected_by": layer})
+    return {"schema": schema, "seed": seed, "assignment": assignment,
+            "classes": list(classes), "mutants": mutants}
+
+
+class TestBaselineCompare:
+    def test_identical_runs_have_no_regressions(self):
+        base = matrix(["invariants", "deadlock", None])
+        assert compare_to_baseline(base, base) == []
+
+    def test_later_layer_is_a_regression(self):
+        base = matrix(["invariants"])
+        cur = matrix(["deadlock"])
+        (failure,) = compare_to_baseline(cur, base)
+        assert "was caught by invariants, now deadlock" in failure
+
+    def test_escape_is_a_regression(self):
+        base = matrix(["simulation"])
+        cur = matrix([None])
+        (failure,) = compare_to_baseline(cur, base)
+        assert "now ESCAPED" in failure
+
+    def test_earlier_detection_is_an_improvement_not_a_failure(self):
+        base = matrix(["simulation", None])
+        cur = matrix(["invariants", "deadlock"])
+        assert compare_to_baseline(cur, base) == []
+
+    def test_smoke_prefix_only_gates_committed_mutants(self):
+        base = matrix(["invariants", "invariants"])
+        cur = matrix(["invariants", "invariants", None])
+        assert compare_to_baseline(cur, base) == []
+
+    def test_diverged_mutant_demands_regeneration(self):
+        base = matrix(["invariants"], descriptions=["old mutant"])
+        cur = matrix(["invariants"], descriptions=["new mutant"])
+        (failure,) = compare_to_baseline(cur, base)
+        assert "regenerate the baseline" in failure
+
+    def test_parameter_mismatch_reported(self):
+        base = matrix(["invariants"], seed=1)
+        cur = matrix(["invariants"], seed=0)
+        failures = compare_to_baseline(cur, base)
+        assert failures and "seed" in failures[0]
+
+    def test_wrong_schema_rejected(self):
+        base = matrix(["invariants"], schema="bogus/v9")
+        cur = matrix(["invariants"])
+        (failure,) = compare_to_baseline(cur, base)
+        assert "schema" in failure

@@ -210,3 +210,53 @@ class TestQueryPlans:
         # One prepared compound statement covering every branch — this is
         # where the ~40x round-trip reduction comes from.
         assert any("COMPOUND" in l or "UNION ALL" in l for l in lines)
+
+
+class TestMutatedTableParity:
+    """Differential testing on *broken* protocols: the SQL engine and the
+    Python oracle must agree not only on the clean ASURA tables but on
+    mutated ones — otherwise a table bug could be reported differently
+    depending on which engine ran, and the mutation campaign's layer
+    attribution would be engine-dependent."""
+
+    CONTROLLERS = ("D", "M", "C", "N", "RAC", "IO", "NI", "PE")
+    MUTATION_CLASSES = ("drop-row", "duplicate-row", "flip-next-state",
+                        "swap-output-message")
+
+    def mutated_clone(self, system, controller, seed):
+        from repro.core.database import ProtocolDatabase
+        from repro.faults import MutationEngine
+        from repro.protocols.asura.system import AsuraSystem
+
+        classes = tuple(
+            c for c in self.MUTATION_CLASSES
+            if c in MutationEngine(system, tables=(controller,)).classes)
+        engine = MutationEngine(system, seed=seed, tables=(controller,),
+                                classes=classes)
+        mutation = engine.sample(1)[0]
+        clone = AsuraSystem.from_database(
+            ProtocolDatabase.deserialize(system.db.snapshot()))
+        mutation.apply_to(clone)
+        return clone, mutation
+
+    @pytest.mark.parametrize("controller",
+                             ("D", "M", "C", "N", "RAC", "IO", "NI", "PE"))
+    @pytest.mark.parametrize("seed", (11, 12, 13))
+    def test_engines_agree_on_mutated_tables(self, system, controller, seed):
+        clone, mutation = self.mutated_clone(system, controller, seed)
+        try:
+            results = {}
+            for engine in ("sql", "python"):
+                kwargs = {"workers": 1} if engine == "sql" else {}
+                try:
+                    analysis = clone.analyze_deadlocks(
+                        "v5d", engine=engine,
+                        table_name=f"mut_par_{engine}", **kwargs)
+                    results[engine] = ("ok", rows_of(analysis),
+                                       analysis.cycles())
+                except MissingAssignmentError as exc:
+                    results[engine] = ("missing-assignment", str(exc))
+            assert results["sql"] == results["python"], \
+                f"engines diverged on {mutation.description}"
+        finally:
+            clone.db.close()

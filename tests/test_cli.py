@@ -149,3 +149,99 @@ class TestRepairCommand:
     def test_repair_v5d_no_op(self, capsys):
         assert main(["repair", "--assignment", "v5d"]) == 0
         assert "deadlock-free" in capsys.readouterr().out
+
+
+class TestErrorPaths:
+    """Every bad invocation must exit non-zero with a one-line message,
+    never a traceback."""
+
+    def test_unknown_subcommand_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["frobnicate"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err and "Traceback" not in err
+
+    def test_bad_engine_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["deadlock", "--engine", "pandas"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err and "Traceback" not in err
+
+    def test_missing_database_file_exits_2(self, capsys):
+        assert main(["stats", "--db", "/nonexistent/asura.sqlite"]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err and "--save-db" in err
+        assert "Traceback" not in err
+
+    def test_corrupt_database_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "junk.sqlite"
+        path.write_text("this is not a sqlite database")
+        assert main(["stats", "--db", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err and "Traceback" not in err
+
+    def test_db_and_save_db_are_mutually_exclusive(self, tmp_path, capsys):
+        assert main(["stats", "--db", str(tmp_path / "a.sqlite"),
+                     "--save-db", str(tmp_path / "b.sqlite")]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+
+class TestDatabaseFlags:
+    def test_save_then_attach_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "asura.sqlite"
+        assert main(["stats", "--save-db", str(path), "--quiet"]) == 0
+        assert path.exists()
+        assert main(["check", "--db", str(path)]) == 0
+        assert "0 failing" in capsys.readouterr().out
+
+
+class TestMutateCommand:
+    def test_small_campaign_prints_matrix(self, capsys):
+        assert main(["mutate", "--seed", "0", "--count", "2",
+                     "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "mutation campaign" in out
+        assert "caught before simulation" in out
+
+    def test_matrix_out_then_self_baseline_passes(self, tmp_path, capsys):
+        path = tmp_path / "matrix.json"
+        assert main(["mutate", "--count", "2", "--workers", "1",
+                     "--matrix-out", str(path), "--quiet"]) == 0
+        data = json.loads(path.read_text())
+        assert data["schema"] == "repro.faults.matrix/v1"
+        assert data["count"] == 2
+        assert main(["mutate", "--count", "2", "--workers", "1",
+                     "--baseline", str(path)]) == 0
+        assert "no detection regressions" in capsys.readouterr().out
+
+    def test_diverged_baseline_fails_the_gate(self, tmp_path, capsys):
+        path = tmp_path / "matrix.json"
+        assert main(["mutate", "--count", "2", "--workers", "1",
+                     "--matrix-out", str(path), "--quiet"]) == 0
+        data = json.loads(path.read_text())
+        data["mutants"][0]["description"] = "a mutant from another seed"
+        path.write_text(json.dumps(data))
+        assert main(["mutate", "--count", "2", "--workers", "1",
+                     "--baseline", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "detection regressions vs baseline" in out
+        assert "regenerate the baseline" in out
+
+    def test_unknown_fault_class_exits_2(self, capsys):
+        assert main(["mutate", "--classes", "flip-bits"]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err and "Traceback" not in err
+
+    def test_unwritable_matrix_out_fails_fast(self, capsys):
+        assert main(["mutate", "--count", "1",
+                     "--matrix-out", "/nonexistent/m.json"]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_unreadable_baseline_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["mutate", "--count", "1", "--workers", "1",
+                     "--baseline", str(bad)]) == 2
+        assert "repro: error:" in capsys.readouterr().err
