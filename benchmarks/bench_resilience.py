@@ -1,0 +1,92 @@
+"""Resilience runtime overhead — the cost of crash-safety.
+
+The checkpoint journal fsyncs after every completed mutant so a SIGKILL
+never loses a finished verdict (docs/RESILIENCE.md).  That durability
+has a price per record; these benchmarks pin it down, together with the
+no-failure overhead of the retry wrapper that now guards every
+``ProtocolDatabase.execute`` — both must stay negligible next to the
+milliseconds a single mutant verification costs.
+
+Fixed pedantic rounds keep the recorded numbers comparable across
+commits, matching the other benchmark modules.
+"""
+
+import pytest
+
+from repro.runtime import (
+    CheckpointJournal,
+    RetryPolicy,
+    atomic_write_json,
+    call_with_retry,
+    load_journal,
+)
+
+ROUNDS_JOURNAL = 20
+ROUNDS_RETRY = 50
+RECORDS_PER_ROUND = 50
+
+
+def test_journal_append_with_fsync(benchmark, tmp_path):
+    """Durable append throughput: 50 fsync'd unit records per round."""
+    counter = {"n": 0}
+
+    def append_batch():
+        counter["n"] += 1
+        path = str(tmp_path / f"j{counter['n']}.jsonl")
+        with CheckpointJournal.open(path, {"kind": "bench"}) as j:
+            for i in range(RECORDS_PER_ROUND):
+                j.record(i, {"detected_by": "invariants", "mutant": i})
+        return path
+
+    path = benchmark.pedantic(
+        append_batch, rounds=ROUNDS_JOURNAL, iterations=1, warmup_rounds=1,
+    )
+    _, units = load_journal(path)
+    assert len(units) == RECORDS_PER_ROUND
+
+
+def test_journal_replay(benchmark, tmp_path):
+    """Resume-time cost of reloading a 500-unit journal."""
+    path = str(tmp_path / "replay.jsonl")
+    with CheckpointJournal.open(path, {"kind": "bench"}) as j:
+        for i in range(500):
+            j.record(i, {"detected_by": None, "mutant": i})
+
+    _, units = benchmark.pedantic(
+        lambda: load_journal(path),
+        rounds=ROUNDS_JOURNAL, iterations=1, warmup_rounds=1,
+    )
+    assert len(units) == 500
+
+
+def test_retry_wrapper_no_failure_overhead(benchmark):
+    """The happy path through call_with_retry — pure wrapper cost."""
+    policy = RetryPolicy()
+
+    def guarded_batch():
+        total = 0
+        for _ in range(1000):
+            total += call_with_retry(lambda: 1, policy)
+        return total
+
+    total = benchmark.pedantic(
+        guarded_batch, rounds=ROUNDS_RETRY, iterations=1, warmup_rounds=2,
+    )
+    assert total == 1000
+
+
+def test_atomic_matrix_write(benchmark, tmp_path):
+    """Temp-and-rename cost for a 50-mutant detection matrix."""
+    path = str(tmp_path / "matrix.json")
+    matrix = {
+        "schema": "repro.faults.matrix/v1",
+        "mutants": [{"mutant_id": i, "fault_class": "drop-row",
+                     "detected_by": "invariants"} for i in range(50)],
+    }
+
+    benchmark.pedantic(
+        lambda: atomic_write_json(path, matrix),
+        rounds=ROUNDS_RETRY, iterations=1, warmup_rounds=1,
+    )
+    import json
+    assert json.load(open(path))["schema"] == "repro.faults.matrix/v1"

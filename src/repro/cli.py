@@ -17,6 +17,12 @@ and ``--quiet`` (suppress the normal human output) — see
 ``docs/OBSERVABILITY.md`` — plus the database flags ``--db PATH``
 (attach to an existing generated database file) and ``--save-db PATH``
 (generate into a file for later ``--db`` runs).
+
+``mutate`` additionally runs through the crash-safe runtime:
+``--journal`` checkpoints completed mutants, ``--resume`` restarts an
+interrupted campaign after the last completed mutant, and
+``--isolation process`` + ``--timeout`` reap hung workers — see
+``docs/RESILIENCE.md``.
 """
 
 from __future__ import annotations
@@ -129,10 +135,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="channel assignment the campaign perturbs and "
                         "analyzes (default: %(default)s)")
     p.add_argument("--workers", type=int, default=None,
-                   help="threads fanning mutants across snapshot clones "
+                   help="workers fanning mutants across snapshot clones "
                         "(default: 4; forced to 1 under telemetry)")
+    p.add_argument("--isolation", choices=("thread", "process"),
+                   default="thread",
+                   help="worker isolation: threads (default) or one child "
+                        "process per mutant, which survives worker crashes "
+                        "and enables --timeout (see docs/RESILIENCE.md)")
+    p.add_argument("--timeout", type=float, metavar="SECONDS", default=None,
+                   help="per-mutant wall-clock timeout; hung workers are "
+                        "killed and reported as 'timeout' outcomes "
+                        "(requires --isolation process)")
+    p.add_argument("--journal", metavar="PATH", default=None,
+                   help="append a crash-safe checkpoint journal at PATH "
+                        "(one fsync'd JSONL record per completed mutant)")
+    p.add_argument("--resume", metavar="PATH", default=None,
+                   help="resume an interrupted campaign from its journal: "
+                        "skip journaled mutants, run the rest, keep "
+                        "appending to the same journal")
     p.add_argument("--matrix-out", metavar="PATH", default=None,
-                   help="write the detection-matrix JSON report to PATH")
+                   help="write the detection-matrix JSON report to PATH "
+                        "(atomically: temp file + rename)")
     p.add_argument("--baseline", metavar="PATH", default=None,
                    help="compare against a committed detection matrix and "
                         "exit 1 on any detection regression")
@@ -267,11 +290,17 @@ def _cmd_mutate(system, args) -> int:
     import json
 
     from .faults import compare_to_baseline, run_campaign
+    from .runtime import JournalError, atomic_write_json
 
     classes = None
     if args.classes:
         classes = tuple(c.strip() for c in args.classes.split(",")
                         if c.strip())
+    if args.resume and args.journal and args.resume != args.journal:
+        print("repro: error: --resume already names the journal to "
+              "continue; --journal must be omitted or identical",
+              file=sys.stderr)
+        return 2
     if args.matrix_out:
         try:
             # Fail fast on an unwritable matrix path, before the campaign.
@@ -292,16 +321,16 @@ def _cmd_mutate(system, args) -> int:
         result = run_campaign(
             system=system, seed=args.seed, count=args.count,
             classes=classes, assignment=args.assignment,
-            workers=args.workers)
-    except ValueError as exc:
+            workers=args.workers, isolation=args.isolation,
+            timeout=args.timeout, journal_path=args.journal,
+            resume_from=args.resume)
+    except (ValueError, JournalError, OSError) as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
     print(result.render())
     current = result.to_dict()
     if args.matrix_out:
-        with open(args.matrix_out, "w", encoding="utf-8") as fh:
-            json.dump(current, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        atomic_write_json(args.matrix_out, current)
     if baseline is not None:
         failures = compare_to_baseline(current, baseline)
         if failures:

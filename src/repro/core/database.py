@@ -19,6 +19,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional, Sequence
 
+from ..runtime.retry import RetryPolicy, call_with_retry
 from ..telemetry import get_tracer
 from .expr import Row, Value
 from .schema import Column, TableSchema
@@ -30,7 +31,22 @@ __all__ = [
     "IndexSpec",
     "SNAPSHOT_SUPPORTED",
     "PORTABLE_SNAPSHOT_MAGIC",
+    "DB_RETRY_POLICY",
+    "BUSY_TIMEOUT_MS",
 ]
+
+#: default retry policy for transient sqlite errors ("database is
+#: locked" et al., see :func:`repro.runtime.retry.classify_error`):
+#: three attempts with short exponential backoff — enough to ride out a
+#: concurrent reader/writer on a ``--db`` file without stalling the
+#: in-memory pipelines (which never hit a transient error).
+DB_RETRY_POLICY = RetryPolicy(max_attempts=3, base_delay=0.01,
+                              max_delay=0.25, jitter=0.5)
+
+#: ``PRAGMA busy_timeout`` for file-backed databases: how long sqlite
+#: itself blocks on a locked database before surfacing the error that
+#: the retry policy then backs off on.
+BUSY_TIMEOUT_MS = 5000
 
 #: True when the running Python exposes ``sqlite3.Connection.serialize`` /
 #: ``deserialize`` (3.11+); the parallel deadlock workers fall back to
@@ -143,15 +159,26 @@ class ProtocolDatabase:
     #: rows per ``executemany`` batch in :meth:`insert_rows`.
     INSERT_CHUNK = 512
 
-    def __init__(self, path: str = ":memory:", cache_metadata: bool = True) -> None:
+    def __init__(self, path: str = ":memory:", cache_metadata: bool = True,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         # A generous prepared-statement cache: the pipelines re-issue the
         # same parameterized probes (row counts, lookups) thousands of
         # times per run.
         self._conn = sqlite3.connect(path, cached_statements=256)
         self._conn.row_factory = _dict_factory
-        # The workloads are bulk inserts + analytical reads; classic
-        # journaling adds nothing for an in-memory scratch database.
-        self._conn.execute("PRAGMA synchronous = OFF")
+        self._retry_policy = retry_policy or DB_RETRY_POLICY
+        if ":memory:" in path or "mode=memory" in path:
+            # The workloads are bulk inserts + analytical reads; classic
+            # journaling adds nothing for an in-memory scratch database.
+            self._conn.execute("PRAGMA synchronous = OFF")
+        else:
+            # File-backed (--db/--save-db): WAL lets concurrent readers
+            # proceed while a writer holds the log, and the busy timeout
+            # turns instant "database is locked" failures into bounded
+            # waits before the retry policy even sees them.
+            self._conn.execute("PRAGMA journal_mode = WAL")
+            self._conn.execute(f"PRAGMA busy_timeout = {BUSY_TIMEOUT_MS}")
+            self._conn.execute("PRAGMA synchronous = NORMAL")
         self._cache_metadata = cache_metadata
         # Schema-level facts (table existence, column lists) survive DML;
         # row counts survive only reads.  Both are invalidated from
@@ -274,19 +301,26 @@ class ProtocolDatabase:
         except sqlite3.Error:
             return None
 
+    def _retried(self, op):
+        """Run one connection call, retrying transient sqlite errors
+        ("database is locked" and friends) with backoff + jitter; fatal
+        errors and exhausted retries propagate for the callers' normal
+        :class:`DatabaseError` wrapping."""
+        return call_with_retry(op, self._retry_policy, metric="db.retries")
+
     def execute(self, sql: str, params: Sequence = ()) -> sqlite3.Cursor:
         self._note_statement(sql)
         tracer = get_tracer()
         if not tracer.enabled:
             try:
-                return self._conn.execute(sql, params)
+                return self._retried(lambda: self._conn.execute(sql, params))
             except sqlite3.Error as e:
                 raise DatabaseError(
                     f"{type(e).__name__}: {e}\nSQL was:\n{sql}"
                 ) from e
         t0 = time.perf_counter()
         try:
-            cursor = self._conn.execute(sql, params)
+            cursor = self._retried(lambda: self._conn.execute(sql, params))
         except sqlite3.Error as e:
             tracer.record_sql(
                 sql,
@@ -311,6 +345,8 @@ class ProtocolDatabase:
         tracer = get_tracer()
         if not tracer.enabled:
             try:
+                # No retry here: ``rows`` may be a one-shot iterator that
+                # a failed first attempt would have partially consumed.
                 self._conn.executemany(sql, rows)
             except sqlite3.Error as e:
                 raise DatabaseError(

@@ -20,12 +20,23 @@ layer detection matrix that ``repro mutate`` prints and commits as
 ``BENCH_mutation.json``.  :func:`compare_to_baseline` gates CI: a mutant
 that a previous campaign caught at some layer must never be caught later
 (or escape) after a code change.
+
+Campaigns run through the crash-safe runtime (:mod:`repro.runtime`, see
+``docs/RESILIENCE.md``): each completed mutant is checkpointed to a
+durable JSONL journal (``journal_path``) so an interrupted run resumes
+(``resume_from``) exactly after the last completed mutant; workers can
+be isolated in child processes (``isolation="process"``) with a
+per-mutant wall-clock ``timeout`` enforced by a watchdog; a worker
+exception outside the detection taxonomy becomes a ``crashed`` report
+for that mutant instead of aborting the campaign; and when the batched
+invariant sweep or the SQL deadlock engine fails on a mutant, the layer
+reruns on the unbatched / Python fallback path with ``degraded=True``
+rather than giving up.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -33,6 +44,14 @@ from ..core.database import DatabaseError, ProtocolDatabase
 from ..core.deadlock import MissingAssignmentError
 from ..core.invariants import InvariantChecker
 from ..core.table import LookupError_
+from ..runtime import (
+    CheckpointJournal,
+    JournalError,
+    RetryPolicy,
+    call_with_retry,
+    load_journal,
+    run_units,
+)
 from ..telemetry import get_tracer, span
 from .audits import prepare_reference_tables, structural_invariants
 from .mutations import FAULT_CLASSES, Mutation, MutationEngine
@@ -43,10 +62,20 @@ __all__ = [
     "run_campaign",
     "compare_to_baseline",
     "MATRIX_SCHEMA",
+    "JOURNAL_KIND",
 ]
 
 #: schema tag of the detection-matrix JSON report.
 MATRIX_SCHEMA = "repro.faults.matrix/v1"
+
+#: ``kind`` stamped into campaign checkpoint-journal headers.
+JOURNAL_KIND = "mutation-campaign"
+
+#: retry policy for the per-mutant clone (snapshot -> deserialize):
+#: cloning races the other workers' page cache only transiently, so a
+#: couple of quick backoffs beat failing the whole mutant.
+CLONE_RETRY_POLICY = RetryPolicy(max_attempts=3, base_delay=0.02,
+                                 max_delay=0.5, jitter=0.5)
 
 #: detection layers, earliest first; ESCAPED sorts after all of them.
 LAYERS = ("invariants", "deadlock", "simulation")
@@ -65,6 +94,13 @@ class DetectionReport:
     detected_by: Optional[str]  # one of LAYERS, or None for ESCAPED
     detail: str = ""
     seconds: float = 0.0
+    #: "ok" for a pipeline verdict; "crashed" when the worker raised
+    #: outside the detection taxonomy; "timeout" when the watchdog
+    #: reaped a hung worker.  Neither failure outcome is a detection.
+    outcome: str = "ok"
+    #: True when a layer had to fall back (batched invariants ->
+    #: unbatched, SQL deadlock engine -> Python) to produce the verdict.
+    degraded: bool = False
 
     @property
     def caught(self) -> bool:
@@ -79,8 +115,10 @@ class DetectionReport:
 
     def to_dict(self) -> dict:
         """JSON-friendly form; timing is excluded so the report is
-        byte-for-byte deterministic for a given seed and code version."""
-        return {
+        byte-for-byte deterministic for a given seed and code version.
+        ``outcome``/``degraded`` appear only when non-default, keeping
+        healthy-run matrices byte-identical across code versions."""
+        d = {
             "mutant_id": self.mutant_id,
             "fault_class": self.fault_class,
             "target": self.target,
@@ -88,6 +126,26 @@ class DetectionReport:
             "detected_by": self.detected_by,
             "detail": self.detail,
         }
+        if self.outcome != "ok":
+            d["outcome"] = self.outcome
+        if self.degraded:
+            d["degraded"] = True
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "DetectionReport":
+        """Rebuild a report from :meth:`to_dict` output (journal resume;
+        timing did not survive serialization and restores as 0)."""
+        return cls(
+            mutant_id=d["mutant_id"],
+            fault_class=d["fault_class"],
+            target=d.get("target", ""),
+            description=d.get("description", ""),
+            detected_by=d.get("detected_by"),
+            detail=d.get("detail", ""),
+            outcome=d.get("outcome", "ok"),
+            degraded=bool(d.get("degraded", False)),
+        )
 
 
 @dataclass
@@ -99,6 +157,10 @@ class CampaignResult:
     classes: tuple[str, ...]
     reports: list[DetectionReport] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: mutants restored from a checkpoint journal instead of re-executed
+    #: (kept out of :meth:`to_dict` so a resumed campaign's matrix is
+    #: identical to an uninterrupted one's).
+    resumed: int = 0
 
     @property
     def count(self) -> int:
@@ -133,6 +195,11 @@ class CampaignResult:
             "count": n,
             **by_layer,
             "escaped": escaped,
+            "crashed": sum(1 for r in self.reports
+                           if r.outcome == "crashed"),
+            "timeout": sum(1 for r in self.reports
+                           if r.outcome == "timeout"),
+            "degraded": sum(1 for r in self.reports if r.degraded),
             "pre_sim_rate": round(pre_sim / n, 4) if n else 0.0,
             "detection_rate": round((n - escaped) / n, 4) if n else 0.0,
         }
@@ -172,17 +239,31 @@ class CampaignResult:
                      f"({t['pre_sim_rate'] * 100:.1f}%), overall "
                      f"{t['count'] - t['escaped']}/{t['count']} "
                      f"({t['detection_rate'] * 100:.1f}%)")
-        escaped = [r for r in self.reports if not r.caught]
+        if self.resumed:
+            lines.append(f"resumed from journal: {self.resumed} mutants "
+                         f"restored, {t['count'] - self.resumed} executed")
+        degraded = t["degraded"]
+        if degraded:
+            lines.append(f"degraded verdicts: {degraded} mutants fell back "
+                         f"to the unbatched/python path")
+        escaped = [r for r in self.reports
+                   if not r.caught and r.outcome == "ok"]
         if escaped:
             lines.append("escaped mutants:")
             for r in escaped:
                 lines.append(f"  #{r.mutant_id} {r.fault_class}: "
                              f"{r.description}")
+        failures = [r for r in self.reports if r.outcome != "ok"]
+        if failures:
+            lines.append("worker failures (no verdict):")
+            for r in failures:
+                lines.append(f"  #{r.mutant_id} {r.fault_class} "
+                             f"[{r.outcome}]: {r.detail}")
         return "\n".join(lines)
 
 
 def _detected(mutation: Mutation, layer: Optional[str], detail: str,
-              t0: float) -> DetectionReport:
+              t0: float, degraded: bool = False) -> DetectionReport:
     return DetectionReport(
         mutant_id=mutation.mutant_id,
         fault_class=mutation.fault_class,
@@ -191,19 +272,48 @@ def _detected(mutation: Mutation, layer: Optional[str], detail: str,
         detected_by=layer,
         detail=detail,
         seconds=time.perf_counter() - t0,
+        degraded=degraded,
+    )
+
+
+def _failure_report(mutation: Mutation, outcome: str, error: str,
+                    seconds: float = 0.0) -> DetectionReport:
+    """The report for a mutant whose worker crashed or timed out: no
+    verdict, not a detection, but the campaign keeps its slot."""
+    return DetectionReport(
+        mutant_id=mutation.mutant_id,
+        fault_class=mutation.fault_class,
+        target=mutation.target,
+        description=mutation.description,
+        detected_by=None,
+        detail=error,
+        seconds=seconds,
+        outcome=outcome,
     )
 
 
 def _run_mutant(snapshot: bytes, mutation: Mutation, assignment: str,
                 clean_cycles: frozenset, sim_ops: int) -> DetectionReport:
-    """Clone the system, apply one mutation, and run the three layers."""
+    """Clone the system, apply one mutation, and run the three layers.
+
+    Each static layer degrades before it detects: a
+    :class:`DatabaseError` from the batched invariant sweep retries the
+    whole sweep unbatched, and one from the SQL deadlock engine retries
+    on the Python oracle.  Only when the fallback path *also* fails does
+    the error count as a detection — a mutant that breaks both engines
+    really did corrupt the tables, while a mutant that merely trips the
+    optimized path still gets a genuine verdict (tagged
+    ``degraded=True``)."""
     from ..protocols.asura.system import AsuraSystem
     from ..sim import figure2_scenario, random_workload
     from ..sim.models import SimProtocolError
     from ..sim.system import CoherenceError
 
     t0 = time.perf_counter()
-    db = ProtocolDatabase.deserialize(snapshot)
+    degraded = False
+    db = call_with_retry(
+        lambda: ProtocolDatabase.deserialize(snapshot),
+        CLONE_RETRY_POLICY, metric="mutate.clone_retries")
     try:
         system = AsuraSystem.from_database(db)
         # Audits must capture the *clean* constraints, so build them
@@ -212,35 +322,59 @@ def _run_mutant(snapshot: bytes, mutation: Mutation, assignment: str,
         mutation.apply_to(system)
 
         # Layer 1: invariant sweep + determinism + structural audits.
+        def _invariant_sweep(batch: bool):
+            report = system.check_invariants(batch=batch)
+            checker = InvariantChecker(db, batch=batch)
+            checker.extend(audits)
+            return report, checker.check_all("structural audits")
+
         with span("mutate.invariants", mutant=mutation.mutant_id):
             try:
-                report = system.check_invariants()
-                checker = InvariantChecker(db)
-                checker.extend(audits)
-                audit_report = checker.check_all("structural audits")
-            except DatabaseError as exc:
-                return _detected(mutation, "invariants",
-                                 f"checker error: {exc}".splitlines()[0], t0)
+                report, audit_report = _invariant_sweep(batch=True)
+            except DatabaseError:
+                try:
+                    report, audit_report = _invariant_sweep(batch=False)
+                    degraded = True
+                except DatabaseError as exc:
+                    return _detected(
+                        mutation, "invariants",
+                        f"checker error: {exc}".splitlines()[0], t0,
+                        degraded=True)
         failed = [r.name for r in (*report.results, *audit_report.results)
                   if not r.passed]
         if failed:
             return _detected(
                 mutation, "invariants",
-                f"{len(failed)} checks failed: {', '.join(failed[:4])}", t0)
+                f"{len(failed)} checks failed: {', '.join(failed[:4])}", t0,
+                degraded=degraded)
 
         # Layer 2: VCG deadlock analysis against the clean cycle set.
+        def _deadlock_cycles(engine: str):
+            analysis = system.analyze_deadlocks(
+                assignment, engine=engine, workers=1,
+                table_name="__mut_dep")
+            return frozenset(tuple(c) for c in analysis.cycles())
+
         with span("mutate.deadlock", mutant=mutation.mutant_id):
             try:
-                analysis = system.analyze_deadlocks(
-                    assignment, engine="sql", workers=1,
-                    table_name="__mut_dep")
-                cycles = frozenset(tuple(c) for c in analysis.cycles())
+                cycles = _deadlock_cycles("sql")
             except MissingAssignmentError as exc:
                 return _detected(mutation, "deadlock",
-                                 f"missing V entry: {exc}", t0)
-            except DatabaseError as exc:
-                return _detected(mutation, "deadlock",
-                                 f"analysis error: {exc}".splitlines()[0], t0)
+                                 f"missing V entry: {exc}", t0,
+                                 degraded=degraded)
+            except DatabaseError:
+                try:
+                    cycles = _deadlock_cycles("python")
+                    degraded = True
+                except MissingAssignmentError as exc:
+                    return _detected(mutation, "deadlock",
+                                     f"missing V entry: {exc}", t0,
+                                     degraded=True)
+                except DatabaseError as exc:
+                    return _detected(
+                        mutation, "deadlock",
+                        f"analysis error: {exc}".splitlines()[0], t0,
+                        degraded=True)
         if cycles != clean_cycles:
             new = sorted(cycles - clean_cycles)
             gone = len(clean_cycles - cycles)
@@ -249,7 +383,8 @@ def _run_mutant(snapshot: bytes, mutation: Mutation, assignment: str,
                 detail += f": {' -> '.join(new[0])}"
             if gone:
                 detail += f"; {gone} clean cycles vanished"
-            return _detected(mutation, "deadlock", detail, t0)
+            return _detected(mutation, "deadlock", detail, t0,
+                             degraded=degraded)
 
         # Layer 3: short simulation workloads.
         with span("mutate.simulate", mutant=mutation.mutant_id):
@@ -264,17 +399,39 @@ def _run_mutant(snapshot: bytes, mutation: Mutation, assignment: str,
                         return _detected(
                             mutation, "simulation",
                             f"{workload.description}: {result.status} "
-                            f"after {result.steps} steps", t0)
+                            f"after {result.steps} steps", t0,
+                            degraded=degraded)
                     workload.simulator.check_directory_agreement()
             except (LookupError_, SimProtocolError, CoherenceError,
                     DatabaseError) as exc:
                 return _detected(
                     mutation, "simulation",
-                    f"{type(exc).__name__}: {exc}".splitlines()[0], t0)
+                    f"{type(exc).__name__}: {exc}".splitlines()[0], t0,
+                    degraded=degraded)
 
-        return _detected(mutation, None, "", t0)
+        return _detected(mutation, None, "", t0, degraded=degraded)
     finally:
         db.close()
+
+
+def _mutant_unit(payload: tuple) -> DetectionReport:
+    """Module-level unit adapter for :func:`repro.runtime.run_units`
+    (must be picklable for ``isolation="process"``)."""
+    snapshot, mutation, assignment, clean_cycles, sim_ops = payload
+    return _run_mutant(snapshot, mutation, assignment, clean_cycles, sim_ops)
+
+
+def _load_resume_state(resume_from: str, header: dict) -> dict[int, dict]:
+    """Journaled completions keyed by mutant id, after validating that
+    the journal belongs to this campaign's parameters."""
+    journal_header, units = load_journal(resume_from)
+    for key, value in header.items():
+        if journal_header.get(key) != value:
+            raise JournalError(
+                f"cannot resume: journal {resume_from!r} was written by a "
+                f"campaign with {key}={journal_header.get(key)!r}, this "
+                f"run has {key}={value!r}")
+    return {int(i): data for i, data in units.items()}
 
 
 def run_campaign(
@@ -285,21 +442,39 @@ def run_campaign(
     assignment: str = "v5d",
     workers: Optional[int] = None,
     sim_ops: int = 40,
+    isolation: str = "thread",
+    timeout: Optional[float] = None,
+    journal_path: Optional[str] = None,
+    resume_from: Optional[str] = None,
 ) -> CampaignResult:
     """Sample ``count`` mutants and measure the detection matrix.
 
     ``system`` defaults to a freshly generated one; when supplied it must
     be clean (the campaign verifies this) and gains the audit reference
-    tables as a side effect.  ``workers`` > 1 fans mutants across threads,
-    each on a private snapshot clone; with telemetry collection enabled
-    the campaign runs sequentially, because the tracer is not
-    thread-safe."""
+    tables as a side effect.  ``workers`` > 1 fans mutants across
+    ``isolation`` workers — threads by default, or one child process per
+    mutant (``"process"``), which is what makes the per-mutant wall-clock
+    ``timeout`` enforceable (the watchdog kills and reports hung units as
+    ``timeout`` outcomes).  With telemetry collection enabled the
+    campaign runs sequentially, because the tracer is not thread-safe.
+
+    ``journal_path`` checkpoints every completed mutant to a durable
+    JSONL journal; ``resume_from`` restores completions from such a
+    journal (after validating the campaign parameters match), re-executes
+    only the missing mutants, and keeps appending to the same journal
+    unless a different ``journal_path`` is given.  Sampling is
+    deterministic, so a resumed campaign's matrix is identical to an
+    uninterrupted run's."""
     from ..protocols.asura import build_system
 
     t0 = time.perf_counter()
     tracer = get_tracer()
+    if timeout is not None and isolation != "process":
+        raise ValueError(
+            "a per-mutant timeout requires isolation='process' "
+            "(hung threads cannot be killed)")
     with span("mutate.campaign", count=count, seed=seed,
-              assignment=assignment):
+              assignment=assignment, isolation=isolation):
         if system is None:
             system = build_system()
         prepare_reference_tables(system)
@@ -307,6 +482,21 @@ def run_campaign(
         engine = MutationEngine(system, seed=seed, classes=classes,
                                 assignment=assignment)
         mutations = engine.sample(count)
+
+        # ``count`` stays out of the header: the mutant stream is
+        # prefix-stable, so resuming with a larger --count is legitimate.
+        header = {
+            "kind": JOURNAL_KIND,
+            "seed": seed,
+            "assignment": assignment,
+            "classes": list(engine.classes),
+            "sim_ops": sim_ops,
+        }
+        completed: dict[int, dict] = {}
+        if resume_from is not None:
+            completed = _load_resume_state(resume_from, header)
+            if journal_path is None:
+                journal_path = resume_from
 
         # The clean system anchors every comparison; refuse to measure
         # detection against a baseline that is already failing.
@@ -328,18 +518,51 @@ def run_campaign(
             workers = 4
         if tracer.enabled:
             workers = 1  # the tracer is not thread-safe
-        if workers <= 1 or count <= 1:
-            reports = [_run_mutant(snapshot, m, assignment,
-                                   clean_cycles, sim_ops)
-                       for m in mutations]
-        else:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                reports = list(pool.map(
-                    lambda m: _run_mutant(snapshot, m, assignment,
-                                          clean_cycles, sim_ops),
-                    mutations))
+
+        restored = [DetectionReport.from_dict(completed[m.mutant_id])
+                    for m in mutations if m.mutant_id in completed]
+        pending = [m for m in mutations if m.mutant_id not in completed]
+        by_id = {m.mutant_id: m for m in pending}
+
+        journal = (CheckpointJournal.open(journal_path, header)
+                   if journal_path else None)
+        try:
+            def on_result(unit_result) -> None:
+                # Runs in the parent as each unit completes — the
+                # checkpoint is durable before the next result lands.
+                if journal is not None:
+                    report = _coerce_report(unit_result)
+                    journal.record(report.mutant_id, report.to_dict())
+
+            def _coerce_report(unit_result) -> DetectionReport:
+                if unit_result.ok:
+                    return unit_result.value
+                return _failure_report(
+                    by_id[unit_result.unit_id], unit_result.outcome,
+                    unit_result.error or "", unit_result.seconds)
+
+            units = [(m.mutant_id,
+                      (snapshot, m, assignment, clean_cycles, sim_ops))
+                     for m in pending]
+            unit_results = run_units(
+                units, _mutant_unit, workers=workers, isolation=isolation,
+                timeout=timeout, on_result=on_result)
+            executed = [_coerce_report(u) for u in unit_results]
+        finally:
+            if journal is not None:
+                journal.close()
+
+        reports = sorted((*restored, *executed),
+                         key=lambda r: r.mutant_id)
 
         tracer.incr("mutate.mutants", len(reports))
+        if restored:
+            tracer.incr("runtime.resumed_units", len(restored))
+        for r in executed:
+            if r.outcome != "ok":
+                tracer.incr(f"runtime.{r.outcome}")
+            if r.degraded:
+                tracer.incr("runtime.degraded")
         for r in reports:
             tracer.incr(f"mutate.detected.{r.detected_by}"
                         if r.caught else "mutate.escaped")
@@ -349,6 +572,7 @@ def run_campaign(
             classes=engine.classes,
             reports=reports,
             wall_seconds=time.perf_counter() - t0,
+            resumed=len(restored),
         )
         tracer.gauge("mutate.pre_sim_rate", result.totals()["pre_sim_rate"])
         return result

@@ -1,0 +1,51 @@
+"""Crash-safe execution runtime for long-running verification work.
+
+The paper's methodology earns its keep on *long* runs — constraint
+solves measured in hours, nightly regression sweeps — and a run that
+long will see worker hangs, transient database errors, and outright
+interruptions.  This package is the harness every long-running entry
+point (mutation campaigns, invariant sweeps, deadlock analysis) runs
+through:
+
+* :mod:`~repro.runtime.journal` — a durable append-only JSONL
+  checkpoint journal; an interrupted campaign resumes exactly after the
+  last completed unit.
+* :mod:`~repro.runtime.workers` — thread or per-process unit isolation
+  with a watchdog that reaps hung units as ``timeout`` outcomes and
+  turns worker exceptions into ``crashed`` results instead of lost runs.
+* :mod:`~repro.runtime.retry` — an error taxonomy (transient vs fatal)
+  plus exponential backoff with jitter, applied inside
+  :class:`~repro.core.database.ProtocolDatabase` for lock contention.
+* :mod:`~repro.runtime.atomic` — temp-file + rename writes so report
+  artifacts are never left truncated.
+
+Semantics, knobs, and the degradation matrix are documented in
+``docs/RESILIENCE.md``.
+"""
+
+from __future__ import annotations
+
+from .atomic import atomic_write_json, atomic_write_text
+from .journal import (
+    JOURNAL_SCHEMA,
+    CheckpointJournal,
+    JournalError,
+    load_journal,
+)
+from .retry import (
+    FATAL,
+    TRANSIENT,
+    RetryExhaustedError,
+    RetryPolicy,
+    call_with_retry,
+    classify_error,
+)
+from .workers import ISOLATION_MODES, UnitResult, run_units
+
+__all__ = [
+    "atomic_write_json", "atomic_write_text",
+    "JOURNAL_SCHEMA", "CheckpointJournal", "JournalError", "load_journal",
+    "TRANSIENT", "FATAL", "RetryPolicy", "RetryExhaustedError",
+    "call_with_retry", "classify_error",
+    "ISOLATION_MODES", "UnitResult", "run_units",
+]

@@ -1,0 +1,49 @@
+"""Atomic file writes: temp file in the target directory + rename.
+
+A campaign that crashes halfway through ``json.dump`` leaves a truncated
+``--matrix-out`` that downstream tooling (CI baseline comparison, the
+benchmark trajectory) then chokes on.  ``os.replace`` of a fully written
+sibling temp file is atomic on POSIX and Windows, so readers observe
+either the previous complete file or the new complete file — never a
+prefix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any
+
+__all__ = ["atomic_write_text", "atomic_write_json"]
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename).
+
+    The temp file lives in the same directory as ``path`` so the final
+    ``os.replace`` never crosses a filesystem boundary; it is fsync'd
+    before the rename so a crash right after the replace cannot surface
+    an empty file."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: str, obj: Any, indent: int = 2,
+                      sort_keys: bool = True) -> None:
+    """Serialize ``obj`` and write it to ``path`` atomically."""
+    text = json.dumps(obj, indent=indent, sort_keys=sort_keys, default=str)
+    atomic_write_text(path, text + "\n")

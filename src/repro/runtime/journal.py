@@ -1,0 +1,138 @@
+"""The checkpoint journal: durable, append-only progress for long runs.
+
+One JSONL record per *completed* unit of work, fsync'd before the write
+returns, so a campaign killed at any instant loses at most the unit that
+was in flight.  The first record is a header carrying the run's
+parameters; resuming validates the header against the new invocation so
+a journal from a different seed/assignment can never be silently merged
+into the wrong campaign.
+
+The tail of a journal written up to the moment of a SIGKILL may end in a
+partial line; :func:`load_journal` tolerates exactly that (a malformed
+*final* line) and rejects corruption anywhere else.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Optional
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "JournalError",
+    "CheckpointJournal",
+    "load_journal",
+]
+
+#: schema tag stamped into every journal header record.
+JOURNAL_SCHEMA = "repro.runtime.journal/v1"
+
+
+class JournalError(RuntimeError):
+    """A journal could not be read, or its header does not match the
+    run attempting to resume from it."""
+
+
+class CheckpointJournal:
+    """An append-only JSONL progress journal.
+
+    Use :meth:`open` — it creates the file with a header record, or
+    validates the header of an existing journal and appends to it.  Each
+    :meth:`record` call flushes and fsyncs, making the record durable
+    before the caller moves on to the next unit.
+    """
+
+    def __init__(self, path: str, fh, header: dict[str, Any]) -> None:
+        self.path = path
+        self._fh = fh
+        self.header = header
+
+    @classmethod
+    def open(cls, path: str, header: dict[str, Any],
+             fsync: bool = True) -> "CheckpointJournal":
+        """Create ``path`` with ``header``, or append to an existing
+        journal after checking every header key matches (``count``-style
+        keys the caller wants to allow to differ simply stay out of
+        ``header``)."""
+        existing: Optional[dict[str, Any]] = None
+        if os.path.exists(path) and os.path.getsize(path) > 0:
+            existing, _ = load_journal(path)
+            for key, value in header.items():
+                if existing.get(key) != value:
+                    raise JournalError(
+                        f"journal {path!r} was written by a different run: "
+                        f"{key}={existing.get(key)!r} there, {value!r} here")
+        fh = open(path, "a", encoding="utf-8")
+        journal = cls(path, fh, dict(existing or header))
+        journal._fsync = fsync
+        if existing is None:
+            journal._append({"type": "header", "schema": JOURNAL_SCHEMA,
+                             **header})
+        return journal
+
+    _fsync = True
+
+    def _append(self, record: dict[str, Any]) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        self._fh.flush()
+        if self._fsync:
+            os.fsync(self._fh.fileno())
+
+    def record(self, unit_id: Any, data: Any) -> None:
+        """Durably append one completed unit's result."""
+        self._append({"type": "unit", "id": unit_id, "data": data,
+                      "ts": time.time()})
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def load_journal(path: str) -> tuple[dict[str, Any], dict[Any, Any]]:
+    """Read a journal back: ``(header, {unit_id: data})``.
+
+    A malformed final line (the record being written when the process
+    was killed) is discarded; malformed lines anywhere else mean real
+    corruption and raise :class:`JournalError`.  Duplicate unit ids keep
+    the latest record."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except OSError as exc:
+        raise JournalError(f"cannot read journal {path!r}: {exc}") from exc
+    header: Optional[dict[str, Any]] = None
+    units: dict[Any, Any] = {}
+    for lineno, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if lineno == len(lines) - 1:
+                break  # torn tail write from a kill mid-append
+            raise JournalError(
+                f"journal {path!r} is corrupt at line {lineno + 1}: "
+                f"{exc}") from exc
+        kind = record.get("type")
+        if kind == "header":
+            if record.get("schema") != JOURNAL_SCHEMA:
+                raise JournalError(
+                    f"journal {path!r} has schema "
+                    f"{record.get('schema')!r}, expected {JOURNAL_SCHEMA!r}")
+            header = {k: v for k, v in record.items()
+                      if k not in ("type", "schema")}
+        elif kind == "unit":
+            units[record.get("id")] = record.get("data")
+    if header is None:
+        raise JournalError(f"journal {path!r} has no header record")
+    return header, units

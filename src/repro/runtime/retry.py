@@ -1,0 +1,112 @@
+"""Retry with exponential backoff + jitter, and the error taxonomy.
+
+The taxonomy is the paper's operational reality: a nightly sweep hitting
+a busy database file should wait out a ``database is locked`` and keep
+going, but a malformed statement must fail immediately — retrying it is
+just a slower version of the same bug.  :func:`classify_error` sorts an
+exception (following ``__cause__`` chains, so the
+:class:`~repro.core.database.DatabaseError` wrapper is transparent) into
+``transient`` or ``fatal``; :func:`call_with_retry` retries only the
+former.
+"""
+
+from __future__ import annotations
+
+import random
+import sqlite3
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "TRANSIENT",
+    "FATAL",
+    "classify_error",
+    "RetryPolicy",
+    "RetryExhaustedError",
+    "call_with_retry",
+]
+
+TRANSIENT = "transient"
+FATAL = "fatal"
+
+#: message fragments of ``sqlite3.OperationalError`` that indicate a
+#: condition expected to clear on its own (lock contention, a reader
+#: racing a schema change, a momentarily unavailable file).
+_TRANSIENT_MARKERS = (
+    "database is locked",
+    "database table is locked",
+    "database schema has changed",
+    "unable to open database file",
+    "disk i/o error",
+)
+
+
+def classify_error(exc: BaseException) -> str:
+    """``TRANSIENT`` or ``FATAL`` for ``exc`` (or anything it wraps)."""
+    seen = set()
+    current: Optional[BaseException] = exc
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        if isinstance(current, sqlite3.OperationalError):
+            message = str(current).lower()
+            if any(marker in message for marker in _TRANSIENT_MARKERS):
+                return TRANSIENT
+        current = current.__cause__
+    return FATAL
+
+
+class RetryExhaustedError(RuntimeError):
+    """Every attempt of a retried call failed with a transient error."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff: attempt ``n`` (0-based) sleeps
+    ``base_delay * 2**n`` capped at ``max_delay``, with up to
+    ``jitter * delay`` of random extra spread so contending workers
+    don't retry in lockstep."""
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+
+    def delay(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Sleep duration after failed attempt number ``attempt``."""
+        base = min(self.base_delay * (2 ** attempt), self.max_delay)
+        spread = (rng or random).random() * self.jitter * base
+        return base + spread
+
+
+def call_with_retry(
+    fn: Callable[[], Any],
+    policy: RetryPolicy,
+    classify: Callable[[BaseException], str] = classify_error,
+    sleep: Callable[[float], None] = time.sleep,
+    rng: Optional[random.Random] = None,
+    metric: Optional[str] = None,
+) -> Any:
+    """Call ``fn``, retrying transient failures per ``policy``.
+
+    Fatal errors propagate immediately.  When every attempt fails
+    transiently, the last exception is re-raised (not wrapped) so caller
+    error handling is unchanged; ``metric`` names a telemetry counter
+    incremented once per retry, with ``<metric>.exhausted`` bumped when
+    the attempts run out."""
+    # Imported lazily: repro.telemetry.sinks imports this package for
+    # atomic writes, so a module-level import here would be circular.
+    from ..telemetry import get_tracer
+
+    attempts = max(1, policy.max_attempts)
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except BaseException as exc:
+            if classify(exc) != TRANSIENT or attempt == attempts - 1:
+                if attempt == attempts - 1 and classify(exc) == TRANSIENT:
+                    get_tracer().incr(f"{metric or 'runtime.retries'}.exhausted")
+                raise
+            get_tracer().incr(metric or "runtime.retries")
+            sleep(policy.delay(attempt, rng))
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,277 @@
+"""Isolated execution of independent work units, with a watchdog.
+
+Two isolation levels for fanning a campaign's units out:
+
+* ``thread`` — the existing :class:`~concurrent.futures.ThreadPoolExecutor`
+  fan-out.  Cheap, shares memory, but a hung unit cannot be reclaimed
+  (Python threads are not killable), so wall-clock timeouts are rejected.
+* ``process`` — one child process per unit, bounded to ``workers``
+  concurrent children.  A watchdog polls the children; a unit that
+  exceeds its per-unit ``timeout`` is killed and recorded as a
+  ``timeout`` outcome (optionally requeued ``timeout_retries`` times
+  first), and a child that dies without reporting — segfault, OOM kill,
+  ``os._exit`` — becomes a ``crashed`` outcome.  Either way the rest of
+  the run keeps going.
+
+In both modes an exception raised by the unit function is captured as a
+``crashed`` :class:`UnitResult` instead of propagating and discarding
+every in-flight sibling.  Results come back in submission order;
+``on_result`` fires in completion order as each unit finishes, which is
+where checkpoint journaling hooks in.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
+from typing import Any, Callable, Optional, Sequence
+
+__all__ = ["UnitResult", "run_units", "ISOLATION_MODES"]
+
+#: supported isolation levels.
+ISOLATION_MODES = ("thread", "process")
+
+#: seconds the watchdog grants a terminated child to exit before
+#: escalating to SIGKILL, and a reporting child to finish exiting.
+_REAP_GRACE = 5.0
+
+
+@dataclass
+class UnitResult:
+    """The outcome of one unit: its function's return ``value`` on
+    ``"ok"``, otherwise an ``error`` string for ``"crashed"`` /
+    ``"timeout"``."""
+
+    unit_id: Any
+    outcome: str  # "ok" | "crashed" | "timeout"
+    value: Any = None
+    error: Optional[str] = None
+    seconds: float = 0.0
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == "ok"
+
+
+def _child_main(conn, fn, payload) -> None:
+    """Child-process entry: run one unit and send its result back."""
+    # The forked child inherits the parent's tracer (and any open sink
+    # file handles); silence it — outcome telemetry belongs to the
+    # parent, which sees every result.
+    from ..telemetry import NULL_TRACER, set_tracer
+
+    set_tracer(NULL_TRACER)
+    t0 = time.perf_counter()
+    try:
+        value = fn(payload)
+        conn.send(("ok", value, None, time.perf_counter() - t0))
+    except BaseException as exc:  # the whole point: nothing escapes
+        try:
+            conn.send(("crashed", None,
+                       f"{type(exc).__name__}: {exc}".splitlines()[0],
+                       time.perf_counter() - t0))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Running:
+    proc: Any
+    conn: Any
+    index: int
+    unit_id: Any
+    payload: Any
+    attempts: int
+    started: float
+    deadline: Optional[float]
+
+
+def _run_units_threaded(
+    units: Sequence[tuple[Any, Any]],
+    fn: Callable[[Any], Any],
+    workers: int,
+    on_result: Optional[Callable[[UnitResult], None]],
+) -> list[UnitResult]:
+    def guarded(unit_id: Any, payload: Any) -> UnitResult:
+        t0 = time.perf_counter()
+        try:
+            value = fn(payload)
+            return UnitResult(unit_id, "ok", value=value,
+                              seconds=time.perf_counter() - t0)
+        except BaseException as exc:
+            return UnitResult(
+                unit_id, "crashed",
+                error=f"{type(exc).__name__}: {exc}".splitlines()[0],
+                seconds=time.perf_counter() - t0)
+
+    results: list[Optional[UnitResult]] = [None] * len(units)
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = {pool.submit(guarded, unit_id, payload): i
+                   for i, (unit_id, payload) in enumerate(units)}
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                result = fut.result()
+                results[futures[fut]] = result
+                if on_result is not None:
+                    on_result(result)
+    return [r for r in results if r is not None]
+
+
+def _reap(rec: _Running) -> None:
+    """Join a finished child, escalating to kill if it lingers."""
+    rec.proc.join(_REAP_GRACE)
+    if rec.proc.is_alive():
+        rec.proc.kill()
+        rec.proc.join()
+    rec.conn.close()
+
+
+def _run_units_processes(
+    units: Sequence[tuple[Any, Any]],
+    fn: Callable[[Any], Any],
+    workers: int,
+    timeout: Optional[float],
+    timeout_retries: int,
+    on_result: Optional[Callable[[UnitResult], None]],
+    mp_context=None,
+) -> list[UnitResult]:
+    ctx = mp_context or multiprocessing.get_context()
+    queue: deque = deque(
+        (i, unit_id, payload, 1)
+        for i, (unit_id, payload) in enumerate(units))
+    running: dict[Any, _Running] = {}  # keyed by proc.sentinel
+    results: list[Optional[UnitResult]] = [None] * len(units)
+
+    def finish(result: UnitResult, index: int) -> None:
+        results[index] = result
+        if on_result is not None:
+            on_result(result)
+
+    try:
+        while queue or running:
+            while queue and len(running) < workers:
+                index, unit_id, payload, attempts = queue.popleft()
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_child_main, args=(child_conn, fn, payload),
+                    daemon=True)
+                proc.start()
+                child_conn.close()
+                now = time.monotonic()
+                running[proc.sentinel] = _Running(
+                    proc=proc, conn=parent_conn, index=index,
+                    unit_id=unit_id, payload=payload, attempts=attempts,
+                    started=now,
+                    deadline=now + timeout if timeout is not None else None)
+
+            # Wake on the earlier of: a child reporting/exiting, or the
+            # nearest watchdog deadline.
+            wait_for: list[Any] = []
+            for rec in running.values():
+                wait_for.append(rec.proc.sentinel)
+                wait_for.append(rec.conn)
+            deadlines = [rec.deadline for rec in running.values()
+                         if rec.deadline is not None]
+            wait_timeout = None
+            if deadlines:
+                wait_timeout = max(0.0, min(deadlines) - time.monotonic())
+            ready = mp_connection.wait(wait_for, timeout=wait_timeout)
+
+            finished: list[_Running] = []
+            for waitable in ready:
+                rec = None
+                for candidate in running.values():
+                    if waitable is candidate.proc.sentinel \
+                            or waitable is candidate.conn:
+                        rec = candidate
+                        break
+                if rec is not None and rec not in finished:
+                    finished.append(rec)
+            for rec in finished:
+                running.pop(rec.proc.sentinel, None)
+                elapsed = time.monotonic() - rec.started
+                payload_result = None
+                if rec.conn.poll():
+                    try:
+                        payload_result = rec.conn.recv()
+                    except (EOFError, OSError):
+                        payload_result = None
+                _reap(rec)
+                if payload_result is not None:
+                    outcome, value, error, seconds = payload_result
+                    finish(UnitResult(rec.unit_id, outcome, value=value,
+                                      error=error, seconds=seconds,
+                                      attempts=rec.attempts), rec.index)
+                else:
+                    finish(UnitResult(
+                        rec.unit_id, "crashed",
+                        error=(f"worker exited without reporting "
+                               f"(exit code {rec.proc.exitcode})"),
+                        seconds=elapsed, attempts=rec.attempts), rec.index)
+
+            # The watchdog: kill anything past its deadline.
+            now = time.monotonic()
+            for sentinel, rec in list(running.items()):
+                if rec.deadline is None or now < rec.deadline:
+                    continue
+                running.pop(sentinel)
+                rec.proc.terminate()
+                _reap(rec)
+                if rec.attempts <= timeout_retries:
+                    queue.append((rec.index, rec.unit_id, rec.payload,
+                                  rec.attempts + 1))
+                else:
+                    finish(UnitResult(
+                        rec.unit_id, "timeout",
+                        error=(f"unit exceeded its {timeout:g}s wall-clock "
+                               f"timeout (attempt {rec.attempts})"),
+                        seconds=now - rec.started,
+                        attempts=rec.attempts), rec.index)
+    finally:
+        # An exception (or KeyboardInterrupt) must not leak children.
+        for rec in running.values():
+            rec.proc.terminate()
+            _reap(rec)
+    return [r for r in results if r is not None]
+
+
+def run_units(
+    units: Sequence[tuple[Any, Any]],
+    fn: Callable[[Any], Any],
+    workers: int = 4,
+    isolation: str = "thread",
+    timeout: Optional[float] = None,
+    timeout_retries: int = 0,
+    on_result: Optional[Callable[[UnitResult], None]] = None,
+    mp_context=None,
+) -> list[UnitResult]:
+    """Run ``fn(payload)`` for every ``(unit_id, payload)`` in ``units``.
+
+    Returns one :class:`UnitResult` per unit, in submission order.  With
+    ``isolation="process"``, ``fn`` and each payload must be picklable
+    (``fn`` a module-level function) and ``timeout`` bounds each unit's
+    wall clock; with ``isolation="thread"`` a timeout is rejected because
+    a hung thread cannot be reclaimed."""
+    if isolation not in ISOLATION_MODES:
+        raise ValueError(
+            f"unknown isolation {isolation!r}; choose from {ISOLATION_MODES}")
+    if not units:
+        return []
+    workers = max(1, min(workers, len(units)))
+    if isolation == "thread":
+        if timeout is not None:
+            raise ValueError(
+                "per-unit timeouts require isolation='process' "
+                "(a hung thread cannot be killed)")
+        return _run_units_threaded(units, fn, workers, on_result)
+    return _run_units_processes(units, fn, workers, timeout,
+                                timeout_retries, on_result, mp_context)

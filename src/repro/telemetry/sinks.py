@@ -198,9 +198,11 @@ def write_report(
     command: Optional[str] = None,
     argv: Optional[Sequence[str]] = None,
 ) -> dict[str, Any]:
-    """Build the run report and write it to ``path``; returns the dict."""
+    """Build the run report and write it to ``path`` atomically
+    (temp file + rename — a crash mid-write never leaves a truncated
+    report for CI to choke on); returns the dict."""
+    from ..runtime.atomic import atomic_write_json
+
     report = build_report(tracer, command=command, argv=argv)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True, default=str)
-        fh.write("\n")
+    atomic_write_json(path, report)
     return report

@@ -333,3 +333,101 @@ class TestFileDatabasePersistence:
             assert reopened.row_count("d") == 2
         finally:
             reopened.close()
+
+
+class TestFileDatabaseResilience:
+    def test_file_backed_connections_use_wal(self, tmp_path):
+        db = ProtocolDatabase(str(tmp_path / "x.sqlite"))
+        try:
+            assert db.scalar("PRAGMA journal_mode") == "wal"
+            assert db.scalar("PRAGMA busy_timeout") == 5000
+        finally:
+            db.close()
+
+    def test_in_memory_keeps_scratch_settings(self, db):
+        # No WAL for scratch databases: journaling buys nothing there.
+        assert db.scalar("PRAGMA journal_mode") == "memory"
+
+    def test_concurrent_reader_during_write_transaction(self, tmp_path):
+        # The WAL satellite's whole point: a second --db reader must not
+        # fail with "database is locked" while a writer is mid-commit.
+        path = str(tmp_path / "shared.sqlite")
+        writer = ProtocolDatabase(path)
+        writer.create_table_from_rows("d", ("a",), [{"a": "1"}])
+        writer.connection.commit()
+        reader = ProtocolDatabase(path)
+        try:
+            writer.execute("BEGIN")
+            writer.execute("INSERT INTO d VALUES ('2')")
+            # Under WAL the reader sees the last committed snapshot.
+            assert reader.row_count("d") == 1
+        finally:
+            writer.close()
+            reader.close()
+
+
+class _FlakyConnection:
+    """Delegates to a real connection, failing the first ``failures``
+    execute() calls with a transient lock error."""
+
+    def __init__(self, real, failures):
+        self._real = real
+        self.remaining = failures
+        self.calls = 0
+
+    def execute(self, sql, params=()):
+        self.calls += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise sqlite3.OperationalError("database is locked")
+        return self._real.execute(sql, params)
+
+    def __getattr__(self, name):
+        return getattr(self._real, name)
+
+
+class TestTransientRetry:
+    def test_execute_retries_through_transient_locks(self, db, monkeypatch):
+        from repro.runtime import RetryPolicy
+
+        db.create_table_from_rows("d", ("a",), [{"a": "1"}])
+        flaky = _FlakyConnection(db.connection, failures=2)
+        monkeypatch.setattr(db, "_conn", flaky)
+        monkeypatch.setattr(
+            db, "_retry_policy",
+            RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0))
+        rows = db.query("SELECT * FROM d")
+        assert rows == [{"a": "1"}]
+        assert flaky.calls == 3
+
+    def test_exhausted_transient_raises_database_error(self, db, monkeypatch):
+        from repro.runtime import RetryPolicy
+
+        flaky = _FlakyConnection(db.connection, failures=99)
+        monkeypatch.setattr(db, "_conn", flaky)
+        monkeypatch.setattr(
+            db, "_retry_policy",
+            RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0))
+        with pytest.raises(DatabaseError, match="database is locked"):
+            db.execute("SELECT 1")
+        assert flaky.calls == 2
+
+    def test_fatal_error_fails_immediately(self, db, monkeypatch):
+        flaky = _FlakyConnection(db.connection, failures=0)
+        monkeypatch.setattr(db, "_conn", flaky)
+        with pytest.raises(DatabaseError, match="syntax"):
+            db.execute("SELEKT broken")
+        assert flaky.calls == 1
+
+    def test_retry_counter_visible_in_telemetry(self, db, monkeypatch):
+        from repro.runtime import RetryPolicy
+
+        monkeypatch.setattr(
+            db, "_retry_policy",
+            RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0))
+        tracer = telemetry.Tracer()
+        with telemetry.use_tracer(tracer):
+            flaky = _FlakyConnection(db.connection, failures=1)
+            monkeypatch.setattr(db, "_conn", flaky)
+            db.execute("SELECT 1")
+        assert tracer.registry.counter("db.retries") == 1

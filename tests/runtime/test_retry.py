@@ -1,0 +1,127 @@
+"""Tests for the error taxonomy and the backoff/jitter retry loop."""
+
+import random
+import sqlite3
+
+import pytest
+
+from repro import telemetry
+from repro.core.database import DatabaseError
+from repro.runtime import (
+    FATAL,
+    TRANSIENT,
+    RetryPolicy,
+    call_with_retry,
+    classify_error,
+)
+
+
+class TestClassifyError:
+    def test_database_locked_is_transient(self):
+        assert classify_error(
+            sqlite3.OperationalError("database is locked")) == TRANSIENT
+
+    def test_table_locked_is_transient(self):
+        assert classify_error(
+            sqlite3.OperationalError("database table is locked: D")) \
+            == TRANSIENT
+
+    def test_syntax_error_is_fatal(self):
+        assert classify_error(
+            sqlite3.OperationalError('near "FORM": syntax error')) == FATAL
+
+    def test_integrity_error_is_fatal(self):
+        assert classify_error(
+            sqlite3.IntegrityError("UNIQUE constraint failed")) == FATAL
+
+    def test_wrapped_database_error_follows_cause(self):
+        # The DatabaseError wrapper raised by ProtocolDatabase chains the
+        # sqlite3 exception via __cause__; the taxonomy must see through.
+        try:
+            try:
+                raise sqlite3.OperationalError("database is locked")
+            except sqlite3.OperationalError as e:
+                raise DatabaseError("wrapped") from e
+        except DatabaseError as wrapped:
+            assert classify_error(wrapped) == TRANSIENT
+
+    def test_plain_exception_is_fatal(self):
+        assert classify_error(ValueError("nope")) == FATAL
+
+
+class TestRetryPolicy:
+    def test_delays_grow_exponentially(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=10.0, jitter=0.0)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.8)
+
+    def test_delay_capped_at_max(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.3, jitter=0.0)
+        assert policy.delay(10) == pytest.approx(0.3)
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=10.0, jitter=0.5)
+        rng = random.Random(0)
+        for attempt in range(4):
+            base = min(1.0 * 2 ** attempt, 10.0)
+            d = policy.delay(attempt, rng)
+            assert base <= d <= base * 1.5
+
+
+def flaky(failures, exc=None):
+    """A callable failing ``failures`` times before succeeding."""
+    state = {"calls": 0}
+
+    def fn():
+        state["calls"] += 1
+        if state["calls"] <= failures:
+            raise exc or sqlite3.OperationalError("database is locked")
+        return state["calls"]
+
+    fn.state = state
+    return fn
+
+
+class TestCallWithRetry:
+    def test_transient_failures_retried_until_success(self):
+        sleeps = []
+        fn = flaky(2)
+        result = call_with_retry(fn, RetryPolicy(max_attempts=3),
+                                 sleep=sleeps.append)
+        assert result == 3
+        assert len(sleeps) == 2
+        assert sleeps[1] > sleeps[0] * 1.0  # backoff grows
+
+    def test_exhausted_retries_reraise_last_error(self):
+        fn = flaky(10)
+        with pytest.raises(sqlite3.OperationalError, match="locked"):
+            call_with_retry(fn, RetryPolicy(max_attempts=3),
+                            sleep=lambda s: None)
+        assert fn.state["calls"] == 3
+
+    def test_fatal_error_not_retried(self):
+        fn = flaky(10, exc=sqlite3.OperationalError("syntax error"))
+        with pytest.raises(sqlite3.OperationalError):
+            call_with_retry(fn, RetryPolicy(max_attempts=5),
+                            sleep=lambda s: None)
+        assert fn.state["calls"] == 1
+
+    def test_success_is_passthrough(self):
+        assert call_with_retry(lambda: 42, RetryPolicy()) == 42
+
+    def test_retry_counter_incremented(self):
+        tracer = telemetry.Tracer()
+        with telemetry.use_tracer(tracer):
+            call_with_retry(flaky(2), RetryPolicy(max_attempts=3),
+                            sleep=lambda s: None, metric="t.retries")
+        assert tracer.registry.counter("t.retries") == 2
+
+    def test_exhausted_counter_incremented(self):
+        tracer = telemetry.Tracer()
+        with telemetry.use_tracer(tracer):
+            with pytest.raises(sqlite3.OperationalError):
+                call_with_retry(flaky(5), RetryPolicy(max_attempts=2),
+                                sleep=lambda s: None, metric="t.retries")
+        assert tracer.registry.counter("t.retries") == 1
+        assert tracer.registry.counter("t.retries.exhausted") == 1

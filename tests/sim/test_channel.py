@@ -40,6 +40,44 @@ class TestQueue:
     def test_empty_head_is_none(self):
         assert VirtualChannelQueue("VC0", 1, 1).head() is None
 
+    def test_pop_from_empty_queue_raises(self):
+        q = VirtualChannelQueue("VC0", 1, capacity=2)
+        with pytest.raises(IndexError):
+            q.pop()
+        # still usable after the failed pop
+        q.push(env("a"))
+        assert q.pop().msg == "a"
+
+    def test_capacity_zero_channel_never_accepts(self):
+        q = VirtualChannelQueue("VC0", 1, capacity=0)
+        assert q.full
+        assert not q.can_accept()
+        assert not q.can_accept(0) or q.capacity == 0  # n=0 fits trivially
+        with pytest.raises(RuntimeError, match="full"):
+            q.push(env())
+        assert len(q) == 0  # the rejected envelope was not enqueued
+
+    def test_can_accept_at_exact_capacity_boundary(self):
+        q = VirtualChannelQueue("VC0", 1, capacity=3)
+        q.push(env("a"))
+        q.push(env("b"))
+        # exactly one slot left: n=1 fits, n=2 does not
+        assert q.can_accept(1)
+        assert not q.can_accept(2)
+        q.push(env("c"))
+        assert not q.can_accept(1) and q.full
+        q.pop()
+        assert q.can_accept(1)  # a slot reopens after the pop
+
+    def test_occupancy_after_drain(self):
+        q = VirtualChannelQueue("VC0", 1, capacity=2)
+        q.push(env("a"))
+        q.push(env("b"))
+        q.pop()
+        q.pop()
+        assert len(q) == 0 and q.head() is None
+        assert not q.full and q.can_accept(2)
+
 
 @pytest.fixture()
 def fabric():
@@ -77,6 +115,31 @@ class TestFabric:
         fabric.queue("VC0", 0)  # created but empty
         fabric.queue("VC3", 1).push(env("resp"))
         assert fabric.occupancy() == {("VC3", 1): 1}
+
+    def test_occupancy_empty_after_full_drain(self, fabric):
+        q = fabric.queue("VC0", 0)
+        q.push(env())
+        q.push(env())
+        assert fabric.occupancy() == {("VC0", 0): 2}
+        q.pop()
+        assert fabric.occupancy() == {("VC0", 0): 1}
+        q.pop()
+        assert fabric.occupancy() == {}
+        assert fabric.pending_messages() == 0
+
+    def test_capacity_zero_override(self):
+        v = ChannelAssignment("v", [
+            VCAssignment("req", "local", "home", "VC0"),
+        ])
+        fabric = ChannelFabric(v, default_capacity=2,
+                               capacities={"VC0": 0})
+        q = fabric.queue("VC0", 0)
+        assert q.capacity == 0 and q.full
+
+    def test_unknown_route_raises_lookup(self, fabric):
+        from repro.core.table import LookupError_
+        with pytest.raises((KeyError, LookupError_, LookupError)):
+            fabric.channel_for("bogus-msg", "local", "home")
 
     def test_queue_for_combines_routing(self, fabric):
         q = fabric.queue_for("req", "local", "home", 1)

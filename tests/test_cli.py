@@ -245,3 +245,53 @@ class TestMutateCommand:
         assert main(["mutate", "--count", "1", "--workers", "1",
                      "--baseline", str(bad)]) == 2
         assert "repro: error:" in capsys.readouterr().err
+
+
+class TestMutateResilienceFlags:
+    def test_resilience_flags_parse(self):
+        args = build_parser().parse_args(
+            ["mutate", "--isolation", "process", "--timeout", "30",
+             "--journal", "j.jsonl", "--resume", "j.jsonl"])
+        assert args.isolation == "process"
+        assert args.timeout == 30.0
+        assert args.journal == "j.jsonl" and args.resume == "j.jsonl"
+
+    def test_isolation_defaults_to_thread(self):
+        args = build_parser().parse_args(["mutate"])
+        assert args.isolation == "thread"
+        assert args.timeout is None
+        assert args.journal is None and args.resume is None
+
+    def test_unknown_isolation_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mutate", "--isolation", "fiber"])
+
+    def test_journal_then_resume_round_trip(self, tmp_path, capsys):
+        journal = tmp_path / "campaign.jsonl"
+        full = tmp_path / "full.json"
+        resumed = tmp_path / "resumed.json"
+        assert main(["mutate", "--count", "3", "--workers", "1",
+                     "--matrix-out", str(full), "--quiet"]) == 0
+        assert main(["mutate", "--count", "2", "--workers", "1",
+                     "--journal", str(journal), "--quiet"]) == 0
+        assert main(["mutate", "--count", "3", "--workers", "1",
+                     "--resume", str(journal),
+                     "--matrix-out", str(resumed)]) == 0
+        assert "resumed from journal: 2 mutants" in capsys.readouterr().out
+        assert json.loads(full.read_text()) == \
+            json.loads(resumed.read_text())
+
+    def test_resume_with_conflicting_journal_exits_2(self, capsys):
+        assert main(["mutate", "--resume", "a.jsonl",
+                     "--journal", "b.jsonl"]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_resume_from_missing_journal_exits_2(self, tmp_path, capsys):
+        assert main(["mutate", "--count", "1",
+                     "--resume", str(tmp_path / "nope.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err and "Traceback" not in err
+
+    def test_timeout_with_thread_isolation_exits_2(self, capsys):
+        assert main(["mutate", "--count", "1", "--timeout", "5"]) == 2
+        assert "repro: error:" in capsys.readouterr().err
