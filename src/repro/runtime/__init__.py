@@ -35,7 +35,6 @@ from .journal import (
 from .retry import (
     FATAL,
     TRANSIENT,
-    RetryExhaustedError,
     RetryPolicy,
     call_with_retry,
     classify_error,
@@ -45,7 +44,7 @@ from .workers import ISOLATION_MODES, UnitResult, run_units
 __all__ = [
     "atomic_write_json", "atomic_write_text",
     "JOURNAL_SCHEMA", "CheckpointJournal", "JournalError", "load_journal",
-    "TRANSIENT", "FATAL", "RetryPolicy", "RetryExhaustedError",
+    "TRANSIENT", "FATAL", "RetryPolicy",
     "call_with_retry", "classify_error",
     "ISOLATION_MODES", "UnitResult", "run_units",
 ]

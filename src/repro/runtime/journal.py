@@ -9,7 +9,10 @@ into the wrong campaign.
 
 The tail of a journal written up to the moment of a SIGKILL may end in a
 partial line; :func:`load_journal` tolerates exactly that (a malformed
-*final* line) and rejects corruption anywhere else.
+*final* line) and rejects corruption anywhere else.  Reopening such a
+journal with :meth:`CheckpointJournal.open` truncates the torn tail
+before appending, so the resumed run's records start on a fresh line
+instead of concatenating onto the partial one.
 """
 
 from __future__ import annotations
@@ -58,12 +61,21 @@ class CheckpointJournal:
         ``header``)."""
         existing: Optional[dict[str, Any]] = None
         if os.path.exists(path) and os.path.getsize(path) > 0:
-            existing, _ = load_journal(path)
+            existing, _, durable_end = _scan_journal(path)
+            if existing is None:
+                raise JournalError(
+                    f"journal {path!r} has no header record")
             for key, value in header.items():
                 if existing.get(key) != value:
                     raise JournalError(
                         f"journal {path!r} was written by a different run: "
                         f"{key}={existing.get(key)!r} there, {value!r} here")
+            if durable_end < os.path.getsize(path):
+                # A kill mid-append left a torn tail; drop it so the
+                # next record starts on a fresh line instead of being
+                # concatenated onto the partial one (which would lose
+                # that record and corrupt the file mid-line).
+                os.truncate(path, durable_end)
         fh = open(path, "a", encoding="utf-8")
         journal = cls(path, fh, dict(existing or header))
         journal._fsync = fsync
@@ -98,31 +110,50 @@ class CheckpointJournal:
         self.close()
 
 
-def load_journal(path: str) -> tuple[dict[str, Any], dict[Any, Any]]:
-    """Read a journal back: ``(header, {unit_id: data})``.
+def _scan_journal(
+    path: str,
+) -> tuple[Optional[dict[str, Any]], dict[Any, Any], int]:
+    """Parse a journal, returning ``(header, units, durable_end)``.
 
-    A malformed final line (the record being written when the process
-    was killed) is discarded; malformed lines anywhere else mean real
-    corruption and raise :class:`JournalError`.  Duplicate unit ids keep
-    the latest record."""
+    ``durable_end`` is the byte offset just past the last durable record
+    — well-formed JSON terminated by a newline.  A final line that is
+    malformed *or* missing its newline is the tear a kill mid-append
+    leaves behind: its record never became durable, so it is excluded
+    from ``units`` and from ``durable_end`` (a resume re-runs that
+    unit).  Malformed lines anywhere before the tail mean real
+    corruption and raise :class:`JournalError`."""
     try:
-        with open(path, encoding="utf-8") as fh:
-            lines = fh.read().splitlines()
+        with open(path, "rb") as fh:
+            raw = fh.read()
     except OSError as exc:
         raise JournalError(f"cannot read journal {path!r}: {exc}") from exc
     header: Optional[dict[str, Any]] = None
     units: dict[Any, Any] = {}
-    for lineno, line in enumerate(lines):
-        if not line.strip():
+    durable_end = 0
+    offset = 0
+    lineno = 0
+    total = len(raw)
+    while offset < total:
+        newline = raw.find(b"\n", offset)
+        terminated = newline != -1
+        end = newline + 1 if terminated else total
+        chunk = raw[offset:newline if terminated else total]
+        lineno += 1
+        if not chunk.strip():
+            if terminated:
+                durable_end = end
+            offset = end
             continue
         try:
-            record = json.loads(line)
-        except json.JSONDecodeError as exc:
-            if lineno == len(lines) - 1:
+            record = json.loads(chunk.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            if end >= total:
                 break  # torn tail write from a kill mid-append
             raise JournalError(
-                f"journal {path!r} is corrupt at line {lineno + 1}: "
+                f"journal {path!r} is corrupt at line {lineno}: "
                 f"{exc}") from exc
+        if not terminated:
+            break  # complete JSON whose newline never hit the disk
         kind = record.get("type")
         if kind == "header":
             if record.get("schema") != JOURNAL_SCHEMA:
@@ -133,6 +164,19 @@ def load_journal(path: str) -> tuple[dict[str, Any], dict[Any, Any]]:
                       if k not in ("type", "schema")}
         elif kind == "unit":
             units[record.get("id")] = record.get("data")
+        durable_end = end
+        offset = end
+    return header, units, durable_end
+
+
+def load_journal(path: str) -> tuple[dict[str, Any], dict[Any, Any]]:
+    """Read a journal back: ``(header, {unit_id: data})``.
+
+    A torn final line (the record being written when the process was
+    killed — malformed, or valid JSON missing its newline) is discarded;
+    malformed lines anywhere else mean real corruption and raise
+    :class:`JournalError`.  Duplicate unit ids keep the latest record."""
+    header, units, _ = _scan_journal(path)
     if header is None:
         raise JournalError(f"journal {path!r} has no header record")
     return header, units

@@ -23,7 +23,6 @@ __all__ = [
     "FATAL",
     "classify_error",
     "RetryPolicy",
-    "RetryExhaustedError",
     "call_with_retry",
 ]
 
@@ -32,13 +31,15 @@ FATAL = "fatal"
 
 #: message fragments of ``sqlite3.OperationalError`` that indicate a
 #: condition expected to clear on its own (lock contention, a reader
-#: racing a schema change, a momentarily unavailable file).
+#: racing a schema change, a momentarily unavailable file).  ``disk i/o
+#: error`` is deliberately absent: after an I/O error the connection
+#: may be left in an inconsistent state (especially under WAL), and
+#: retrying on it would mask real corruption.
 _TRANSIENT_MARKERS = (
     "database is locked",
     "database table is locked",
     "database schema has changed",
     "unable to open database file",
-    "disk i/o error",
 )
 
 
@@ -54,10 +55,6 @@ def classify_error(exc: BaseException) -> str:
                 return TRANSIENT
         current = current.__cause__
     return FATAL
-
-
-class RetryExhaustedError(RuntimeError):
-    """Every attempt of a retried call failed with a transient error."""
 
 
 @dataclass(frozen=True)

@@ -135,6 +135,16 @@ def _reap(rec: _Running) -> None:
     rec.conn.close()
 
 
+def _try_recv(conn) -> Optional[tuple]:
+    """Receive a child's report if one is waiting, else ``None``."""
+    try:
+        if not conn.poll():
+            return None
+        return conn.recv()
+    except (EOFError, OSError):
+        return None
+
+
 def _run_units_processes(
     units: Sequence[tuple[Any, Any]],
     fn: Callable[[Any], Any],
@@ -199,12 +209,7 @@ def _run_units_processes(
             for rec in finished:
                 running.pop(rec.proc.sentinel, None)
                 elapsed = time.monotonic() - rec.started
-                payload_result = None
-                if rec.conn.poll():
-                    try:
-                        payload_result = rec.conn.recv()
-                    except (EOFError, OSError):
-                        payload_result = None
+                payload_result = _try_recv(rec.conn)
                 _reap(rec)
                 if payload_result is not None:
                     outcome, value, error, seconds = payload_result
@@ -224,6 +229,17 @@ def _run_units_processes(
                 if rec.deadline is None or now < rec.deadline:
                     continue
                 running.pop(sentinel)
+                # The unit may have reported in the window between
+                # mp_connection.wait returning and this check — a
+                # completed verdict beats a timeout.
+                payload_result = _try_recv(rec.conn)
+                if payload_result is not None:
+                    _reap(rec)
+                    outcome, value, error, seconds = payload_result
+                    finish(UnitResult(rec.unit_id, outcome, value=value,
+                                      error=error, seconds=seconds,
+                                      attempts=rec.attempts), rec.index)
+                    continue
                 rec.proc.terminate()
                 _reap(rec)
                 if rec.attempts <= timeout_retries:

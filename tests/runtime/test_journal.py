@@ -67,6 +67,54 @@ class TestJournalFailureModes:
         header, units = load_journal(path)
         assert units == {0: "done"}
 
+    def test_reopen_truncates_torn_tail_before_append(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with CheckpointJournal.open(path, {"kind": "t"}) as j:
+            j.record(0, "done")
+        with open(path, "a") as fh:
+            fh.write('{"type": "unit", "id": 1, "da')  # SIGKILL mid-append
+        with CheckpointJournal.open(path, {"kind": "t"}) as j:
+            j.record(1, "redone")
+            j.record(2, "next")
+        header, units = load_journal(path)
+        assert units == {0: "done", 1: "redone", 2: "next"}
+        # every line in the resumed journal is intact JSON
+        for line in open(path).read().splitlines():
+            json.loads(line)
+
+    def test_reopen_twice_interrupted_journal(self, tmp_path):
+        # A second resume of a twice-interrupted campaign must not see
+        # the first resume's records as mid-file corruption.
+        path = str(tmp_path / "j.jsonl")
+        with CheckpointJournal.open(path, {"kind": "t"}) as j:
+            j.record(0, "a")
+        with open(path, "a") as fh:
+            fh.write('{"type": "unit", "id": 1')  # first kill
+        with CheckpointJournal.open(path, {"kind": "t"}) as j:
+            j.record(1, "b")
+        with open(path, "a") as fh:
+            fh.write('{"type": "un')  # second kill
+        with CheckpointJournal.open(path, {"kind": "t"}) as j:
+            j.record(2, "c")
+        _, units = load_journal(path)
+        assert units == {0: "a", 1: "b", 2: "c"}
+
+    def test_unterminated_final_record_is_not_durable(self, tmp_path):
+        # Valid JSON whose trailing newline never hit the disk is still
+        # a torn write: the unit re-runs rather than risking a
+        # concatenated line on resume.
+        path = str(tmp_path / "j.jsonl")
+        with CheckpointJournal.open(path, {"kind": "t"}) as j:
+            j.record(0, "done")
+        with open(path, "a") as fh:
+            fh.write(json.dumps({"type": "unit", "id": 1, "data": "x"}))
+        _, units = load_journal(path)
+        assert units == {0: "done"}
+        with CheckpointJournal.open(path, {"kind": "t"}) as j:
+            j.record(1, "redone")
+        _, units = load_journal(path)
+        assert units == {0: "done", 1: "redone"}
+
     def test_mid_file_corruption_raises(self, tmp_path):
         path = str(tmp_path / "j.jsonl")
         with CheckpointJournal.open(path, {"kind": "t"}) as j:

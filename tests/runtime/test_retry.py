@@ -34,6 +34,12 @@ class TestClassifyError:
         assert classify_error(
             sqlite3.IntegrityError("UNIQUE constraint failed")) == FATAL
 
+    def test_disk_io_error_is_fatal(self):
+        # An I/O error can leave the connection inconsistent; retrying
+        # on it would mask real corruption.
+        assert classify_error(
+            sqlite3.OperationalError("disk I/O error")) == FATAL
+
     def test_wrapped_database_error_follows_cause(self):
         # The DatabaseError wrapper raised by ProtocolDatabase chains the
         # sqlite3 exception via __cause__; the taxonomy must see through.
