@@ -9,6 +9,7 @@
     python -m repro map                    # section-5 hardware mapping
     python -m repro codegen M --verilog    # generated controller code
     python -m repro mutate --seed 0 --count 50   # fault-injection campaign
+    python -m repro explore --nodes 2 --depth 12 # bounded reachability
 
 Every subcommand also accepts the telemetry flags ``--profile``
 (human text summary), ``--trace-out events.jsonl`` (JSONL event
@@ -159,6 +160,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--baseline", metavar="PATH", default=None,
                    help="compare against a committed detection matrix and "
                         "exit 1 on any detection regression")
+    p.add_argument("--oracle", choices=("explore",), default=None,
+                   help="ground-truth re-scoring of surviving mutants by "
+                        "bounded exhaustive exploration; the matrix gains "
+                        "an 'oracle' column (see docs/EXPLORATION.md)")
+    p.add_argument("--oracle-depth", type=int, default=8, metavar="N",
+                   help="exploration depth bound for --oracle "
+                        "(default: %(default)s)")
+    p.add_argument("--oracle-nodes", type=int, default=2, metavar="N",
+                   help="node count for --oracle exploration "
+                        "(default: %(default)s)")
+
+    p = sub.add_parser("explore", parents=[common],
+                       help="bounded-depth exhaustive reachability "
+                            "exploration of the generated tables")
+    p.add_argument("--nodes", type=int, default=2,
+                   help="caching nodes in the explored configuration "
+                        "(default: %(default)s)")
+    p.add_argument("--depth", type=int, default=10,
+                   help="BFS depth bound in moves (default: %(default)s)")
+    p.add_argument("--lines", type=int, default=1,
+                   help="memory lines (addresses) in play "
+                        "(default: %(default)s)")
+    p.add_argument("--assignment", choices=("v4", "v5", "v5d"),
+                   default="v5d",
+                   help="channel assignment to explore under "
+                        "(default: %(default)s)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="threads expanding each BFS frontier; results are "
+                        "identical for any worker count "
+                        "(default: %(default)s)")
+    p.add_argument("--capacity", type=int, default=1,
+                   help="per-channel queue capacity (default: %(default)s)")
+    p.add_argument("--no-symmetry", action="store_true",
+                   help="disable canonicalization under node permutation "
+                        "symmetry (explores the full concrete space)")
+    p.add_argument("--journal", metavar="PATH", default=None,
+                   help="checkpoint each completed depth to a crash-safe "
+                        "JSONL journal at PATH")
+    p.add_argument("--resume", metavar="PATH", default=None,
+                   help="resume an interrupted exploration from its "
+                        "journal, re-expanding from the last completed "
+                        "depth")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="write the exploration result JSON to PATH "
+                        "(atomically: temp file + rename)")
     return parser
 
 
@@ -323,7 +369,8 @@ def _cmd_mutate(system, args) -> int:
             classes=classes, assignment=args.assignment,
             workers=args.workers, isolation=args.isolation,
             timeout=args.timeout, journal_path=args.journal,
-            resume_from=args.resume)
+            resume_from=args.resume, oracle=args.oracle,
+            oracle_depth=args.oracle_depth, oracle_nodes=args.oracle_nodes)
     except (ValueError, JournalError, OSError) as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
@@ -342,6 +389,48 @@ def _cmd_mutate(system, args) -> int:
     return 0
 
 
+def _cmd_explore(system, args) -> int:
+    from .explore import ExplorationError, ExploreConfig, ReachabilityExplorer
+    from .runtime import JournalError, atomic_write_json
+
+    if args.resume and args.journal and args.resume != args.journal:
+        print("repro: error: --resume already names the journal to "
+              "continue; --journal must be omitted or identical",
+              file=sys.stderr)
+        return 2
+    if args.out:
+        try:
+            # Fail fast on an unwritable result path, before the search.
+            open(args.out, "a", encoding="utf-8").close()
+        except OSError as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        config = ExploreConfig(
+            nodes=args.nodes, depth=args.depth, lines=args.lines,
+            assignment=args.assignment, workers=args.workers,
+            capacity=args.capacity, symmetry=not args.no_symmetry,
+            journal_path=args.journal, resume_from=args.resume)
+        explorer = ReachabilityExplorer(system, config)
+        result = explorer.run()
+    except (ValueError, ExplorationError, JournalError, OSError) as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    # Persist before printing: a truncated stdout pipe (e.g. | head)
+    # must not cost the --out file or the --save-db summary table.
+    explorer.write_summary(system.db, result)
+    if args.out:
+        atomic_write_json(args.out, result.to_dict())
+    print(result.render())
+    for violation in result.violations:
+        trace = explorer.counterexample(violation.digest)
+        if trace:
+            print(f"\ncounterexample ({violation.kind} at depth "
+                  f"{violation.depth}):")
+            print(trace)
+    return 0 if result.ok else 1
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "check": _cmd_check,
@@ -352,6 +441,7 @@ _COMMANDS = {
     "map": _cmd_map,
     "codegen": _cmd_codegen,
     "mutate": _cmd_mutate,
+    "explore": _cmd_explore,
 }
 
 

@@ -186,17 +186,31 @@ class ProtocolDatabase:
         # class never observe a stale probe.
         self._schema_cache = _LRUCache()
         self._count_cache = _LRUCache()
+        self._closed = False
 
     # -- lifecycle ------------------------------------------------------------
     def close(self) -> None:
         """Commit any open implicit transaction and close the connection
         (without the commit, a file-backed database would roll back
-        everything written since the last snapshot on close)."""
+        everything written since the last snapshot on close).
+
+        Idempotent: a second close is a no-op.  A *failed* final commit
+        is not swallowed — for a file-backed database it means writes
+        made since the last commit (e.g. the ``__explore_summary`` table
+        a ``--save-db`` run just recorded) would silently vanish, so it
+        surfaces as :class:`DatabaseError`.  The connection is still
+        closed in that case; resources never leak."""
+        if self._closed:
+            return
+        self._closed = True
         try:
             self._conn.commit()
-        except sqlite3.Error:
-            pass
-        self._conn.close()
+        except sqlite3.Error as exc:
+            raise DatabaseError(
+                f"final commit failed on close; writes since the last "
+                f"commit are lost: {exc}") from exc
+        finally:
+            self._conn.close()
 
     def __enter__(self) -> "ProtocolDatabase":
         return self
@@ -219,6 +233,8 @@ class ProtocolDatabase:
         complete schema: tables, views, and crucially the indexes created
         via :class:`IndexSpec`, which the analysis engines rely on after a
         clone."""
+        if self._closed:
+            raise DatabaseError("database is closed; cannot snapshot")
         self._conn.commit()
         if SNAPSHOT_SUPPORTED and not portable:
             return self._conn.serialize()
@@ -309,6 +325,9 @@ class ProtocolDatabase:
         return call_with_retry(op, self._retry_policy, metric="db.retries")
 
     def execute(self, sql: str, params: Sequence = ()) -> sqlite3.Cursor:
+        if self._closed:
+            raise DatabaseError(
+                f"database is closed; cannot execute:\n{sql}")
         self._note_statement(sql)
         tracer = get_tracer()
         if not tracer.enabled:
@@ -341,6 +360,9 @@ class ProtocolDatabase:
         return cursor
 
     def executemany(self, sql: str, rows: Iterable[Sequence]) -> None:
+        if self._closed:
+            raise DatabaseError(
+                f"database is closed; cannot execute:\n{sql}")
         self._note_statement(sql)
         tracer = get_tracer()
         if not tracer.enabled:

@@ -1,0 +1,840 @@
+"""Bounded-depth exhaustive reachability exploration of the tables.
+
+The simulator replays *one* interleaving of a workload; the explorer
+enumerates *every* interleaving a small open system can produce, up to a
+depth bound.  A state (see :mod:`repro.explore.state`) is expanded by
+firing each enabled atomic move — delivering one channel head, advancing
+one processor operation, re-issuing one retried transaction, or
+*injecting* a fresh ``ld``/``st``/``evict`` at any node — through the
+exact same :class:`~repro.sim.system.Simulator` planning/commit code the
+workloads use, so a transition exists here iff the generated controller
+tables contain its row.
+
+Exploration is breadth-first and depth-synchronized: the frontier of
+depth *d* is fully expanded (in parallel batches over the PR 4
+:func:`~repro.runtime.run_units` pool, each worker on a private database
+clone) before depth *d+1* begins, successors are merged in deterministic
+submission order, and deduplication runs on SHA-256 digests of canonical
+(symmetry-reduced) states — results are identical for any worker count.
+Every *new* state is checked on the fly:
+
+* **coherence** — the single-writer/multiple-reader property over all
+  cache states (the simulator's :meth:`check_coherence`, evaluated
+  directly on the state tuple);
+* **directory** at quiescent states — the directory covers the caches
+  and the busy directory is empty;
+* **hole** — a reachable message with no matching table row
+  (:class:`~repro.sim.models.SimProtocolError` and friends);
+* **deadlock** — a state with pending work (messages in flight,
+  outstanding transactions, queued operations) where no non-inject move
+  can commit: nothing already started can ever finish.
+
+Each violating state carries a predecessor chain back to the initial
+state; :meth:`ReachabilityExplorer.replay` re-executes that chain through
+the simulator and returns the message :class:`TraceEvent` list, rendered
+as a paper-style sequence chart by :func:`repro.sim.trace.render_sequence`.
+
+Long runs checkpoint one journal record per completed depth
+(``--journal``) and resume exactly after the last completed depth, even
+with a larger ``--depth``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from ..core.database import DatabaseError, ProtocolDatabase
+from ..core.table import LookupError_
+from ..runtime import CheckpointJournal, JournalError, load_journal, run_units
+from ..sim.models import SimProtocolError
+from ..sim.system import SimConfig, Simulator, TraceEvent
+from ..sim.trace import render_sequence
+from ..telemetry import get_tracer, span
+from .state import (
+    canonicalize,
+    decode_state,
+    encode_state,
+    hash_state,
+    restore_state,
+    snapshot_state,
+)
+
+__all__ = [
+    "ExplorationError",
+    "ExploreConfig",
+    "ExploreResult",
+    "DepthStats",
+    "Violation",
+    "ReachabilityExplorer",
+    "explore_system",
+    "SUMMARY_TABLE",
+    "JOURNAL_KIND",
+    "RESULT_SCHEMA",
+]
+
+#: reached-state summary table written into the protocol database.
+SUMMARY_TABLE = "__explore_summary"
+
+#: columns of :data:`SUMMARY_TABLE`, one row per explored depth.
+SUMMARY_COLUMNS = ("depth", "frontier", "new_states", "transitions",
+                   "dedup_hits", "violations", "deadlocks")
+
+#: ``kind`` stamped into exploration checkpoint-journal headers.
+JOURNAL_KIND = "explore"
+
+#: schema tag of the JSON result report.
+RESULT_SCHEMA = "repro.explore.result/v1"
+
+#: processor operations the explorer may inject at any idle node.
+INJECT_OPS = ("ld", "st", "evict")
+
+#: errors that mean "the tables have no row for this reachable input" —
+#: a protocol hole, recorded as a violation rather than crashing the run.
+_HOLE_ERRORS = (SimProtocolError, LookupError_, DatabaseError)
+
+
+class ExplorationError(RuntimeError):
+    """The exploration itself failed (bad configuration, worker crash,
+    journal mismatch) — as opposed to finding a protocol violation."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant failure at a reachable state."""
+
+    kind: str     # "coherence" | "directory" | "hole" | "deadlock"
+    digest: str   # canonical-state digest where it fired
+    depth: int
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "digest": self.digest,
+                "depth": self.depth, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Violation":
+        return cls(kind=d["kind"], digest=d["digest"],
+                   depth=int(d["depth"]), detail=d["detail"])
+
+
+@dataclass
+class ExploreConfig:
+    """Topology, bounds, and execution knobs of one exploration."""
+
+    nodes: int = 2
+    depth: int = 10
+    lines: int = 1
+    assignment: str = "v5d"
+    workers: int = 1
+    capacity: int = 1
+    symmetry: bool = True
+    #: states per parallel work unit (smaller = better load balance,
+    #: larger = less per-unit clone overhead).
+    batch_size: int = 64
+    journal_path: Optional[str] = None
+    resume_from: Optional[str] = None
+    #: finish the current depth, then stop as soon as any violation is
+    #: recorded — the oracle's mode, where one witness suffices.
+    stop_on_violation: bool = False
+
+    def validate(self) -> None:
+        if self.nodes < 1:
+            raise ExplorationError("explore needs at least 1 node")
+        if self.lines < 1:
+            raise ExplorationError("explore needs at least 1 line")
+        if self.depth < 0:
+            raise ExplorationError("depth bound must be >= 0")
+        if self.capacity < 1:
+            raise ExplorationError("channel capacity must be >= 1")
+
+
+@dataclass
+class DepthStats:
+    """What one BFS level did."""
+
+    depth: int
+    frontier: int      # states expanded at this depth
+    new_states: int    # distinct canonical states first seen here
+    transitions: int   # committed moves fired from the frontier
+    dedup_hits: int    # successors that were already known
+    violations: int
+    deadlocks: int
+
+    def to_dict(self) -> dict:
+        return {
+            "depth": self.depth, "frontier": self.frontier,
+            "new_states": self.new_states, "transitions": self.transitions,
+            "dedup_hits": self.dedup_hits, "violations": self.violations,
+            "deadlocks": self.deadlocks,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "DepthStats":
+        return cls(**{k: int(d[k]) for k in (
+            "depth", "frontier", "new_states", "transitions",
+            "dedup_hits", "violations", "deadlocks")})
+
+
+@dataclass
+class ExploreResult:
+    """The outcome of one bounded exploration."""
+
+    nodes: int
+    lines: int
+    depth: int            # deepest level actually expanded
+    depth_bound: int
+    assignment: str
+    symmetry: bool
+    states: int           # distinct canonical states reached
+    transitions: int
+    dedup_hits: int
+    violations: list = field(default_factory=list)   # [Violation]
+    deadlocks: list = field(default_factory=list)    # [digest]
+    per_depth: list = field(default_factory=list)    # [DepthStats]
+    #: True when the frontier emptied before the bound — the *entire*
+    #: reachable state space was enumerated, not just a prefix.
+    exhausted: bool = False
+    resumed_depths: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """No violation of any kind at any reachable state."""
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        """JSON report (timing excluded: byte-stable per code version)."""
+        return {
+            "schema": RESULT_SCHEMA,
+            "nodes": self.nodes,
+            "lines": self.lines,
+            "depth": self.depth,
+            "depth_bound": self.depth_bound,
+            "assignment": self.assignment,
+            "symmetry": self.symmetry,
+            "states": self.states,
+            "transitions": self.transitions,
+            "dedup_hits": self.dedup_hits,
+            "exhausted": self.exhausted,
+            "violations": [v.to_dict() for v in self.violations],
+            "deadlocks": list(self.deadlocks),
+            "per_depth": [s.to_dict() for s in self.per_depth],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"explored {self.states} states / {self.transitions} transitions "
+            f"to depth {self.depth}/{self.depth_bound} "
+            f"({self.nodes} nodes, {self.lines} line"
+            f"{'s' if self.lines != 1 else ''}, V={self.assignment}, "
+            f"{self.wall_seconds:.2f}s)",
+            f"dedup hits: {self.dedup_hits}"
+            + (", symmetry reduction on" if self.symmetry else ""),
+        ]
+        if self.exhausted:
+            lines.append("state space exhausted below the depth bound")
+        if self.resumed_depths:
+            lines.append(f"resumed from journal: {self.resumed_depths} "
+                         f"depths restored")
+        header = (f"{'depth':>6}{'frontier':>10}{'new':>8}{'trans':>8}"
+                  f"{'dedup':>8}{'bad':>5}")
+        lines.append(header)
+        for s in self.per_depth:
+            lines.append(f"{s.depth:>6}{s.frontier:>10}{s.new_states:>8}"
+                         f"{s.transitions:>8}{s.dedup_hits:>8}"
+                         f"{s.violations + s.deadlocks:>5}")
+        if not self.violations:
+            lines.append("no violations: every reachable state is coherent")
+        else:
+            lines.append(f"{len(self.violations)} violations:")
+            for v in self.violations[:10]:
+                lines.append(f"  [{v.kind}] depth {v.depth}: {v.detail}")
+            if len(self.violations) > 10:
+                lines.append(f"  ... and {len(self.violations) - 10} more")
+        return "\n".join(lines)
+
+
+# -- topology -----------------------------------------------------------------
+def _sim_config(config: ExploreConfig, home_map: dict) -> SimConfig:
+    n_quads = 1 if config.nodes == 1 else 2
+    nodes_per_quad = math.ceil(config.nodes / n_quads)
+    return SimConfig(
+        n_quads=n_quads,
+        nodes_per_quad=nodes_per_quad,
+        default_capacity=config.capacity,
+        reissue_delay=0,         # untimed: a retry is immediately enabled
+        memory_refresh_until=0,  # no DRAM stall window
+        home_map=dict(home_map),
+        check_coherence=False,   # the explorer checks states itself
+    )
+
+
+def _build_simulator(system, config: ExploreConfig, home_map: dict,
+                     channels=None) -> Simulator:
+    """A simulator trimmed to exactly ``config.nodes`` nodes.
+
+    Nodes are kept in round-robin order across quads (``node:0.0``,
+    ``node:1.0``, ``node:0.1``, …) so both quads participate before any
+    quad gets a second node.  ``channels`` overrides the clone's channel
+    assignment with the parent system's live object, so in-memory
+    reassignment mutations survive worker cloning.
+    """
+    sim = Simulator(system, config.assignment, _sim_config(config, home_map))
+    if channels is not None:
+        sim.channels = channels
+        sim.fabric.assignment = channels
+    n_quads = sim.config.n_quads
+    keep = [
+        f"node:{q}.{i}"
+        for i in range(sim.config.nodes_per_quad)
+        for q in range(n_quads)
+    ][:config.nodes]
+    sim.nodes = {nid: sim.nodes[nid] for nid in sorted(keep)}
+    return sim
+
+
+def _addrs(config: ExploreConfig) -> list[str]:
+    return [f"L{i}" for i in range(config.lines)]
+
+
+# -- moves --------------------------------------------------------------------
+def _moves_for(state: tuple, addrs: Sequence[str]) -> list[tuple]:
+    """Every potentially enabled atomic move of a state, in a fixed
+    deterministic order (the merge order of the parallel expansion)."""
+    channels, dirs, nodes, ios = state
+    moves: list[tuple] = [("deliver", vc, dq) for (vc, dq), _ in channels]
+    for nid, cache, miss, wb, cpu_ops in nodes:
+        if cpu_ops:
+            moves.append(("cpu", nid))
+        if miss[4] or wb[4]:
+            moves.append(("reissue", nid))
+    for quad, iost, pend_op, pend_addr, retry, dev_ops in ios:
+        if retry:
+            moves.append(("reissue_io", quad))
+    for nid, cache, miss, wb, cpu_ops in nodes:
+        if cpu_ops:
+            continue  # one queued processor operation per node at a time
+        cached = dict(cache)
+        for addr in addrs:
+            line = cached.get(addr, "I")
+            for op in INJECT_OPS:
+                # Skip moves that cannot change the state: a load hit, a
+                # store that already owns the line, an evict of nothing.
+                if op == "ld" and line != "I":
+                    continue
+                if op == "st" and line == "M":
+                    continue
+                if op == "evict" and line == "I":
+                    continue
+                moves.append(("inject", nid, op, addr))
+    return moves
+
+
+def _fire(sim: Simulator, move: tuple) -> bool:
+    """Fire one move on the (already restored) simulator; True iff it
+    committed.  Raises the hole errors for missing table rows."""
+    kind = move[0]
+    if kind == "deliver":
+        q = sim.fabric.queue(move[1], move[2])
+        env = q.head()
+        if env is None:
+            return False
+        plan = sim._plan_for(env)
+        if plan is None:
+            return False  # endpoint holds the message
+        return sim._try_commit(plan, q)
+    if kind == "cpu":
+        plan = sim.nodes[move[1]].plan_cpu()
+    elif kind == "reissue":
+        plan = sim.nodes[move[1]].plan_reissue(sim.now)
+    elif kind == "reissue_io":
+        plan = sim.ios[move[1]].plan_reissue(sim.now)
+    elif kind == "inject":
+        _, nid, op, addr = move
+        node = sim.nodes[nid]
+        node.cpu_ops.append((op, addr))
+        plan = node.plan_cpu()
+    else:
+        raise ExplorationError(f"unknown move kind {kind!r}")
+    if plan is None:
+        return False  # disabled here (caller discards the dirty state)
+    return sim._try_commit(plan, None)
+
+
+def _pending_work(state: tuple) -> bool:
+    """Whether anything already started still has to finish."""
+    channels, dirs, nodes, ios = state
+    if channels:
+        return True
+    for nid, cache, miss, wb, cpu_ops in nodes:
+        if cpu_ops or miss[0] != "none" or wb[0] != "none" \
+                or miss[4] or wb[4]:
+            return True
+    for quad, iost, pend_op, pend_addr, retry, dev_ops in ios:
+        if iost != "idle" or retry or dev_ops:
+            return True
+    return False
+
+
+def _expand_state(sim: Simulator, state: tuple, addrs: Sequence[str],
+                  symmetry: bool) -> dict:
+    """All successors of one state, plus holes and the deadlock verdict."""
+    successors: list[list] = []   # [move, encoded canonical state, digest]
+    holes: list[dict] = []
+    progress = False              # some non-inject move committed
+    for move in _moves_for(state, addrs):
+        restore_state(sim, state)
+        try:
+            committed = _fire(sim, move)
+        except _HOLE_ERRORS as exc:
+            holes.append({
+                "move": list(move),
+                "error": f"{type(exc).__name__}: {exc}".splitlines()[0],
+            })
+            continue
+        if not committed:
+            continue
+        if move[0] != "inject":
+            progress = True
+        succ = canonicalize(snapshot_state(sim), symmetry)
+        successors.append([list(move), encode_state(succ), hash_state(succ)])
+    # Deadlock: pending work, nothing non-injected can ever commit (new
+    # processor operations cannot unstick messages already in flight), and
+    # the stall is not explained by a missing table row already reported.
+    deadlocked = _pending_work(state) and not progress and not holes
+    return {"successors": successors, "holes": holes,
+            "deadlocked": deadlocked}
+
+
+def _expand_unit(payload: tuple) -> list:
+    """Module-level :func:`run_units` adapter: expand a batch of states
+    on a private clone of the protocol database (sqlite connections are
+    single-thread; every unit builds its own)."""
+    snapshot, channels, config, batch = payload
+    from ..protocols.asura.system import AsuraSystem
+
+    db = ProtocolDatabase.deserialize(snapshot)
+    try:
+        system = AsuraSystem.from_database(db)
+        home_map = {a: 0 for a in _addrs(config)}
+        sim = _build_simulator(system, config, home_map, channels=channels)
+        addrs = _addrs(config)
+        return [
+            [digest, _expand_state(sim, decode_state(enc), addrs,
+                                   config.symmetry)]
+            for digest, enc in batch
+        ]
+    finally:
+        db.close()
+
+
+# -- state-level invariants ---------------------------------------------------
+def _coherence_violation(state: tuple) -> Optional[str]:
+    """Single-writer/multiple-reader over the state's cache contents
+    (mirrors :meth:`Simulator.check_coherence`)."""
+    holders: dict[str, list[tuple[str, str]]] = {}
+    for nid, cache, miss, wb, cpu_ops in state[2]:
+        for addr, st in cache:
+            holders.setdefault(addr, []).append((nid, st))
+    for addr, hs in sorted(holders.items()):
+        owners = [nid for nid, st in hs if st in ("M", "E")]
+        sharers = [nid for nid, st in hs if st == "S"]
+        if len(owners) > 1:
+            return f"line {addr}: multiple owners {sorted(owners)}"
+        if owners and sharers:
+            return (f"line {addr}: owner {owners[0]} coexists with "
+                    f"sharers {sorted(sharers)}")
+    return None
+
+
+def _quiescent(state: tuple) -> bool:
+    """No channel contents, no outstanding transactions, no queued work."""
+    return not _pending_work(state)
+
+
+def _directory_violation(state: tuple, home_map: dict) -> Optional[str]:
+    """Directory/cache agreement at a quiescent state (mirrors
+    :meth:`Simulator.check_directory_agreement`, plus: the busy directory
+    must be empty once nothing is in flight)."""
+    channels, dirs, nodes, ios = state
+    dir_lines: dict[str, tuple[str, frozenset]] = {}
+    for quad, lines, busy in dirs:
+        if busy:
+            addrs = sorted(a for a, *_ in busy)
+            return (f"dir:{quad} still busy on {addrs} at quiescence")
+        for addr, st, pv in lines:
+            if home_map.get(addr, 0) == quad:
+                dir_lines[addr] = (st, frozenset(pv))
+    cached: dict[str, dict[str, str]] = {}
+    for nid, cache, miss, wb, cpu_ops in nodes:
+        for addr, st in cache:
+            cached.setdefault(addr, {})[nid] = st
+    for addr in sorted(cached):
+        dirst, pv = dir_lines.get(addr, ("I", frozenset()))
+        holders = set(cached[addr])
+        if not holders <= pv:
+            return (f"line {addr}: directory pv {sorted(pv)} misses cached "
+                    f"copies {sorted(holders - pv)}")
+        owners = [nid for nid, st in cached[addr].items() if st in ("M", "E")]
+        if owners and dirst != "MESI":
+            return (f"line {addr}: owned by {sorted(owners)} but directory "
+                    f"says {dirst}")
+        if dirst == "MESI" and owners and set(owners) != pv:
+            return (f"line {addr}: directory owner {sorted(pv)} != cache "
+                    f"owner {sorted(owners)}")
+    return None
+
+
+# -- the explorer -------------------------------------------------------------
+class ReachabilityExplorer:
+    """Depth-bounded BFS over everything the controller tables allow."""
+
+    def __init__(self, system, config: Optional[ExploreConfig] = None) -> None:
+        self.system = system
+        self.config = config or ExploreConfig()
+        self.config.validate()
+        self.addrs = _addrs(self.config)
+        #: every line homed at quad 0: requests from quad 1 exercise the
+        #: remote-request path, requests from quad 0 the local one.
+        self.home_map = {a: 0 for a in self.addrs}
+        self.sim = _build_simulator(system, self.config, self.home_map)
+        root = canonicalize(snapshot_state(self.sim), self.config.symmetry)
+        self.root_digest = hash_state(root)
+        #: digest -> canonical state, for every reached state.
+        self.states: dict[str, tuple] = {self.root_digest: root}
+        #: digest -> (predecessor digest, move); root maps to None.
+        self.pred: dict[str, Optional[tuple]] = {self.root_digest: None}
+
+    # -- journaling -----------------------------------------------------------
+    def _journal_header(self) -> dict:
+        # The depth bound stays out: resuming a depth-8 journal with
+        # --depth 12 legitimately continues the same exploration.
+        c = self.config
+        return {
+            "kind": JOURNAL_KIND,
+            "nodes": c.nodes,
+            "lines": c.lines,
+            "assignment": c.assignment,
+            "symmetry": c.symmetry,
+            "capacity": c.capacity,
+        }
+
+    def _load_resume(self, path: str) -> dict[int, dict]:
+        header, units = load_journal(path)
+        expected = self._journal_header()
+        for key, value in expected.items():
+            if header.get(key) != value:
+                raise JournalError(
+                    f"cannot resume: journal {path!r} was written by an "
+                    f"exploration with {key}={header.get(key)!r}, this run "
+                    f"has {key}={value!r}")
+        return {int(d): data for d, data in units.items()}
+
+    # -- the BFS --------------------------------------------------------------
+    def run(self) -> ExploreResult:
+        cfg = self.config
+        t0 = time.perf_counter()
+        tracer = get_tracer()
+        with span("explore.run", nodes=cfg.nodes, depth_bound=cfg.depth,
+                  assignment=cfg.assignment, workers=cfg.workers):
+            result = self._run(t0, tracer)
+        if tracer.enabled:
+            tracer.incr("explore.states", result.states)
+            tracer.incr("explore.transitions", result.transitions)
+            tracer.incr("explore.dedup_hits", result.dedup_hits)
+            tracer.gauge("explore.depth", result.depth)
+            tracer.incr("explore.violations", len(result.violations))
+        return result
+
+    def _run(self, t0: float, tracer) -> ExploreResult:
+        cfg = self.config
+        violations: list[Violation] = []
+        deadlocks: list[str] = []
+        per_depth: list[DepthStats] = []
+        frontier: list[str] = [self.root_digest]
+        start_depth = 0
+        resumed = 0
+
+        journal_path = cfg.journal_path
+        if cfg.resume_from is not None:
+            journal_path = journal_path or cfg.resume_from
+            completed = self._load_resume(cfg.resume_from)
+            frontier, start_depth, resumed = self._restore(
+                completed, violations, deadlocks, per_depth)
+
+        # Depth 0: the root is a reached state and is checked like any
+        # other (an empty initial state is trivially coherent).
+        if start_depth == 0:
+            self._check_state(self.root_digest, 0, violations)
+            per_depth.append(DepthStats(0, 0, 1, 0, 0, len(violations), 0))
+
+        journal = (CheckpointJournal.open(journal_path,
+                                          self._journal_header())
+                   if journal_path else None)
+        try:
+            if journal is not None and start_depth == 0:
+                journal.record(0, self._depth_record(
+                    frontier=[], new=[[self.root_digest,
+                                       encode_state(
+                                           self.states[self.root_digest]),
+                                       None, None]],
+                    stats=per_depth[-1], violations=violations,
+                    deadlocks=[]))
+
+            depth = start_depth
+            for depth in range(start_depth + 1, cfg.depth + 1):
+                if not frontier:
+                    depth -= 1
+                    break
+                if cfg.stop_on_violation and violations:
+                    depth -= 1
+                    break
+                stats, new_frontier, new_records, depth_violations, \
+                    depth_deadlocks = self._expand_depth(depth, frontier)
+                violations.extend(depth_violations)
+                deadlocks.extend(depth_deadlocks)
+                per_depth.append(stats)
+                if journal is not None:
+                    journal.record(depth, self._depth_record(
+                        frontier=frontier, new=new_records, stats=stats,
+                        violations=depth_violations,
+                        deadlocks=depth_deadlocks))
+                frontier = new_frontier
+        finally:
+            if journal is not None:
+                journal.close()
+
+        return ExploreResult(
+            nodes=cfg.nodes,
+            lines=cfg.lines,
+            depth=depth,
+            depth_bound=cfg.depth,
+            assignment=cfg.assignment,
+            symmetry=cfg.symmetry,
+            states=len(self.states),
+            transitions=sum(s.transitions for s in per_depth),
+            dedup_hits=sum(s.dedup_hits for s in per_depth),
+            violations=violations,
+            deadlocks=deadlocks,
+            per_depth=per_depth,
+            exhausted=not frontier,
+            resumed_depths=resumed,
+            wall_seconds=time.perf_counter() - t0,
+        )
+
+    def _expand_depth(self, depth: int, frontier: list[str]):
+        """Expand one whole BFS level, in parallel batches."""
+        expansions = self._expand_frontier(frontier)
+
+        stats = DepthStats(depth, len(frontier), 0, 0, 0, 0, 0)
+        new_frontier: list[str] = []
+        new_records: list[list] = []
+        violations: list[Violation] = []
+        deadlocks: list[str] = []
+        for digest, expansion in expansions:
+            for hole in expansion["holes"]:
+                violations.append(Violation(
+                    kind="hole", digest=digest, depth=depth - 1,
+                    detail=f"move {hole['move']}: {hole['error']}"))
+            if expansion["deadlocked"]:
+                deadlocks.append(digest)
+                violations.append(Violation(
+                    kind="deadlock", digest=digest, depth=depth - 1,
+                    detail=self._deadlock_detail(digest)))
+            for move, enc, succ_digest in expansion["successors"]:
+                stats.transitions += 1
+                if succ_digest in self.states:
+                    stats.dedup_hits += 1
+                    continue
+                state = decode_state(enc)
+                self.states[succ_digest] = state
+                self.pred[succ_digest] = (digest, tuple(move))
+                new_frontier.append(succ_digest)
+                new_records.append([succ_digest, enc, digest, move])
+                stats.new_states += 1
+                self._check_state(succ_digest, depth, violations)
+        stats.violations = len(violations)
+        stats.deadlocks = len(deadlocks)
+        return stats, new_frontier, new_records, violations, deadlocks
+
+    def _expand_frontier(self, frontier: list[str]) -> list:
+        """``(digest, expansion)`` for every frontier state, in frontier
+        order — inline for one worker, batched over clones otherwise."""
+        cfg = self.config
+        tracer = get_tracer()
+        workers = cfg.workers
+        if tracer.enabled:
+            workers = 1  # the tracer is not thread-safe
+        if workers <= 1:
+            # Inline on the live system: this is the only mode that sees
+            # in-memory table/assignment mutations, hence the oracle path.
+            return [
+                (digest,
+                 _expand_state(self.sim, self.states[digest], self.addrs,
+                               cfg.symmetry))
+                for digest in frontier
+            ]
+        snapshot = self.system.db.snapshot()
+        channels = self.system.channel_assignments[cfg.assignment]
+        chunk = max(1, min(cfg.batch_size,
+                           math.ceil(len(frontier) / workers)))
+        batches = [frontier[i:i + chunk]
+                   for i in range(0, len(frontier), chunk)]
+        units = [
+            (i, (snapshot, channels, cfg,
+                 [(d, encode_state(self.states[d])) for d in batch]))
+            for i, batch in enumerate(batches)
+        ]
+        results = run_units(units, _expand_unit, workers=workers,
+                            isolation="thread")
+        out: list = []
+        for unit in results:  # submission order == frontier order
+            if not unit.ok:
+                raise ExplorationError(
+                    f"frontier expansion worker failed: {unit.error}")
+            out.extend((digest, expansion)
+                       for digest, expansion in unit.value)
+        return out
+
+    def _check_state(self, digest: str, depth: int,
+                     violations: list[Violation]) -> None:
+        state = self.states[digest]
+        detail = _coherence_violation(state)
+        if detail is not None:
+            violations.append(Violation("coherence", digest, depth, detail))
+        if _quiescent(state):
+            detail = _directory_violation(state, self.home_map)
+            if detail is not None:
+                violations.append(
+                    Violation("directory", digest, depth, detail))
+
+    def _deadlock_detail(self, digest: str) -> str:
+        channels = self.states[digest][0]
+        stuck = [f"{vc}@q{dq}:" + "/".join(msg for msg, *_ in envs)
+                 for (vc, dq), envs in channels]
+        if stuck:
+            return "no enabled transition; in flight: " + ", ".join(stuck)
+        return "no enabled transition for outstanding work"
+
+    # -- journal records ------------------------------------------------------
+    @staticmethod
+    def _depth_record(frontier, new, stats, violations, deadlocks) -> dict:
+        return {
+            "new": new,
+            "stats": stats.to_dict(),
+            "violations": [v.to_dict() for v in violations],
+            "deadlocks": list(deadlocks),
+        }
+
+    def _restore(self, completed: dict[int, dict], violations, deadlocks,
+                 per_depth) -> tuple[list[str], int, int]:
+        """Rebuild seen-set, predecessor map, and statistics from a
+        journal; returns (frontier, last completed depth, depths restored)."""
+        if 0 not in completed:
+            raise JournalError(
+                "cannot resume: journal holds no depth-0 record")
+        depths = sorted(completed)
+        if depths != list(range(len(depths))):
+            raise JournalError(
+                f"cannot resume: journal depths {depths} are not contiguous")
+        frontier: list[str] = []
+        for d in depths:
+            record = completed[d]
+            frontier = []
+            for digest, enc, pred_digest, move in record["new"]:
+                self.states[digest] = decode_state(enc)
+                self.pred[digest] = (
+                    None if pred_digest is None
+                    else (pred_digest, tuple(move)))
+                frontier.append(digest)
+            per_depth.append(DepthStats.from_dict(record["stats"]))
+            violations.extend(Violation.from_dict(v)
+                              for v in record["violations"])
+            deadlocks.extend(record["deadlocks"])
+        return frontier, depths[-1], len(depths)
+
+    # -- counterexamples ------------------------------------------------------
+    def trace_to(self, digest: str) -> list[tuple]:
+        """The move sequence from the initial state to ``digest``."""
+        if digest not in self.pred:
+            raise ExplorationError(f"state {digest!r} was not reached")
+        moves: list[tuple] = []
+        while True:
+            entry = self.pred[digest]
+            if entry is None:
+                break
+            digest, move = entry
+            moves.append(move)
+        moves.reverse()
+        return moves
+
+    def replay(self, moves: Sequence[tuple]) -> tuple[list[TraceEvent], str]:
+        """Re-execute a move sequence through the simulator.
+
+        Returns the concatenated message events (steps re-stamped with
+        the move index) and the digest of the canonical final state —
+        which, for a trace extracted by :meth:`trace_to`, equals the
+        target state's digest: the differential explorer-vs-simulator
+        parity property.
+        """
+        state = self.states[self.root_digest]
+        events: list[TraceEvent] = []
+        for i, move in enumerate(moves):
+            restore_state(self.sim, state)
+            try:
+                committed = _fire(self.sim, tuple(move))
+            except _HOLE_ERRORS as exc:
+                raise ExplorationError(
+                    f"replay hit a protocol hole at move {i} "
+                    f"({move}): {exc}") from exc
+            if not committed:
+                raise ExplorationError(
+                    f"replay diverged: move {i} ({move}) did not commit")
+            events.extend(
+                TraceEvent(i, e.seq, e.msg, e.src, e.dst, e.addr, e.channel)
+                for e in self.sim.trace
+            )
+            state = canonicalize(snapshot_state(self.sim),
+                                 self.config.symmetry)
+        return events, hash_state(state)
+
+    def counterexample(self, digest: str, width: int = 14) -> str:
+        """A paper-style message-sequence rendering of the shortest path
+        to a violating state."""
+        moves = self.trace_to(digest)
+        events, final = self.replay(moves)
+        header = (f"counterexample: {len(moves)} moves to state "
+                  f"{final[:12]}…")
+        if not events:
+            return header + "\n(no messages: processor-local moves only)"
+        return header + "\n" + render_sequence(events, width=width)
+
+    # -- summary table --------------------------------------------------------
+    def write_summary(self, db: ProtocolDatabase,
+                      result: ExploreResult) -> int:
+        """Persist the per-depth reach summary as :data:`SUMMARY_TABLE`
+        (it round-trips through ``snapshot()``/``deserialize()`` like any
+        other protocol table)."""
+        rows = [
+            {
+                "depth": str(s.depth),
+                "frontier": str(s.frontier),
+                "new_states": str(s.new_states),
+                "transitions": str(s.transitions),
+                "dedup_hits": str(s.dedup_hits),
+                "violations": str(s.violations),
+                "deadlocks": str(s.deadlocks),
+            }
+            for s in result.per_depth
+        ]
+        return db.create_table_from_rows(SUMMARY_TABLE, SUMMARY_COLUMNS, rows)
+
+
+def explore_system(system, **kwargs: Any) -> ExploreResult:
+    """Convenience: build a :class:`ReachabilityExplorer` from keyword
+    configuration and run it."""
+    explorer = ReachabilityExplorer(system, ExploreConfig(**kwargs))
+    return explorer.run()

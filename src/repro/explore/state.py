@@ -1,0 +1,266 @@
+"""Canonical system states: encoding, symmetry reduction, stable hashing.
+
+A *state* is everything that determines future protocol behaviour in a
+small explored configuration: the channel FIFO contents, every
+directory's line and busy entries, every node's cache / transaction
+registers / queued processor operations, and every I/O controller's
+transaction state.  Message sequence numbers, traces, statistics, and
+memory data versions are excluded — they never feed back into a table
+lookup.  Retry timers are abstracted to a boolean ("a re-issue is
+pending"), matching the explorer's untimed semantics.
+
+Three properties the explorer depends on:
+
+* **Canonical** — nodes that share a quad execute identical C/N tables
+  over identically-shared channel instances, so relabelling them is a
+  protocol automorphism.  :func:`canonicalize` rewrites a state to the
+  lexicographically least member of its within-quad permutation orbit,
+  collapsing symmetric interleavings into one representative.  The
+  representative is itself a reachable state, so exploration can restore
+  and expand it directly.
+* **Process-stable hashing** — :func:`hash_state` is SHA-256 over the
+  JSON encoding, never Python's seeded ``hash``; the deduplication
+  seen-set therefore agrees across worker processes and across runs
+  regardless of ``PYTHONHASHSEED``.
+* **Serializable** — :func:`encode_state` / :func:`decode_state`
+  round-trip a state through JSON for checkpoint journals.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from typing import Iterable, Optional
+
+from ..sim.channel import Envelope
+from ..sim.models import BusyEntry, TxnRegister, quad_of
+
+__all__ = [
+    "snapshot_state",
+    "restore_state",
+    "state_key",
+    "hash_state",
+    "encode_state",
+    "decode_state",
+    "permute_state",
+    "node_groups",
+    "canonicalize",
+]
+
+
+def _reg_tuple(reg: TxnRegister) -> tuple:
+    return (reg.pend, reg.addr, reg.cache_req, reg.issue_linest,
+            reg.retry_at is not None)
+
+
+def snapshot_state(sim) -> tuple:
+    """Capture all behaviour-relevant control state of a simulator.
+
+    The result is a nested tuple ``(channels, dirs, nodes, ios)``, fully
+    deterministic (every unordered collection is sorted) and hashable.
+    """
+    channels = tuple(sorted(
+        (
+            q.key,
+            tuple((e.msg, e.src, e.dst, e.addr, e.src_role, e.dst_role)
+                  for e in q),
+        )
+        for q in sim.fabric.queues()
+        if len(q)
+    ))
+    dirs = tuple(
+        (
+            quad,
+            tuple(sorted(
+                (addr, entry["st"], tuple(sorted(entry["pv"])))
+                for addr, entry in d.lines.items()
+            )),
+            tuple(sorted(
+                (addr, b.state, tuple(sorted(b.pv)), b.requester)
+                for addr, b in d.busy.items()
+            )),
+        )
+        for quad, d in sorted(sim.directories.items())
+    )
+    nodes = tuple(
+        (
+            nid,
+            tuple(sorted(n.cache.items())),
+            _reg_tuple(n.miss),
+            _reg_tuple(n.wb),
+            tuple(n.cpu_ops),
+        )
+        for nid, n in sorted(sim.nodes.items())
+    )
+    ios = tuple(
+        (
+            quad,
+            io.iost,
+            io.pend_op,
+            io.pend_addr,
+            io.retry_at is not None,
+            tuple(io.dev_ops),
+        )
+        for quad, io in sorted(sim.ios.items())
+    )
+    return (channels, dirs, nodes, ios)
+
+
+def restore_state(sim, state: tuple) -> None:
+    """Write a :func:`snapshot_state` tuple back into a simulator.
+
+    The simulator must have the same topology the state was captured
+    from.  Pending re-issues are restored as immediately due (``retry_at
+    = sim.now``), matching the explorer's untimed abstraction.
+    """
+    channels, dirs, nodes, ios = state
+    for q in sim.fabric.queues():
+        q._q.clear()
+    for key, envs in channels:
+        q = sim.fabric.queue(*key)
+        for msg, src, dst, addr, sr, dr in envs:
+            q._q.append(Envelope(msg, src, dst, addr, sr, dr, seq=0))
+    for quad, lines, busy in dirs:
+        d = sim.directories[quad]
+        d.lines = {addr: {"st": st, "pv": set(pv)} for addr, st, pv in lines}
+        d.busy = {
+            addr: BusyEntry(state=st, pv=set(pv), requester=req)
+            for addr, st, pv, req in busy
+        }
+    for nid, cache, miss, wb, cpu_ops in nodes:
+        n = sim.nodes[nid]
+        n.cache = dict(cache)
+        for reg, data in ((n.miss, miss), (n.wb, wb)):
+            reg.pend, reg.addr, reg.cache_req, reg.issue_linest, pending = data
+            reg.retry_at = sim.now if pending else None
+        n.cpu_ops = [tuple(op) for op in cpu_ops]
+    for quad, iost, pend_op, pend_addr, pending, dev_ops in ios:
+        io = sim.ios[quad]
+        io.iost = iost
+        io.pend_op = pend_op
+        io.pend_addr = pend_addr
+        io.retry_at = sim.now if pending else None
+        io.dev_ops = [tuple(op) for op in dev_ops]
+    sim.trace.clear()
+
+
+# -- serialization ------------------------------------------------------------
+def encode_state(state) -> list:
+    """A JSON-compatible copy of a state (tuples become lists)."""
+    if isinstance(state, tuple):
+        return [encode_state(item) for item in state]
+    return state
+
+
+def decode_state(obj) -> tuple:
+    """The inverse of :func:`encode_state` (lists back to tuples)."""
+    if isinstance(obj, list):
+        return tuple(decode_state(item) for item in obj)
+    return obj
+
+
+def state_key(state: tuple) -> str:
+    """The deterministic JSON encoding used for ordering and hashing."""
+    return json.dumps(encode_state(state), separators=(",", ":"))
+
+
+def hash_state(state: tuple) -> str:
+    """A process-stable digest of a state.
+
+    SHA-256 over :func:`state_key`, so two workers (or two runs, or two
+    interpreters with different ``PYTHONHASHSEED``) always agree on
+    whether they have seen a state before.
+    """
+    return hashlib.sha256(state_key(state).encode("utf-8")).hexdigest()
+
+
+# -- symmetry -----------------------------------------------------------------
+def node_groups(state: tuple) -> list[list[str]]:
+    """Node ids grouped by quad — the interchangeable-node classes."""
+    groups: dict[int, list[str]] = {}
+    for nid, *_ in state[2]:
+        groups.setdefault(quad_of(nid), []).append(nid)
+    return [sorted(g) for _, g in sorted(groups.items())]
+
+
+def _rename(endpoint: str, mapping: dict[str, str]) -> str:
+    return mapping.get(endpoint, endpoint)
+
+
+def permute_state(state: tuple, mapping: dict[str, str]) -> tuple:
+    """Apply a node relabelling to every occurrence of a node id.
+
+    ``mapping`` must permute node ids within their own quads (a node id
+    encodes its quad, and quads are not interchangeable: they differ in
+    home roles and channel instances).  Channel FIFO *order* is
+    preserved — only the envelope endpoints are rewritten.
+    """
+    channels, dirs, nodes, ios = state
+    new_channels = tuple(sorted(
+        (
+            key,
+            tuple((msg, _rename(src, mapping), _rename(dst, mapping),
+                   addr, sr, dr)
+                  for msg, src, dst, addr, sr, dr in envs),
+        )
+        for key, envs in channels
+    ))
+    new_dirs = tuple(
+        (
+            quad,
+            tuple(sorted(
+                (addr, st, tuple(sorted(_rename(n, mapping) for n in pv)))
+                for addr, st, pv in lines
+            )),
+            tuple(sorted(
+                (addr, st, tuple(sorted(_rename(n, mapping) for n in pv)),
+                 _rename(req, mapping))
+                for addr, st, pv, req in busy
+            )),
+        )
+        for quad, lines, busy in dirs
+    )
+    new_nodes = tuple(sorted(
+        (_rename(nid, mapping), cache, miss, wb, cpu_ops)
+        for nid, cache, miss, wb, cpu_ops in nodes
+    ))
+    return (new_channels, new_dirs, new_nodes, ios)
+
+
+def _group_permutations(groups: list[list[str]]) -> Iterable[dict[str, str]]:
+    """Every product of within-group permutations, as rename mappings."""
+    per_group = [
+        [dict(zip(group, perm)) for perm in itertools.permutations(group)]
+        for group in groups
+    ]
+    for combo in itertools.product(*per_group):
+        mapping: dict[str, str] = {}
+        for m in combo:
+            mapping.update(m)
+        yield mapping
+
+
+def canonicalize(state: tuple, symmetry: bool = True) -> tuple:
+    """The canonical representative of a state's symmetry orbit.
+
+    With ``symmetry`` the representative is the permuted variant whose
+    :func:`state_key` is lexicographically least over all within-quad
+    node relabellings; without it, the state itself.  States whose quads
+    hold at most one node each are their own representatives (the orbit
+    is trivial), which the common 2-node configuration hits — the scan
+    is skipped entirely there.
+    """
+    if not symmetry:
+        return state
+    groups = [g for g in node_groups(state) if len(g) > 1]
+    if not groups:
+        return state
+    best: Optional[tuple] = None
+    best_key = ""
+    for mapping in _group_permutations(groups):
+        candidate = permute_state(state, mapping)
+        key = state_key(candidate)
+        if best is None or key < best_key:
+            best, best_key = candidate, key
+    return best

@@ -18,6 +18,7 @@ committed detection-matrix baseline (``BENCH_mutation.json``).
 
 from .audits import prepare_reference_tables, structural_invariants
 from .campaign import (
+    ORACLE_LAYER,
     CampaignResult,
     DetectionReport,
     compare_to_baseline,
@@ -33,6 +34,7 @@ __all__ = [
     "CampaignResult",
     "run_campaign",
     "compare_to_baseline",
+    "ORACLE_LAYER",
     "prepare_reference_tables",
     "structural_invariants",
 ]

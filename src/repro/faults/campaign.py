@@ -63,6 +63,7 @@ __all__ = [
     "compare_to_baseline",
     "MATRIX_SCHEMA",
     "JOURNAL_KIND",
+    "ORACLE_LAYER",
 ]
 
 #: schema tag of the detection-matrix JSON report.
@@ -80,7 +81,13 @@ CLONE_RETRY_POLICY = RetryPolicy(max_attempts=3, base_delay=0.02,
 #: detection layers, earliest first; ESCAPED sorts after all of them.
 LAYERS = ("invariants", "deadlock", "simulation")
 
-_LAYER_RANK = {"invariants": 0, "deadlock": 1, "simulation": 2, None: 3}
+#: the optional ground-truth layer (``--oracle explore``): bounded
+#: exhaustive exploration of the mutated tables, run only for mutants
+#: that survived all of :data:`LAYERS`.
+ORACLE_LAYER = "oracle"
+
+_LAYER_RANK = {"invariants": 0, "deadlock": 1, "simulation": 2,
+               ORACLE_LAYER: 3, None: 4}
 
 
 @dataclass(frozen=True)
@@ -91,7 +98,7 @@ class DetectionReport:
     fault_class: str
     target: str
     description: str
-    detected_by: Optional[str]  # one of LAYERS, or None for ESCAPED
+    detected_by: Optional[str]  # LAYERS entry or ORACLE_LAYER; None=ESCAPED
     detail: str = ""
     seconds: float = 0.0
     #: "ok" for a pipeline verdict; "crashed" when the worker raised
@@ -161,24 +168,34 @@ class CampaignResult:
     #: (kept out of :meth:`to_dict` so a resumed campaign's matrix is
     #: identical to an uninterrupted one's).
     resumed: int = 0
+    #: exploration-oracle parameters (``{"depth", "nodes", "lines"}``)
+    #: when the ground-truth stage ran, else None.  The matrix gains an
+    #: ``oracle`` column only when set, so non-oracle matrices stay
+    #: byte-identical to pre-oracle code versions.
+    oracle: Optional[dict] = None
 
     @property
     def count(self) -> int:
         """Number of mutants the campaign ran."""
         return len(self.reports)
 
+    def _layers(self) -> tuple[str, ...]:
+        return LAYERS + (ORACLE_LAYER,) if self.oracle else LAYERS
+
     def matrix(self) -> dict[str, dict[str, int]]:
         """fault class -> {count, invariants, deadlock, simulation,
-        escaped} detection counts."""
+        [oracle,] escaped} detection counts."""
+        layers = self._layers()
+
+        def empty_row() -> dict[str, int]:
+            return {"count": 0, **{layer: 0 for layer in layers},
+                    "escaped": 0}
+
         out: dict[str, dict[str, int]] = {}
         for cls in self.classes:
-            out[cls] = {"count": 0, "invariants": 0, "deadlock": 0,
-                        "simulation": 0, "escaped": 0}
+            out[cls] = empty_row()
         for r in self.reports:
-            row = out.setdefault(
-                r.fault_class,
-                {"count": 0, "invariants": 0, "deadlock": 0,
-                 "simulation": 0, "escaped": 0})
+            row = out.setdefault(r.fault_class, empty_row())
             row["count"] += 1
             row[r.detected_by or "escaped"] += 1
         return out
@@ -188,7 +205,7 @@ class CampaignResult:
         n = self.count
         by_layer = {layer: sum(1 for r in self.reports
                                if r.detected_by == layer)
-                    for layer in LAYERS}
+                    for layer in self._layers()}
         escaped = sum(1 for r in self.reports if not r.caught)
         pre_sim = by_layer["invariants"] + by_layer["deadlock"]
         return {
@@ -202,43 +219,70 @@ class CampaignResult:
             "degraded": sum(1 for r in self.reports if r.degraded),
             "pre_sim_rate": round(pre_sim / n, 4) if n else 0.0,
             "detection_rate": round((n - escaped) / n, 4) if n else 0.0,
-        }
+        } | (
+            # Ground-truth bookkeeping, present only under --oracle: a
+            # mutant caught *only* by exhaustive exploration is a
+            # measured false negative of the three production layers.
+            {"false_negatives": by_layer[ORACLE_LAYER],
+             "false_negative_rate": (round(by_layer[ORACLE_LAYER] / n, 4)
+                                     if n else 0.0)}
+            if self.oracle else {}
+        )
 
     def to_dict(self) -> dict:
-        """The detection-matrix report (``BENCH_mutation.json`` format)."""
-        return {
+        """The detection-matrix report (``BENCH_mutation.json`` format).
+        The ``oracle`` key appears only for oracle campaigns, keeping
+        plain matrices byte-identical to pre-oracle code versions."""
+        d = {
             "schema": MATRIX_SCHEMA,
             "seed": self.seed,
             "count": self.count,
             "assignment": self.assignment,
             "classes": list(self.classes),
+        }
+        if self.oracle:
+            d["oracle"] = dict(self.oracle)
+        d |= {
             "matrix": self.matrix(),
             "totals": self.totals(),
             "mutants": [r.to_dict() for r in self.reports],
         }
+        return d
 
     def render(self) -> str:
         """Human-readable detection matrix."""
         lines = [f"mutation campaign: seed={self.seed} count={self.count} "
                  f"assignment={self.assignment} "
                  f"({self.wall_seconds:.2f}s)"]
+        oracle_col = f"{'oracle':>8}" if self.oracle else ""
         header = (f"{'fault class':<22}{'n':>4}{'invariants':>12}"
-                  f"{'deadlock':>10}{'simulation':>12}{'escaped':>9}")
+                  f"{'deadlock':>10}{'simulation':>12}{oracle_col}"
+                  f"{'escaped':>9}")
         lines.append(header)
+
+        def fmt(label: str, row: dict) -> str:
+            oracle_cell = (f"{row[ORACLE_LAYER]:>8}" if self.oracle else "")
+            return (f"{label:<22}{row['count']:>4}{row['invariants']:>12}"
+                    f"{row['deadlock']:>10}{row['simulation']:>12}"
+                    f"{oracle_cell}{row['escaped']:>9}")
+
         matrix = self.matrix()
         for cls, row in matrix.items():
-            lines.append(f"{cls:<22}{row['count']:>4}{row['invariants']:>12}"
-                         f"{row['deadlock']:>10}{row['simulation']:>12}"
-                         f"{row['escaped']:>9}")
+            lines.append(fmt(cls, row))
         t = self.totals()
-        lines.append(f"{'total':<22}{t['count']:>4}{t['invariants']:>12}"
-                     f"{t['deadlock']:>10}{t['simulation']:>12}"
-                     f"{t['escaped']:>9}")
+        lines.append(fmt("total", t))
         pre = t["invariants"] + t["deadlock"]
         lines.append(f"caught before simulation: {pre}/{t['count']} "
                      f"({t['pre_sim_rate'] * 100:.1f}%), overall "
                      f"{t['count'] - t['escaped']}/{t['count']} "
                      f"({t['detection_rate'] * 100:.1f}%)")
+        if self.oracle:
+            cfg = self.oracle
+            lines.append(
+                f"oracle (bounded exploration, depth={cfg.get('depth')} "
+                f"nodes={cfg.get('nodes')}): {t['false_negatives']} "
+                f"false negative(s) of the static+simulation layers "
+                f"({t['false_negative_rate'] * 100:.1f}%)")
         if self.resumed:
             lines.append(f"resumed from journal: {self.resumed} mutants "
                          f"restored, {t['count'] - self.resumed} executed")
@@ -293,8 +337,12 @@ def _failure_report(mutation: Mutation, outcome: str, error: str,
 
 
 def _run_mutant(snapshot: bytes, mutation: Mutation, assignment: str,
-                clean_cycles: frozenset, sim_ops: int) -> DetectionReport:
-    """Clone the system, apply one mutation, and run the three layers.
+                clean_cycles: frozenset, sim_ops: int,
+                oracle: Optional[dict] = None) -> DetectionReport:
+    """Clone the system, apply one mutation, and run the three layers
+    (four with ``oracle``: bounded exhaustive exploration re-scores a
+    mutant that survived everything else, turning "escaped" into either
+    a ground-truth miss or a confirmed false negative).
 
     Each static layer degrades before it detects: a
     :class:`DatabaseError` from the batched invariant sweep retries the
@@ -409,6 +457,20 @@ def _run_mutant(snapshot: bytes, mutation: Mutation, assignment: str,
                     f"{type(exc).__name__}: {exc}".splitlines()[0], t0,
                     degraded=degraded)
 
+        # Layer 4 (optional): the exploration oracle.  Runs on the same
+        # live system object so in-memory mutations (channel moves) are
+        # part of what gets explored, not just the table edits.
+        if oracle is not None:
+            from ..explore import oracle_check
+            with span("mutate.oracle", mutant=mutation.mutant_id):
+                verdict = oracle_check(
+                    system, assignment=assignment,
+                    depth=oracle["depth"], nodes=oracle["nodes"],
+                    lines=oracle.get("lines", 1))
+            if verdict.caught:
+                return _detected(mutation, ORACLE_LAYER, verdict.detail,
+                                 t0, degraded=degraded)
+
         return _detected(mutation, None, "", t0, degraded=degraded)
     finally:
         db.close()
@@ -417,8 +479,9 @@ def _run_mutant(snapshot: bytes, mutation: Mutation, assignment: str,
 def _mutant_unit(payload: tuple) -> DetectionReport:
     """Module-level unit adapter for :func:`repro.runtime.run_units`
     (must be picklable for ``isolation="process"``)."""
-    snapshot, mutation, assignment, clean_cycles, sim_ops = payload
-    return _run_mutant(snapshot, mutation, assignment, clean_cycles, sim_ops)
+    snapshot, mutation, assignment, clean_cycles, sim_ops, oracle = payload
+    return _run_mutant(snapshot, mutation, assignment, clean_cycles,
+                       sim_ops, oracle)
 
 
 def _load_resume_state(resume_from: str, header: dict) -> dict[int, dict]:
@@ -446,8 +509,21 @@ def run_campaign(
     timeout: Optional[float] = None,
     journal_path: Optional[str] = None,
     resume_from: Optional[str] = None,
+    oracle: Optional[str] = None,
+    oracle_depth: int = 8,
+    oracle_nodes: int = 2,
+    oracle_lines: int = 1,
 ) -> CampaignResult:
     """Sample ``count`` mutants and measure the detection matrix.
+
+    ``oracle="explore"`` adds a fourth, ground-truth stage: every mutant
+    that survives the three production layers is re-scored by bounded
+    exhaustive exploration (``oracle_depth``/``oracle_nodes``/
+    ``oracle_lines``), the matrix gains an ``oracle`` column, and the
+    totals gain a measured false-negative rate.  The clean system must
+    explore violation-free under the same bounds (verified up front —
+    its exploration summary is written to the ``__explore_summary``
+    table so ``--save-db`` snapshots carry the ground-truth baseline).
 
     ``system`` defaults to a freshly generated one; when supplied it must
     be clean (the campaign verifies this) and gains the audit reference
@@ -473,6 +549,10 @@ def run_campaign(
         raise ValueError(
             "a per-mutant timeout requires isolation='process' "
             "(hung threads cannot be killed)")
+    if oracle is not None and oracle != "explore":
+        raise ValueError(f"unknown oracle {oracle!r} (expected 'explore')")
+    oracle_cfg = ({"depth": oracle_depth, "nodes": oracle_nodes,
+                   "lines": oracle_lines} if oracle else None)
     with span("mutate.campaign", count=count, seed=seed,
               assignment=assignment, isolation=isolation):
         if system is None:
@@ -492,6 +572,11 @@ def run_campaign(
             "classes": list(engine.classes),
             "sim_ops": sim_ops,
         }
+        if oracle_cfg:
+            # Oracle verdicts depend on the exploration bounds, so a
+            # journal written under one oracle config must not seed a
+            # campaign run under another (or under none).
+            header["oracle"] = oracle_cfg
         completed: dict[int, dict] = {}
         if resume_from is not None:
             completed = _load_resume_state(resume_from, header)
@@ -514,6 +599,26 @@ def run_campaign(
                 table_name="__mut_clean_dep").cycles())
 
         snapshot = system.db.snapshot()
+
+        if oracle_cfg:
+            # The oracle is only ground truth if the clean system is
+            # violation-free under the same bounds; its exploration
+            # summary lands in ``__explore_summary`` (after the mutant
+            # snapshot, so clones stay lean) for --save-db round-trips.
+            from ..explore import ReachabilityExplorer, ExploreConfig
+            clean_explorer = ReachabilityExplorer(system, ExploreConfig(
+                nodes=oracle_nodes, depth=oracle_depth, lines=oracle_lines,
+                assignment=assignment, workers=1))
+            clean_explore = clean_explorer.run()
+            if not clean_explore.ok:
+                first = clean_explore.violations[0]
+                raise ValueError(
+                    f"the clean system violates under exploration "
+                    f"(depth={oracle_depth}, nodes={oracle_nodes}): "
+                    f"{first.kind}: {first.detail}; the oracle column "
+                    f"would be meaningless")
+            clean_explorer.write_summary(system.db, clean_explore)
+
         if workers is None:
             workers = 4
         if tracer.enabled:
@@ -542,7 +647,8 @@ def run_campaign(
                     unit_result.error or "", unit_result.seconds)
 
             units = [(m.mutant_id,
-                      (snapshot, m, assignment, clean_cycles, sim_ops))
+                      (snapshot, m, assignment, clean_cycles, sim_ops,
+                       oracle_cfg))
                      for m in pending]
             unit_results = run_units(
                 units, _mutant_unit, workers=workers, isolation=isolation,
@@ -573,6 +679,7 @@ def run_campaign(
             reports=reports,
             wall_seconds=time.perf_counter() - t0,
             resumed=len(restored),
+            oracle=oracle_cfg,
         )
         tracer.gauge("mutate.pre_sim_rate", result.totals()["pre_sim_rate"])
         return result
@@ -592,7 +699,7 @@ def compare_to_baseline(current: dict, baseline: dict) -> list[str]:
     if baseline.get("schema") != MATRIX_SCHEMA:
         return [f"baseline has schema {baseline.get('schema')!r}, "
                 f"expected {MATRIX_SCHEMA!r}"]
-    for key in ("seed", "assignment", "classes"):
+    for key in ("seed", "assignment", "classes", "oracle"):
         if baseline.get(key) != current.get(key):
             failures.append(
                 f"campaign parameter {key!r} differs from baseline "
@@ -614,8 +721,10 @@ def compare_to_baseline(current: dict, baseline: dict) -> list[str]:
                 f"{base.get('fault_class')}: {base.get('description')!r}); "
                 f"regenerate the baseline")
             continue
-        cur_rank = _LAYER_RANK.get(cur.get("detected_by"), 3)
-        base_rank = _LAYER_RANK.get(base.get("detected_by"), 3)
+        cur_rank = _LAYER_RANK.get(cur.get("detected_by"),
+                                   _LAYER_RANK[None])
+        base_rank = _LAYER_RANK.get(base.get("detected_by"),
+                                    _LAYER_RANK[None])
         if cur_rank > base_rank:
             now = cur.get("detected_by") or "ESCAPED"
             was = base.get("detected_by") or "ESCAPED"

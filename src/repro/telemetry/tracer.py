@@ -71,6 +71,12 @@ class SqlStatementStats:
         }
 
 
+#: event fields the tracer stamps on every ``span`` event itself; user
+#: span attributes with these names are emitted as ``attr_<name>``.
+_RESERVED_SPAN_FIELDS = frozenset(
+    {"name", "seconds", "status", "parent", "depth", "start_wall"})
+
+
 class Tracer:
     """A recording telemetry collector.
 
@@ -121,6 +127,13 @@ class Tracer:
         if stats is None:
             stats = self.span_stats[span.name] = SpanStats()
         stats.record(span)
+        # Span attributes share the event namespace with the fields the
+        # tracer stamps itself; an attribute named e.g. ``depth`` must
+        # not crash emission, so colliding names are prefixed instead.
+        attributes = {
+            (f"attr_{key}" if key in _RESERVED_SPAN_FIELDS else key): value
+            for key, value in span.attributes.items()
+        }
         self.emit(
             "span",
             name=span.name,
@@ -129,7 +142,7 @@ class Tracer:
             parent=span.parent,
             depth=span.depth,
             start_wall=span.start_wall,
-            **span.attributes,
+            **attributes,
         )
 
     @property

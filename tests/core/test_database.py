@@ -247,6 +247,56 @@ class TestLifecycle:
         with pytest.raises(Exception):
             d.execute("SELECT 1")
 
+    def test_close_is_idempotent(self):
+        d = ProtocolDatabase()
+        d.close()
+        d.close()  # must not raise ProgrammingError on the dead handle
+
+    def test_use_after_close_is_a_database_error(self):
+        d = ProtocolDatabase()
+        d.create_table("t", ("a",))
+        d.close()
+        with pytest.raises(DatabaseError, match="closed"):
+            d.execute("SELECT 1")
+        with pytest.raises(DatabaseError, match="closed"):
+            d.executemany("INSERT INTO t VALUES (?)", [("x",)])
+        with pytest.raises(DatabaseError, match="closed"):
+            d.snapshot()
+
+    def test_close_commits_pending_writes(self, tmp_path):
+        path = str(tmp_path / "pending.sqlite")
+        d = ProtocolDatabase(path)
+        d.create_table("t", ("a",))
+        d.execute("INSERT INTO t VALUES ('x')")
+        d.close()
+        reopened = ProtocolDatabase(path)
+        try:
+            assert reopened.query("SELECT COUNT(*) AS n FROM t")[0]["n"] == 1
+        finally:
+            reopened.close()
+
+    def test_failed_final_commit_surfaces_not_swallowed(self):
+        class _FailingCommit:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def commit(self):
+                raise sqlite3.OperationalError("disk I/O error")
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+        d = ProtocolDatabase()
+        d._conn = _FailingCommit(d._conn)
+        with pytest.raises(DatabaseError, match="writes since the last "
+                                                "commit are lost"):
+            d.close()
+        # The connection is closed even though the commit failed…
+        with pytest.raises(DatabaseError, match="closed"):
+            d.execute("SELECT 1")
+        # …and a second close stays a no-op.
+        d.close()
+
 
 def snapshot_formats():
     """The snapshot formats this interpreter can produce."""

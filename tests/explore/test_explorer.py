@@ -1,0 +1,196 @@
+"""The reachability explorer: counts, parity, parallelism, journaling.
+
+The committed state/transition counts pin the explored space of the
+clean tables — any change to the controller generator, the simulator's
+planning/commit rules, or the canonicalizer shows up here first.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore import (
+    ExplorationError,
+    ExploreConfig,
+    ExploreResult,
+    ReachabilityExplorer,
+    SUMMARY_TABLE,
+    explore_system,
+)
+from repro.runtime import JournalError
+
+
+class TestCleanExploration:
+    def test_2node_depth8_counts_are_pinned(self, explored_2n8):
+        _, result = explored_2n8
+        assert result.ok
+        assert (result.states, result.transitions) == (195, 340)
+        assert result.depth == 8 and not result.exhausted
+        assert [s.new_states for s in result.per_depth] == \
+            [1, 4, 4, 12, 20, 28, 32, 42, 52]
+
+    def test_every_depth_adds_up(self, explored_2n8):
+        _, result = explored_2n8
+        assert sum(s.new_states for s in result.per_depth) == result.states
+        assert sum(s.transitions for s in result.per_depth) == \
+            result.transitions
+        assert sum(s.dedup_hits for s in result.per_depth) == \
+            result.dedup_hits
+
+    def test_single_node_space_exhausts(self, system):
+        result = explore_system(system, nodes=1, depth=30)
+        assert result.ok and result.exhausted
+        assert result.depth < 30
+        assert result.states == 46
+
+    def test_3node_symmetry_reduces_states(self, system, explored_3n5):
+        _, reduced = explored_3n5
+        full = explore_system(system, nodes=3, depth=5, symmetry=False)
+        assert reduced.ok and full.ok
+        assert reduced.states < full.states
+        # Same transition system modulo relabelling: identical depth at
+        # which anything new appears.
+        assert len(reduced.per_depth) == len(full.per_depth)
+
+    def test_result_json_is_schema_tagged(self, explored_2n8):
+        _, result = explored_2n8
+        d = result.to_dict()
+        assert d["schema"] == "repro.explore.result/v1"
+        assert d["states"] == result.states
+        assert "wall_seconds" not in d  # byte-stable per code version
+
+    def test_render_mentions_no_violations(self, explored_2n8):
+        _, result = explored_2n8
+        assert "no violations" in result.render()
+
+
+class TestWorkerParity:
+    """Acceptance: results identical under --workers 4 and --workers 1."""
+
+    def test_parallel_frontier_matches_serial(self, system):
+        serial = explore_system(system, nodes=2, depth=8, workers=1)
+        parallel = explore_system(system, nodes=2, depth=8, workers=4)
+        assert parallel.to_dict() == serial.to_dict()
+
+    def test_parallel_seen_set_matches_serial(self, system):
+        a = ReachabilityExplorer(system, ExploreConfig(nodes=2, depth=7,
+                                                       workers=1))
+        b = ReachabilityExplorer(system, ExploreConfig(nodes=2, depth=7,
+                                                       workers=4))
+        a.run(), b.run()
+        assert sorted(a.states) == sorted(b.states)
+        assert a.pred == b.pred
+
+    def test_parallel_3node_symmetric_matches_serial(self, system):
+        serial = explore_system(system, nodes=3, depth=5, workers=1)
+        parallel = explore_system(system, nodes=3, depth=5, workers=4)
+        assert parallel.to_dict() == serial.to_dict()
+
+
+class TestDifferentialParity:
+    """Satellite: every reached state's extracted trace, replayed through
+    the simulator, lands in the same canonical state."""
+
+    def test_every_reached_state_replays_to_itself(self, system):
+        explorer = ReachabilityExplorer(system,
+                                        ExploreConfig(nodes=2, depth=6))
+        result = explorer.run()
+        assert result.ok
+        for digest in explorer.states:
+            moves = explorer.trace_to(digest)
+            _, final = explorer.replay(moves)
+            assert final == digest, f"divergence replaying to {digest}"
+
+    def test_trace_depth_matches_bfs_level(self, explored_2n8):
+        explorer, result = explored_2n8
+        by_len = {}
+        for digest in explorer.states:
+            by_len.setdefault(len(explorer.trace_to(digest)), 0)
+            by_len[len(explorer.trace_to(digest))] += 1
+        assert [by_len[d] for d in sorted(by_len)] == \
+            [s.new_states for s in result.per_depth]
+
+    def test_replay_rejects_disabled_move(self, explored_2n8):
+        explorer, _ = explored_2n8
+        with pytest.raises(ExplorationError, match="did not commit"):
+            explorer.replay([("deliver", "VC5", 1)])
+
+    def test_trace_to_unknown_digest_raises(self, explored_2n8):
+        explorer, _ = explored_2n8
+        with pytest.raises(ExplorationError, match="not reached"):
+            explorer.trace_to("no-such-digest")
+
+
+class TestViolationDetection:
+    def test_v4_reaches_the_papers_deadlock(self, system):
+        result = explore_system(system, nodes=2, depth=4, assignment="v4")
+        assert not result.ok
+        kinds = {v.kind for v in result.violations}
+        assert kinds == {"deadlock"}
+        assert result.exhausted  # everything beyond the deadlock is stuck
+
+    def test_v4_counterexample_renders(self, system):
+        explorer = ReachabilityExplorer(
+            system, ExploreConfig(nodes=2, depth=4, assignment="v4"))
+        result = explorer.run()
+        first = result.violations[0]
+        art = explorer.counterexample(first.digest)
+        assert "counterexample" in art and "read" in art
+
+    def test_stop_on_violation_halts_early(self, system):
+        eager = ReachabilityExplorer(
+            system, ExploreConfig(nodes=2, depth=8, assignment="v4",
+                                  stop_on_violation=True))
+        result = eager.run()
+        assert not result.ok
+        assert result.depth <= 2  # v4 deadlocks on the first injected read
+
+
+class TestJournaling:
+    def test_resume_reproduces_uninterrupted_run(self, system, tmp_path):
+        journal = str(tmp_path / "explore.jsonl")
+        explore_system(system, nodes=2, depth=5, journal_path=journal)
+        resumed = explore_system(system, nodes=2, depth=8,
+                                 resume_from=journal)
+        assert resumed.resumed_depths == 6  # depths 0..5
+        straight = explore_system(system, nodes=2, depth=8)
+        assert resumed.to_dict() == straight.to_dict()
+
+    def test_resume_rejects_mismatched_topology(self, system, tmp_path):
+        journal = str(tmp_path / "explore.jsonl")
+        explore_system(system, nodes=2, depth=3, journal_path=journal)
+        with pytest.raises(JournalError, match="nodes"):
+            explore_system(system, nodes=3, depth=5, resume_from=journal)
+
+    def test_config_validation(self, system):
+        for bad in (dict(nodes=0), dict(depth=-1), dict(lines=0),
+                    dict(capacity=0)):
+            with pytest.raises(ExplorationError):
+                ReachabilityExplorer(system, ExploreConfig(**bad))
+
+
+class TestSummaryTable:
+    def test_write_summary_round_trips_snapshot(self, fresh_system):
+        explorer = ReachabilityExplorer(fresh_system,
+                                        ExploreConfig(nodes=2, depth=4))
+        result = explorer.run()
+        explorer.write_summary(fresh_system.db, result)
+        from repro.core.database import ProtocolDatabase
+        clone = ProtocolDatabase.deserialize(fresh_system.db.snapshot())
+        try:
+            assert clone.table_exists(SUMMARY_TABLE)
+            rows = clone.rows(SUMMARY_TABLE, order_by="CAST(depth AS INT)")
+            assert len(rows) == len(result.per_depth)
+            assert [int(r["new_states"]) for r in rows] == \
+                [s.new_states for s in result.per_depth]
+        finally:
+            clone.close()
+
+
+def test_explore_result_ok_reflects_violations():
+    result = ExploreResult(nodes=2, lines=1, depth=1, depth_bound=1,
+                           assignment="v5d", symmetry=True, states=1,
+                           transitions=0, dedup_hits=0)
+    assert result.ok
+    result.violations.append(object())
+    assert not result.ok

@@ -170,3 +170,85 @@ class TestBaselineCompare:
         cur = matrix(["invariants"])
         (failure,) = compare_to_baseline(cur, base)
         assert "schema" in failure
+
+
+class TestOracleCampaign:
+    """The optional fourth stage: ``--oracle explore`` re-scores every
+    escaped mutant against bounded exhaustive exploration and reports
+    the survivors as false negatives of the static pipeline."""
+
+    @pytest.fixture(scope="class")
+    def oracle_campaign(self, system):
+        return run_campaign(system=system, seed=0, count=4, workers=1,
+                            oracle="explore", oracle_depth=4)
+
+    def test_matrix_gains_oracle_column(self, oracle_campaign):
+        d = oracle_campaign.to_dict()
+        assert d["oracle"] == {"depth": 4, "nodes": 2, "lines": 1}
+        assert all("oracle" in row for row in d["matrix"].values())
+        totals = d["totals"]
+        assert totals["false_negatives"] == totals["oracle"]
+        assert "false_negative_rate" in totals
+
+    def test_plain_matrix_stays_byte_identical(self, small_campaign):
+        """Without --oracle nothing leaks: the JSON must match what
+        pre-oracle code versions produced."""
+        d = small_campaign.to_dict()
+        assert "oracle" not in d
+        assert all("oracle" not in row for row in d["matrix"].values())
+        assert "false_negatives" not in d["totals"]
+
+    def test_render_reports_false_negatives(self, oracle_campaign):
+        text = oracle_campaign.render()
+        assert "oracle (bounded exploration, depth=4 nodes=2)" in text
+
+    def test_clean_exploration_summary_saved(self, oracle_campaign, system):
+        """--save-db after an oracle campaign carries the clean-system
+        exploration certificate (satellite: snapshot round-trip is
+        exercised in tests/explore/)."""
+        from repro.explore import SUMMARY_TABLE
+        assert system.db.table_exists(SUMMARY_TABLE)
+
+    def test_unknown_oracle_rejected(self, system):
+        with pytest.raises(ValueError, match="unknown oracle"):
+            run_campaign(system=system, seed=0, count=1, oracle="bdd")
+
+    def test_clean_system_must_survive_the_bounds(self, system):
+        """v4's clean deadlock makes the oracle column meaningless; the
+        campaign refuses rather than reporting garbage."""
+        with pytest.raises(ValueError, match="violates under exploration"):
+            run_campaign(system=system, seed=0, count=1, assignment="v4",
+                         oracle="explore", oracle_depth=4)
+
+    def test_resume_refuses_journal_without_oracle(self, system, tmp_path):
+        journal = str(tmp_path / "campaign.jsonl")
+        run_campaign(system=system, seed=0, count=2, workers=1,
+                     journal_path=journal)
+        from repro.runtime import JournalError
+        with pytest.raises(JournalError, match="oracle"):
+            run_campaign(system=system, seed=0, count=2, workers=1,
+                         resume_from=journal, oracle="explore",
+                         oracle_depth=4)
+
+
+class TestBaselineCompareOracle:
+    def _with_oracle(self, m):
+        return dict(m, oracle={"depth": 14, "nodes": 2, "lines": 1})
+
+    def test_oracle_parameter_mismatch_reported(self):
+        base = matrix(["invariants"])
+        cur = self._with_oracle(matrix(["invariants"]))
+        failures = compare_to_baseline(cur, base)
+        assert failures and "'oracle'" in failures[0]
+
+    def test_oracle_detection_gates_like_any_layer(self):
+        base = self._with_oracle(matrix(["oracle"]))
+        cur = self._with_oracle(matrix([None]))
+        (failure,) = compare_to_baseline(cur, base)
+        assert "now ESCAPED" in failure
+
+    def test_falling_from_simulation_to_oracle_is_a_regression(self):
+        base = self._with_oracle(matrix(["simulation"]))
+        cur = self._with_oracle(matrix(["oracle"]))
+        (failure,) = compare_to_baseline(cur, base)
+        assert "was caught by simulation, now oracle" in failure

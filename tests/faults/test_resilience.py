@@ -23,7 +23,8 @@ class TestCrashedWorkers:
     def test_one_crash_keeps_the_campaign_going(self, system, monkeypatch):
         orig = campaign_mod._run_mutant
 
-        def exploding(snapshot, mutation, assignment, clean_cycles, sim_ops):
+        def exploding(snapshot, mutation, assignment, clean_cycles,
+                      sim_ops, oracle=None):
             if mutation.mutant_id == 1:
                 raise RuntimeError("synthetic worker crash")
             return orig(snapshot, mutation, assignment, clean_cycles,
@@ -125,7 +126,8 @@ class TestJournalAndResume:
         executed = []
         orig = campaign_mod._run_mutant
 
-        def counting(snapshot, mutation, assignment, clean_cycles, sim_ops):
+        def counting(snapshot, mutation, assignment, clean_cycles,
+                     sim_ops, oracle=None):
             executed.append(mutation.mutant_id)
             return orig(snapshot, mutation, assignment, clean_cycles,
                         sim_ops)
@@ -178,7 +180,8 @@ class TestProcessIsolation:
     def test_watchdog_reaps_hung_mutant(self, system, monkeypatch):
         orig = campaign_mod._run_mutant
 
-        def hanging(snapshot, mutation, assignment, clean_cycles, sim_ops):
+        def hanging(snapshot, mutation, assignment, clean_cycles,
+                    sim_ops, oracle=None):
             if mutation.mutant_id == 0:
                 time.sleep(120)  # forked child inherits this patch
             return orig(snapshot, mutation, assignment, clean_cycles,

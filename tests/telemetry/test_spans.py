@@ -80,3 +80,27 @@ class TestSpanStats:
         d = tracer.span_stats["x"].as_dict()
         assert set(d) == {"count", "total_seconds", "mean_seconds",
                           "min_seconds", "max_seconds", "errors"}
+
+
+class TestSpanAttributeCollisions:
+    def test_reserved_attribute_names_cannot_crash_emission(self):
+        """A span attribute named like a tracer-stamped event field
+        (``depth``, ``name``, …) must emit, not raise — the explorer
+        tags its spans with a ``depth`` bound, for example."""
+        events = []
+
+        class _ListSink:
+            def write(self, event):
+                events.append(event)
+
+        t = Tracer(sinks=[_ListSink()])
+        with use_tracer(t):
+            with t.span("explore.run", depth=8, status="shadow", nodes=2):
+                pass
+        (event,) = [e for e in events if e["type"] == "span"]
+        assert event["name"] == "explore.run"
+        assert event["depth"] == 0              # nesting depth, not bound
+        assert event["status"] == "ok"          # the tracer's field wins
+        assert event["attr_depth"] == 8         # the attribute survives
+        assert event["attr_status"] == "shadow"
+        assert event["nodes"] == 2              # non-colliding: untouched

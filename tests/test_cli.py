@@ -295,3 +295,119 @@ class TestMutateResilienceFlags:
     def test_timeout_with_thread_isolation_exits_2(self, capsys):
         assert main(["mutate", "--count", "1", "--timeout", "5"]) == 2
         assert "repro: error:" in capsys.readouterr().err
+
+
+class TestExploreCommand:
+    def test_defaults_parse(self):
+        args = build_parser().parse_args(["explore"])
+        assert args.nodes == 2 and args.depth == 10 and args.lines == 1
+        assert args.assignment == "v5d" and args.workers == 1
+        assert args.capacity == 1 and not args.no_symmetry
+        assert args.journal is None and args.resume is None
+        assert args.out is None
+
+    def test_clean_exploration_exits_0(self, capsys):
+        assert main(["explore", "--depth", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "explored 101 states / 156 transitions" in out
+        assert "no violations" in out
+
+    def test_v4_deadlock_exits_1_with_counterexample(self, capsys):
+        assert main(["explore", "--assignment", "v4", "--depth", "3"]) == 1
+        out = capsys.readouterr().out
+        assert "deadlock" in out and "counterexample" in out
+
+    def test_out_writes_schema_tagged_json(self, tmp_path, capsys):
+        path = tmp_path / "explore.json"
+        assert main(["explore", "--depth", "4", "--out", str(path),
+                     "--quiet"]) == 0
+        data = json.loads(path.read_text())
+        assert data["schema"] == "repro.explore.result/v1"
+        assert data["depth_bound"] == 4
+
+    def test_journal_then_resume_matches_straight_run(self, tmp_path,
+                                                      capsys):
+        journal = tmp_path / "explore.jsonl"
+        straight = tmp_path / "straight.json"
+        resumed = tmp_path / "resumed.json"
+        assert main(["explore", "--depth", "6", "--out", str(straight),
+                     "--quiet"]) == 0
+        assert main(["explore", "--depth", "4",
+                     "--journal", str(journal), "--quiet"]) == 0
+        assert main(["explore", "--depth", "6", "--resume", str(journal),
+                     "--out", str(resumed)]) == 0
+        assert "resumed from journal" in capsys.readouterr().out
+        assert json.loads(straight.read_text()) == \
+            json.loads(resumed.read_text())
+
+    def test_resume_with_conflicting_journal_exits_2(self, capsys):
+        assert main(["explore", "--resume", "a.jsonl",
+                     "--journal", "b.jsonl"]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_unwritable_out_fails_fast(self, capsys):
+        assert main(["explore", "--out", "/nonexistent/e.json"]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_invalid_bounds_exit_2(self, capsys):
+        assert main(["explore", "--nodes", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err and "Traceback" not in err
+
+    def test_save_db_carries_exploration_certificate(self, tmp_path,
+                                                     capsys):
+        """--save-db after an exploration persists the per-depth summary
+        table, so the database is its own certificate."""
+        from repro.core.database import ProtocolDatabase
+        from repro.explore import SUMMARY_TABLE
+        path = tmp_path / "explored.sqlite"
+        assert main(["explore", "--depth", "4", "--save-db", str(path),
+                     "--quiet"]) == 0
+        db = ProtocolDatabase(str(path))
+        try:
+            assert db.table_exists(SUMMARY_TABLE)
+            assert len(db.rows(SUMMARY_TABLE)) == 5  # depths 0..4
+        finally:
+            db.close()
+
+
+class TestMutateOracleFlags:
+    def test_oracle_flags_parse(self):
+        args = build_parser().parse_args(
+            ["mutate", "--oracle", "explore", "--oracle-depth", "14",
+             "--oracle-nodes", "3"])
+        assert args.oracle == "explore"
+        assert args.oracle_depth == 14 and args.oracle_nodes == 3
+
+    def test_oracle_defaults_to_off(self):
+        args = build_parser().parse_args(["mutate"])
+        assert args.oracle is None
+        assert args.oracle_depth == 8 and args.oracle_nodes == 2
+
+    def test_unknown_oracle_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mutate", "--oracle", "bdd"])
+
+    def test_oracle_campaign_prints_false_negatives(self, capsys):
+        assert main(["mutate", "--count", "2", "--workers", "1",
+                     "--oracle", "explore", "--oracle-depth", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "oracle (bounded exploration, depth=4 nodes=2)" in out
+
+    def test_oracle_save_db_round_trips_summary(self, tmp_path, capsys):
+        """Satellite: --oracle explore --save-db persists the clean
+        exploration certificate through snapshot/deserialize."""
+        from repro.core.database import ProtocolDatabase
+        from repro.explore import SUMMARY_TABLE
+        path = tmp_path / "oracle.sqlite"
+        assert main(["mutate", "--count", "2", "--workers", "1",
+                     "--oracle", "explore", "--oracle-depth", "4",
+                     "--save-db", str(path), "--quiet"]) == 0
+        db = ProtocolDatabase(str(path))
+        try:
+            assert db.table_exists(SUMMARY_TABLE)
+            assert [int(r["new_states"]) for r in db.rows(
+                SUMMARY_TABLE, order_by="CAST(depth AS INT)")] == \
+                [1, 4, 4, 12, 20]
+        finally:
+            db.close()
