@@ -10,11 +10,14 @@
     python -m repro codegen M --verilog    # generated controller code
     python -m repro mutate --seed 0 --count 50   # fault-injection campaign
     python -m repro explore --nodes 2 --depth 12 # bounded reachability
+    python -m repro watch campaign.journal       # live view of a run
 
-Every subcommand also accepts the telemetry flags ``--profile``
-(human text summary), ``--trace-out events.jsonl`` (JSONL event
-stream), ``--report-out report.json`` (machine-readable run report),
-and ``--quiet`` (suppress the normal human output) — see
+Every subcommand (except ``watch``, which only observes) also accepts
+the telemetry flags ``--profile`` (human text summary), ``--trace-out
+events.jsonl`` (JSONL event stream, flushed per event unless
+``--trace-buffered``), ``--report-out report.json`` (machine-readable
+run report), ``--metrics-out metrics.prom`` (live OpenMetrics
+snapshot), and ``--quiet`` (suppress the normal human output) — see
 ``docs/OBSERVABILITY.md`` — plus the database flags ``--db PATH``
 (attach to an existing generated database file) and ``--save-db PATH``
 (generate into a file for later ``--db`` runs).
@@ -45,8 +48,16 @@ def _telemetry_parent() -> argparse.ArgumentParser:
                    help="print a telemetry summary (spans, SQL, counters)")
     g.add_argument("--trace-out", metavar="PATH", default=None,
                    help="stream every telemetry event to PATH as JSONL")
+    g.add_argument("--trace-buffered", action="store_true",
+                   help="buffer the --trace-out stream instead of flushing "
+                        "per event (fewer syscalls; tail -f and repro watch "
+                        "lose liveness)")
     g.add_argument("--report-out", metavar="PATH", default=None,
                    help="write the machine-readable JSON run report to PATH")
+    g.add_argument("--metrics-out", metavar="PATH", default=None,
+                   help="keep a Prometheus/OpenMetrics text-format snapshot "
+                        "of the run's metrics current at PATH (atomically "
+                        "rewritten; scrape or watch it live)")
     g.add_argument("--quiet", action="store_true",
                    help="suppress the command's normal output")
     d = common.add_argument_group("database")
@@ -137,7 +148,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "analyzes (default: %(default)s)")
     p.add_argument("--workers", type=int, default=None,
                    help="workers fanning mutants across snapshot clones "
-                        "(default: 4; forced to 1 under telemetry)")
+                        "(default: 4; forced to 1 when telemetry is on "
+                        "with thread isolation — process workers relay "
+                        "their telemetry instead)")
     p.add_argument("--isolation", choices=("thread", "process"),
                    default="thread",
                    help="worker isolation: threads (default) or one child "
@@ -205,6 +218,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="PATH", default=None,
                    help="write the exploration result JSON to PATH "
                         "(atomically: temp file + rename)")
+
+    # ``watch`` is read-only and attaches to *another* process's run; it
+    # takes neither the telemetry flags nor a protocol database.
+    p = sub.add_parser("watch",
+                       help="live view of a journaled campaign or "
+                            "exploration running in another process")
+    p.add_argument("journal", metavar="JOURNAL",
+                   help="the run's checkpoint journal (--journal PATH on "
+                        "mutate/explore)")
+    p.add_argument("--events", metavar="PATH", default=None,
+                   help="the run's --trace-out event stream; adds "
+                        "declared totals, in-flight units, and worker "
+                        "attribution to the view")
+    p.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
+                   help="seconds between refreshes (default: %(default)s)")
+    p.add_argument("--once", action="store_true",
+                   help="render one snapshot and exit (exit 2 if the "
+                        "journal is unreadable) — the CI mode")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit the snapshot as one JSON object per refresh "
+                        "instead of the human block")
     return parser
 
 
@@ -431,6 +465,17 @@ def _cmd_explore(system, args) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_watch(args) -> int:
+    from .runtime.watch import run_watch
+    return run_watch(args.journal, events_path=args.events,
+                     interval=args.interval, once=args.once,
+                     as_json=args.as_json)
+
+
+#: subcommands that observe other runs rather than performing one: no
+#: protocol database, no telemetry flags.
+_NO_SYSTEM_COMMANDS = {"watch": _cmd_watch}
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "check": _cmd_check,
@@ -492,14 +537,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     from . import telemetry
 
     args = build_parser().parse_args(argv)
-    collect = bool(args.profile or args.trace_out or args.report_out)
+    if args.command in _NO_SYSTEM_COMMANDS:
+        return _NO_SYSTEM_COMMANDS[args.command](args)
+    collect = bool(args.profile or args.trace_out or args.report_out
+                   or args.metrics_out)
     if collect:
         try:
             if args.report_out:
                 # Fail fast on an unwritable report path — before the
                 # build, not after the run's work is already done.
                 open(args.report_out, "a", encoding="utf-8").close()
-            tracer = telemetry.configure(trace_path=args.trace_out)
+            tracer = telemetry.configure(
+                trace_path=args.trace_out,
+                metrics_path=args.metrics_out,
+                trace_flush=not args.trace_buffered)
         except OSError as exc:
             print(f"repro: error: {exc}", file=sys.stderr)
             return 2

@@ -52,7 +52,7 @@ from ..runtime import CheckpointJournal, JournalError, load_journal, run_units
 from ..sim.models import SimProtocolError
 from ..sim.system import SimConfig, Simulator, TraceEvent
 from ..sim.trace import render_sequence
-from ..telemetry import get_tracer, span
+from ..telemetry import get_tracer, new_run_id, span
 from .state import (
     canonicalize,
     decode_state,
@@ -565,11 +565,24 @@ class ReachabilityExplorer:
             frontier, start_depth, resumed = self._restore(
                 completed, violations, deadlocks, per_depth)
 
+        run_id = new_run_id() if tracer.enabled else None
+        tracer.emit("explore.started", run_id=run_id, kind=JOURNAL_KIND,
+                    nodes=cfg.nodes, lines=cfg.lines,
+                    depth_bound=cfg.depth, assignment=cfg.assignment,
+                    resumed_depths=resumed)
+
+        def _emit_depth(stats: DepthStats) -> None:
+            # One live progress event per completed BFS level — what
+            # ``repro watch`` renders between journal flushes.
+            tracer.emit("explore.depth", run_id=run_id,
+                        states=len(self.states), **stats.to_dict())
+
         # Depth 0: the root is a reached state and is checked like any
         # other (an empty initial state is trivially coherent).
         if start_depth == 0:
             self._check_state(self.root_digest, 0, violations)
             per_depth.append(DepthStats(0, 0, 1, 0, 0, len(violations), 0))
+            _emit_depth(per_depth[-1])
 
         journal = (CheckpointJournal.open(journal_path,
                                           self._journal_header())
@@ -597,6 +610,7 @@ class ReachabilityExplorer:
                 violations.extend(depth_violations)
                 deadlocks.extend(depth_deadlocks)
                 per_depth.append(stats)
+                _emit_depth(stats)
                 if journal is not None:
                     journal.record(depth, self._depth_record(
                         frontier=frontier, new=new_records, stats=stats,
@@ -667,7 +681,12 @@ class ReachabilityExplorer:
         tracer = get_tracer()
         workers = cfg.workers
         if tracer.enabled:
-            workers = 1  # the tracer is not thread-safe
+            # Frontier expansion fans out with *thread* isolation (the
+            # snapshot clones are cheap in-memory databases), and thread
+            # workers would share this non-thread-safe tracer — so a
+            # recording run expands inline.  The campaign's process
+            # workers are where telemetry keeps its parallelism.
+            workers = 1
         if workers <= 1:
             # Inline on the live system: this is the only mode that sees
             # in-memory table/assignment mutations, hence the oracle path.

@@ -52,7 +52,7 @@ from ..runtime import (
     load_journal,
     run_units,
 )
-from ..telemetry import get_tracer, span
+from ..telemetry import get_tracer, new_run_id, span
 from .audits import prepare_reference_tables, structural_invariants
 from .mutations import FAULT_CLASSES, Mutation, MutationEngine
 
@@ -621,8 +621,12 @@ def run_campaign(
 
         if workers is None:
             workers = 4
-        if tracer.enabled:
-            workers = 1  # the tracer is not thread-safe
+        if tracer.enabled and isolation == "thread":
+            # The tracer is not thread-safe, so thread workers sharing it
+            # must serialize.  Process workers each get a private relay
+            # tracer (merged in the single-threaded parent), so process
+            # isolation keeps its parallelism under telemetry.
+            workers = 1
 
         restored = [DetectionReport.from_dict(completed[m.mutant_id])
                     for m in mutations if m.mutant_id in completed]
@@ -631,13 +635,44 @@ def run_campaign(
 
         journal = (CheckpointJournal.open(journal_path, header)
                    if journal_path else None)
+        run_id = new_run_id() if tracer.enabled else None
+        matrix = {layer: 0 for layer in (*LAYERS, ORACLE_LAYER)}
+        matrix["escaped"] = 0
+        done = 0
+        tracer.emit("campaign.started", run_id=run_id, kind=JOURNAL_KIND,
+                    seed=seed, assignment=assignment,
+                    total=len(mutations), pending=len(pending),
+                    resumed=len(restored), workers=workers,
+                    isolation=isolation)
         try:
+            def _progress(report: DetectionReport) -> None:
+                # Lifecycle events for live observers (``repro watch``,
+                # --metrics-out): one ``campaign.unit`` verdict per
+                # mutant plus the running partial detection matrix.
+                nonlocal done
+                done += 1
+                matrix[report.detected_by or "escaped"] += 1
+                if report.degraded:
+                    tracer.emit("unit.degraded", run_id=run_id,
+                                unit_id=report.mutant_id,
+                                fault_class=report.fault_class)
+                tracer.emit("campaign.unit", run_id=run_id,
+                            unit_id=report.mutant_id,
+                            fault_class=report.fault_class,
+                            detected_by=report.detected_by,
+                            outcome=report.outcome,
+                            seconds=report.seconds,
+                            degraded=report.degraded)
+                tracer.emit("campaign.progress", run_id=run_id,
+                            done=done, total=len(mutations), **matrix)
+
             def on_result(unit_result) -> None:
                 # Runs in the parent as each unit completes — the
                 # checkpoint is durable before the next result lands.
+                report = _coerce_report(unit_result)
                 if journal is not None:
-                    report = _coerce_report(unit_result)
                     journal.record(report.mutant_id, report.to_dict())
+                _progress(report)
 
             def _coerce_report(unit_result) -> DetectionReport:
                 if unit_result.ok:
@@ -646,13 +681,16 @@ def run_campaign(
                     by_id[unit_result.unit_id], unit_result.outcome,
                     unit_result.error or "", unit_result.seconds)
 
+            for report in restored:
+                _progress(report)
+
             units = [(m.mutant_id,
                       (snapshot, m, assignment, clean_cycles, sim_ops,
                        oracle_cfg))
                      for m in pending]
             unit_results = run_units(
                 units, _mutant_unit, workers=workers, isolation=isolation,
-                timeout=timeout, on_result=on_result)
+                timeout=timeout, on_result=on_result, run_id=run_id)
             executed = [_coerce_report(u) for u in unit_results]
         finally:
             if journal is not None:

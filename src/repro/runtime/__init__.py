@@ -18,6 +18,9 @@ through:
   :class:`~repro.core.database.ProtocolDatabase` for lock contention.
 * :mod:`~repro.runtime.atomic` — temp-file + rename writes so report
   artifacts are never left truncated.
+* :mod:`~repro.runtime.watch` — read-only live observation of a
+  journaled run from another terminal (``repro watch``): per-stage
+  progress, throughput/ETA, the partial detection matrix.
 
 Semantics, knobs, and the degradation matrix are documented in
 ``docs/RESILIENCE.md``.
@@ -39,6 +42,7 @@ from .retry import (
     call_with_retry,
     classify_error,
 )
+from .watch import render_snapshot, run_watch, watch_once
 from .workers import ISOLATION_MODES, UnitResult, run_units
 
 __all__ = [
@@ -47,4 +51,5 @@ __all__ = [
     "TRANSIENT", "FATAL", "RetryPolicy",
     "call_with_retry", "classify_error",
     "ISOLATION_MODES", "UnitResult", "run_units",
+    "watch_once", "render_snapshot", "run_watch",
 ]

@@ -18,11 +18,29 @@ In both modes an exception raised by the unit function is captured as a
 every in-flight sibling.  Results come back in submission order;
 ``on_result`` fires in completion order as each unit finishes, which is
 where checkpoint journaling hooks in.
+
+**Telemetry relay.**  When the parent's tracer is recording, every unit
+runs under a :class:`~repro.telemetry.context.TraceContext`
+(``run_id``/``unit_id``/``worker_id``) so its events arrive attributed.
+Thread workers share the parent tracer directly; process workers each
+install a :class:`~repro.telemetry.relay.RelayTracer` spooling their
+spans, SQL statements, and metric mutations to a private append-only
+JSONL file, which the parent merges into the main tracer as each unit
+finishes (:func:`~repro.telemetry.relay.merge_spool`) — including the
+partial spools of crashed, SIGKILLed, and timed-out workers, whose
+events up to the moment of death survive because the spool is flushed
+per event.  The pool also emits ``unit.started`` / ``unit.finished`` /
+``unit.retried`` / ``unit.timeout`` lifecycle events, which is what
+``repro watch`` and the metrics exporter consume live.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import shutil
+import tempfile
+import threading
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
@@ -58,19 +76,44 @@ class UnitResult:
         return self.outcome == "ok"
 
 
-def _child_main(conn, fn, payload) -> None:
-    """Child-process entry: run one unit and send its result back."""
-    # The forked child inherits the parent's tracer (and any open sink
-    # file handles); silence it — outcome telemetry belongs to the
-    # parent, which sees every result.
-    from ..telemetry import NULL_TRACER, set_tracer
+def _child_main(conn, fn, payload, relay: Optional[dict] = None) -> None:
+    """Child-process entry: run one unit and send its result back.
 
-    set_tracer(NULL_TRACER)
+    ``relay`` carries the parent's telemetry arrangement: a spool path
+    plus the unit's trace context.  Without it (parent not recording)
+    the child silences its inherited tracer; with it the child records
+    everything to the spool for the parent-side merge."""
+    from ..telemetry import (
+        NULL_TRACER,
+        RelayTracer,
+        SpoolSink,
+        TraceContext,
+        set_context,
+        set_tracer,
+    )
+
+    tracer = NULL_TRACER
+    if relay is None:
+        set_tracer(NULL_TRACER)
+    else:
+        tracer = RelayTracer(
+            sinks=[SpoolSink(relay["spool"])],
+            slow_sql_seconds=relay.get("slow_sql_seconds", 0.05))
+        set_tracer(tracer)
+        set_context(TraceContext(
+            run_id=relay["run_id"], unit_id=relay["unit_id"],
+            worker_id=relay["worker_id"],
+            attempt=relay.get("attempt", 1)))
     t0 = time.perf_counter()
     try:
         value = fn(payload)
+        tracer.close()  # flush the spool before reporting success
         conn.send(("ok", value, None, time.perf_counter() - t0))
     except BaseException as exc:  # the whole point: nothing escapes
+        try:
+            tracer.close()
+        except Exception:
+            pass
         try:
             conn.send(("crashed", None,
                        f"{type(exc).__name__}: {exc}".splitlines()[0],
@@ -91,6 +134,61 @@ class _Running:
     attempts: int
     started: float
     deadline: Optional[float]
+    worker_id: Optional[str] = None
+    spool: Optional[str] = None
+
+
+class _Relay:
+    """Parent-side bookkeeping of the telemetry relay for one pool run.
+
+    Inactive (every method a no-op) when the parent tracer is not
+    recording, so the disabled-telemetry path stays allocation-free."""
+
+    def __init__(self, run_id: Optional[str], isolation: str) -> None:
+        from ..telemetry import get_tracer, new_run_id
+
+        self.tracer = get_tracer()
+        self.enabled = self.tracer.enabled
+        self.run_id = run_id or (new_run_id() if self.enabled else None)
+        self._spool_dir: Optional[str] = None
+        self._spawned = 0
+        if self.enabled and isolation == "process":
+            self._spool_dir = tempfile.mkdtemp(prefix="repro-spool-")
+
+    def child_relay(self, unit_id: Any, index: int,
+                    attempt: int) -> Optional[dict]:
+        """The pickled relay arrangement for one child, or ``None``."""
+        if self._spool_dir is None:
+            return None
+        self._spawned += 1
+        worker_id = f"proc-{self._spawned - 1}"
+        return {
+            "spool": os.path.join(self._spool_dir,
+                                  f"u{index}-a{attempt}.jsonl"),
+            "run_id": self.run_id,
+            "unit_id": unit_id,
+            "worker_id": worker_id,
+            "attempt": attempt,
+            "slow_sql_seconds": self.tracer.slow_sql_seconds,
+        }
+
+    def merge(self, spool: Optional[str]) -> None:
+        """Fold one finished (or killed) child's spool into the parent
+        tracer, then discard the spool file."""
+        if spool is None or not self.enabled:
+            return
+        from ..telemetry import merge_spool
+
+        merge_spool(self.tracer, spool, remove=True)
+
+    def emit(self, event_type: str, **fields: Any) -> None:
+        if self.enabled:
+            self.tracer.emit(event_type, run_id=self.run_id, **fields)
+
+    def close(self) -> None:
+        if self._spool_dir is not None:
+            shutil.rmtree(self._spool_dir, ignore_errors=True)
+            self._spool_dir = None
 
 
 def _run_units_threaded(
@@ -98,18 +196,32 @@ def _run_units_threaded(
     fn: Callable[[Any], Any],
     workers: int,
     on_result: Optional[Callable[[UnitResult], None]],
+    relay: _Relay,
 ) -> list[UnitResult]:
+    from ..telemetry import TraceContext, use_context
+
     def guarded(unit_id: Any, payload: Any) -> UnitResult:
+        context = TraceContext(
+            run_id=relay.run_id or "",
+            unit_id=unit_id,
+            worker_id=threading.current_thread().name)
+        relay.emit("unit.started", unit_id=unit_id,
+                   worker_id=context.worker_id)
         t0 = time.perf_counter()
-        try:
-            value = fn(payload)
-            return UnitResult(unit_id, "ok", value=value,
-                              seconds=time.perf_counter() - t0)
-        except BaseException as exc:
-            return UnitResult(
-                unit_id, "crashed",
-                error=f"{type(exc).__name__}: {exc}".splitlines()[0],
-                seconds=time.perf_counter() - t0)
+        with use_context(context):
+            try:
+                value = fn(payload)
+                result = UnitResult(unit_id, "ok", value=value,
+                                    seconds=time.perf_counter() - t0)
+            except BaseException as exc:
+                result = UnitResult(
+                    unit_id, "crashed",
+                    error=f"{type(exc).__name__}: {exc}".splitlines()[0],
+                    seconds=time.perf_counter() - t0)
+        relay.emit("unit.finished", unit_id=unit_id,
+                   worker_id=context.worker_id, outcome=result.outcome,
+                   seconds=result.seconds, attempts=result.attempts)
+        return result
 
     results: list[Optional[UnitResult]] = [None] * len(units)
     with ThreadPoolExecutor(max_workers=workers) as pool:
@@ -152,6 +264,7 @@ def _run_units_processes(
     timeout: Optional[float],
     timeout_retries: int,
     on_result: Optional[Callable[[UnitResult], None]],
+    relay: _Relay,
     mp_context=None,
 ) -> list[UnitResult]:
     ctx = mp_context or multiprocessing.get_context()
@@ -161,8 +274,14 @@ def _run_units_processes(
     running: dict[Any, _Running] = {}  # keyed by proc.sentinel
     results: list[Optional[UnitResult]] = [None] * len(units)
 
-    def finish(result: UnitResult, index: int) -> None:
-        results[index] = result
+    def finish(result: UnitResult, rec: _Running) -> None:
+        # Merge before reporting: when on_result checkpoints the unit,
+        # its telemetry is already part of the parent's stream.
+        relay.merge(rec.spool)
+        relay.emit("unit.finished", unit_id=result.unit_id,
+                   worker_id=rec.worker_id, outcome=result.outcome,
+                   seconds=result.seconds, attempts=result.attempts)
+        results[rec.index] = result
         if on_result is not None:
             on_result(result)
 
@@ -170,18 +289,26 @@ def _run_units_processes(
         while queue or running:
             while queue and len(running) < workers:
                 index, unit_id, payload, attempts = queue.popleft()
+                child_relay = relay.child_relay(unit_id, index, attempts)
                 parent_conn, child_conn = ctx.Pipe(duplex=False)
                 proc = ctx.Process(
-                    target=_child_main, args=(child_conn, fn, payload),
+                    target=_child_main,
+                    args=(child_conn, fn, payload, child_relay),
                     daemon=True)
                 proc.start()
                 child_conn.close()
                 now = time.monotonic()
+                worker_id = (child_relay["worker_id"]
+                             if child_relay else None)
                 running[proc.sentinel] = _Running(
                     proc=proc, conn=parent_conn, index=index,
                     unit_id=unit_id, payload=payload, attempts=attempts,
                     started=now,
-                    deadline=now + timeout if timeout is not None else None)
+                    deadline=now + timeout if timeout is not None else None,
+                    worker_id=worker_id,
+                    spool=child_relay["spool"] if child_relay else None)
+                relay.emit("unit.started", unit_id=unit_id,
+                           worker_id=worker_id, attempt=attempts)
 
             # Wake on the earlier of: a child reporting/exiting, or the
             # nearest watchdog deadline.
@@ -215,13 +342,13 @@ def _run_units_processes(
                     outcome, value, error, seconds = payload_result
                     finish(UnitResult(rec.unit_id, outcome, value=value,
                                       error=error, seconds=seconds,
-                                      attempts=rec.attempts), rec.index)
+                                      attempts=rec.attempts), rec)
                 else:
                     finish(UnitResult(
                         rec.unit_id, "crashed",
                         error=(f"worker exited without reporting "
                                f"(exit code {rec.proc.exitcode})"),
-                        seconds=elapsed, attempts=rec.attempts), rec.index)
+                        seconds=elapsed, attempts=rec.attempts), rec)
 
             # The watchdog: kill anything past its deadline.
             now = time.monotonic()
@@ -238,20 +365,31 @@ def _run_units_processes(
                     outcome, value, error, seconds = payload_result
                     finish(UnitResult(rec.unit_id, outcome, value=value,
                                       error=error, seconds=seconds,
-                                      attempts=rec.attempts), rec.index)
+                                      attempts=rec.attempts), rec)
                     continue
                 rec.proc.terminate()
                 _reap(rec)
                 if rec.attempts <= timeout_retries:
+                    # The killed attempt's partial spool still merges —
+                    # its events carry the attempt number, so the rerun
+                    # stays distinguishable in the stream.
+                    relay.merge(rec.spool)
+                    relay.emit("unit.retried", unit_id=rec.unit_id,
+                               worker_id=rec.worker_id,
+                               attempt=rec.attempts)
                     queue.append((rec.index, rec.unit_id, rec.payload,
                                   rec.attempts + 1))
                 else:
+                    relay.emit("unit.timeout", unit_id=rec.unit_id,
+                               worker_id=rec.worker_id,
+                               seconds=now - rec.started,
+                               attempts=rec.attempts)
                     finish(UnitResult(
                         rec.unit_id, "timeout",
                         error=(f"unit exceeded its {timeout:g}s wall-clock "
                                f"timeout (attempt {rec.attempts})"),
                         seconds=now - rec.started,
-                        attempts=rec.attempts), rec.index)
+                        attempts=rec.attempts), rec)
     finally:
         # An exception (or KeyboardInterrupt) must not leak children.
         for rec in running.values():
@@ -269,6 +407,7 @@ def run_units(
     timeout_retries: int = 0,
     on_result: Optional[Callable[[UnitResult], None]] = None,
     mp_context=None,
+    run_id: Optional[str] = None,
 ) -> list[UnitResult]:
     """Run ``fn(payload)`` for every ``(unit_id, payload)`` in ``units``.
 
@@ -276,18 +415,29 @@ def run_units(
     ``isolation="process"``, ``fn`` and each payload must be picklable
     (``fn`` a module-level function) and ``timeout`` bounds each unit's
     wall clock; with ``isolation="thread"`` a timeout is rejected because
-    a hung thread cannot be reclaimed."""
+    a hung thread cannot be reclaimed.
+
+    When the active tracer is recording, every unit executes under a
+    trace context and process workers spool their telemetry for the
+    parent-side merge (see the module docstring); ``run_id`` overrides
+    the generated fan-out identifier so callers can correlate the pool's
+    events with their own."""
     if isolation not in ISOLATION_MODES:
         raise ValueError(
             f"unknown isolation {isolation!r}; choose from {ISOLATION_MODES}")
     if not units:
         return []
     workers = max(1, min(workers, len(units)))
-    if isolation == "thread":
-        if timeout is not None:
-            raise ValueError(
-                "per-unit timeouts require isolation='process' "
-                "(a hung thread cannot be killed)")
-        return _run_units_threaded(units, fn, workers, on_result)
-    return _run_units_processes(units, fn, workers, timeout,
-                                timeout_retries, on_result, mp_context)
+    relay = _Relay(run_id, isolation)
+    try:
+        if isolation == "thread":
+            if timeout is not None:
+                raise ValueError(
+                    "per-unit timeouts require isolation='process' "
+                    "(a hung thread cannot be killed)")
+            return _run_units_threaded(units, fn, workers, on_result, relay)
+        return _run_units_processes(units, fn, workers, timeout,
+                                    timeout_retries, on_result, relay,
+                                    mp_context)
+    finally:
+        relay.close()

@@ -1,0 +1,205 @@
+"""Prometheus/OpenMetrics text-format snapshot export.
+
+Run reports (``--report-out``) are end-of-run artifacts; an external
+scraper watching an hours-long campaign needs a *current* snapshot it
+can poll without parsing a bespoke schema.  This module renders the
+active tracer's metrics in the OpenMetrics text format — counters (with
+the mandated ``_total`` sample suffix), gauges, and histograms exported
+as summaries with ``quantile`` labels — and ships a strict-enough
+parser so CI can round-trip-validate every snapshot it produces.
+
+:class:`MetricsSnapshotSink` makes the export continuous: attached as a
+tracer sink (``--metrics-out``), it atomically rewrites the snapshot
+file at most once per ``min_interval`` seconds as events flow, so a
+scraper (or ``repro watch``) always reads either the previous or the
+next complete snapshot, never a torn one.  The final snapshot is
+written when the sink closes.
+
+Metric names are mapped ``area.phase`` → ``repro_area_phase``; the
+reverse mapping is intentionally not needed — scrapers consume the
+exported names as-is.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import time
+from typing import Any, Optional
+
+from .tracer import Tracer
+
+__all__ = [
+    "render_openmetrics",
+    "parse_openmetrics",
+    "MetricsSnapshotSink",
+    "METRIC_PREFIX",
+]
+
+#: prefix of every exported metric family.
+METRIC_PREFIX = "repro"
+
+#: quantiles exported for each histogram, matching the run report's
+#: percentile ladder.
+SUMMARY_QUANTILES = (0.5, 0.9, 0.99)
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_LINE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>[^}]*)\})?'
+    r'\s+(?P<value>\S+)(?:\s+(?P<ts>\S+))?$')
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def metric_name(name: str) -> str:
+    """``area.phase`` → ``repro_area_phase`` (OpenMetrics-legal)."""
+    return f"{METRIC_PREFIX}_{_INVALID_CHARS.sub('_', name)}"
+
+
+def _fmt(value: float) -> str:
+    """An OpenMetrics sample value that round-trips through float()."""
+    if isinstance(value, float) and (math.isnan(value) or math.isinf(value)):
+        return "NaN" if math.isnan(value) else (
+            "+Inf" if value > 0 else "-Inf")
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_openmetrics(tracer: Tracer) -> str:
+    """The OpenMetrics text exposition of the tracer's current metrics.
+
+    Counters become ``counter`` families (sample suffix ``_total``),
+    gauges become ``gauge`` families, histograms become ``summary``
+    families with p50/p90/p99 ``quantile`` samples plus exact
+    ``_count``/``_sum``.  Ends with the spec's ``# EOF`` marker."""
+    snap = tracer.registry.snapshot()
+    lines: list[str] = []
+    for name, value in snap["counters"].items():
+        family = metric_name(name)
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"# HELP {family} counter {name}")
+        lines.append(f"{family}_total {_fmt(value)}")
+    for name, value in snap["gauges"].items():
+        family = metric_name(name)
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"# HELP {family} gauge {name}")
+        lines.append(f"{family} {_fmt(value)}")
+    for name, hist in sorted(tracer.registry.histograms.items()):
+        family = metric_name(name)
+        lines.append(f"# TYPE {family} summary")
+        lines.append(f"# HELP {family} histogram {name}")
+        for q in SUMMARY_QUANTILES:
+            lines.append(
+                f'{family}{{quantile="{_fmt(q)}"}} '
+                f"{_fmt(hist.percentile(q * 100))}")
+        lines.append(f"{family}_count {_fmt(hist.count)}")
+        lines.append(f"{family}_sum {_fmt(hist.total)}")
+    # Run metadata the scraper needs to reason about staleness.
+    uptime = metric_name("tracer.uptime.seconds")
+    lines.append(f"# TYPE {uptime} gauge")
+    lines.append(f"# HELP {uptime} seconds since the tracer started")
+    lines.append(f"{uptime} {_fmt(time.time() - tracer.started_wall)}")
+    events = metric_name("tracer.events.emitted")
+    lines.append(f"# TYPE {events} counter")
+    lines.append(f"# HELP {events} events dispatched to sinks")
+    lines.append(f"{events}_total {_fmt(tracer.events_emitted)}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def parse_openmetrics(text: str) -> dict[str, dict[str, Any]]:
+    """Parse an OpenMetrics exposition back into families.
+
+    Returns ``{family: {"type": str, "samples": [(suffixed_name,
+    labels, value)]}}`` and raises :class:`ValueError` on structural
+    violations: a missing ``# EOF`` terminator, a sample preceding its
+    ``# TYPE``, a counter sample without the ``_total`` suffix, or an
+    unparsable line.  Strict enough for CI to validate every snapshot
+    this module writes."""
+    families: dict[str, dict[str, Any]] = {}
+    saw_eof = False
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        if saw_eof:
+            raise ValueError(f"line {lineno}: content after # EOF")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# TYPE "):
+            try:
+                _, _, family, mtype = line.split(None, 3)
+            except ValueError as exc:
+                raise ValueError(f"line {lineno}: malformed TYPE") from exc
+            if family in families:
+                raise ValueError(f"line {lineno}: duplicate TYPE {family}")
+            families[family] = {"type": mtype, "samples": []}
+            continue
+        if line.startswith("#"):
+            continue  # HELP / UNIT / comments
+        m = _SAMPLE_LINE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: unparsable sample {line!r}")
+        name = m.group("name")
+        family = next(
+            (f for f in (name, name.rsplit("_", 1)[0])
+             if f in families),
+            None)
+        if family is None:
+            raise ValueError(
+                f"line {lineno}: sample {name!r} has no preceding TYPE")
+        labels = dict(_LABEL.findall(m.group("labels") or ""))
+        try:
+            value = float(m.group("value"))
+        except ValueError as exc:
+            raise ValueError(
+                f"line {lineno}: bad value {m.group('value')!r}") from exc
+        if families[family]["type"] == "counter" \
+                and not name.endswith("_total"):
+            raise ValueError(
+                f"line {lineno}: counter sample {name!r} lacks _total")
+        families[family]["samples"].append((name, labels, value))
+    if not saw_eof:
+        raise ValueError("exposition does not end with # EOF")
+    return families
+
+
+class MetricsSnapshotSink:
+    """A sink that keeps an OpenMetrics snapshot file current.
+
+    Rewrites ``path`` atomically (temp file + rename, so scrapers never
+    see a torn snapshot) at most once per ``min_interval`` seconds as
+    events arrive, plus once on close — the end-of-run state."""
+
+    def __init__(self, tracer: Tracer, path: str,
+                 min_interval: float = 1.0) -> None:
+        self.tracer = tracer
+        self.path = path
+        self.min_interval = min_interval
+        self._last_write: Optional[float] = None
+        self._closed = False
+        # Snapshot immediately: an unwritable path fails at configure
+        # time (before any work runs), and scrapers see a valid — if
+        # empty — exposition from the moment the run starts.
+        self._snapshot()
+
+    def _snapshot(self) -> None:
+        from ..runtime.atomic import atomic_write_text
+
+        atomic_write_text(self.path, render_openmetrics(self.tracer))
+        self._last_write = time.monotonic()
+
+    def write(self, event: dict[str, Any]) -> None:
+        """Refresh the snapshot if the throttle interval has elapsed."""
+        now = time.monotonic()
+        if self._last_write is None \
+                or now - self._last_write >= self.min_interval:
+            self._snapshot()
+
+    def close(self) -> None:
+        """Write the final snapshot (idempotent)."""
+        if not self._closed:
+            self._snapshot()
+            self._closed = True

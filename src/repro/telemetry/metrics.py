@@ -6,31 +6,47 @@ dependencies, no background threads.  Counters accumulate monotonically
 written (``deadlock.dependency_rows``), and histograms retain samples so
 run reports can publish latency percentiles (``sql.seconds``).
 
-Histograms keep every sample up to :attr:`Histogram.max_samples` and
-exact count/sum/min/max beyond it, so percentile precision degrades
-gracefully on very long runs instead of memory growing without bound.
-The metric catalog lives in ``docs/OBSERVABILITY.md``.
+Histograms keep every sample up to :attr:`Histogram.max_samples`
+verbatim; beyond the cap they switch to **reservoir sampling**
+(Vitter's Algorithm R, seeded so runs are reproducible), so the
+retained set stays a uniform random sample of *all* observations —
+percentiles of an hours-long campaign reflect the whole run, not just
+its startup.  Count/sum/min/max remain exact regardless.  Every sample
+past the cap also increments the ``telemetry.dropped.histogram_samples``
+counter, so approximation is visible in the run report rather than
+silent.  The metric catalog lives in ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
 
+import random
 from typing import Any, Optional
 
 __all__ = ["Histogram", "MetricsRegistry"]
 
 
 class Histogram:
-    """A sample-retaining histogram with nearest-rank percentiles."""
+    """A sample-retaining histogram with nearest-rank percentiles.
 
-    __slots__ = ("samples", "count", "total", "min", "max", "max_samples")
+    Up to ``max_samples`` observations are kept verbatim; after that,
+    each new observation replaces a uniformly random retained one with
+    probability ``max_samples / count`` (Algorithm R), keeping the
+    reservoir a uniform sample of the full stream.  The replacement RNG
+    is seeded per histogram, so a given observation sequence always
+    yields the same reservoir — deterministic under test.
+    """
 
-    def __init__(self, max_samples: int = 65536) -> None:
+    __slots__ = ("samples", "count", "total", "min", "max", "max_samples",
+                 "_rng")
+
+    def __init__(self, max_samples: int = 65536, seed: int = 0) -> None:
         self.samples: list[float] = []
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self.max_samples = max_samples
+        self._rng = random.Random(seed)
 
     def observe(self, value: float) -> None:
         """Record one sample."""
@@ -40,10 +56,22 @@ class Histogram:
         self.max = value if self.max is None else max(self.max, value)
         if len(self.samples) < self.max_samples:
             self.samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.max_samples:
+                self.samples[slot] = value
+
+    @property
+    def overflowed(self) -> int:
+        """Observations beyond the verbatim-retention cap — the number
+        of samples the reservoir had to estimate over."""
+        return max(0, self.count - self.max_samples)
 
     def percentile(self, p: float) -> float:
         """Nearest-rank percentile over the retained samples; ``p`` in
-        [0, 100].  Returns 0.0 for an empty histogram."""
+        [0, 100].  Returns 0.0 for an empty histogram.  Beyond
+        ``max_samples`` observations this is an estimate over a uniform
+        reservoir of the whole stream."""
         if not self.samples:
             return 0.0
         ordered = sorted(self.samples)
@@ -54,7 +82,7 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        """Arithmetic mean over *all* observed samples."""
+        """Arithmetic mean over *all* observed samples (always exact)."""
         return self.total / self.count if self.count else 0.0
 
     def as_dict(self) -> dict[str, Any]:
@@ -88,11 +116,14 @@ class MetricsRegistry:
         self.gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
-        """Record ``value`` into the histogram ``name``."""
+        """Record ``value`` into the histogram ``name``; overflow past
+        the retention cap is surfaced as a drop counter, never silent."""
         hist = self.histograms.get(name)
         if hist is None:
             hist = self.histograms[name] = Histogram()
         hist.observe(value)
+        if hist.count > hist.max_samples:
+            self.incr("telemetry.dropped.histogram_samples")
 
     def counter(self, name: str) -> float:
         """Current value of a counter (0 if never incremented)."""

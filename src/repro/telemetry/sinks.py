@@ -36,16 +36,25 @@ REPORT_SCHEMA = "repro.telemetry.report/v1"
 
 
 class JsonlSink:
-    """Appends each event as one JSON line to a file (``--trace-out``)."""
+    """Appends each event as one JSON line to a file (``--trace-out``).
 
-    def __init__(self, path: str) -> None:
+    By default every event is flushed as it is written, so ``tail -f``
+    and ``repro watch`` observe events as they happen instead of on
+    8 KiB stdio-buffer boundaries.  Pass ``flush_each=False`` (the CLI's
+    ``--trace-buffered``) to trade liveness for fewer syscalls on runs
+    nobody is watching."""
+
+    def __init__(self, path: str, flush_each: bool = True) -> None:
         self.path = path
+        self.flush_each = flush_each
         self._fh: Optional[io.TextIOBase] = open(path, "w", encoding="utf-8")
 
     def write(self, event: dict[str, Any]) -> None:
         """Serialize one event; non-JSON values fall back to ``str``."""
         if self._fh is not None:
             self._fh.write(json.dumps(event, default=str) + "\n")
+            if self.flush_each:
+                self._fh.flush()
 
     def close(self) -> None:
         """Flush and close the underlying file (idempotent)."""
@@ -160,6 +169,15 @@ def build_report(
     sql_seconds = tracer.registry.histograms.get("sql.seconds")
     checks = counters.get("invariant.checks", 0)
     failed = counters.get("invariant.failed", 0)
+    # No silent caps: retention overflow (slow-query slots, histogram
+    # reservoirs) surfaces as an explicit ``dropped`` section.  The key
+    # appears only when something was dropped, keeping healthy reports
+    # byte-identical to previous code versions.
+    dropped = {
+        name[len("telemetry.dropped."):]: value
+        for name, value in counters.items()
+        if name.startswith("telemetry.dropped.")
+    }
     return {
         "schema": REPORT_SCHEMA,
         "command": command,
@@ -189,6 +207,7 @@ def build_report(
             "failed": failed,
             "violations": counters.get("invariant.violations", 0),
         },
+        **({"dropped": dropped} if dropped else {}),
     }
 
 

@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
+from .context import current_context
 from .metrics import MetricsRegistry
 from .spans import Span, SpanStats
 
@@ -165,11 +166,21 @@ class Tracer:
 
     # -- events ----------------------------------------------------------------
     def emit(self, event_type: str, **fields: Any) -> None:
-        """Dispatch one event to every attached sink."""
+        """Dispatch one event to every attached sink.
+
+        The active :class:`~repro.telemetry.context.TraceContext` (if
+        any) stamps its ``run_id``/``unit_id``/``worker_id`` fields onto
+        the event, so everything recorded inside a worker's unit of work
+        arrives attributed.  Explicit ``fields`` win over the context —
+        which is how relayed events keep their *original* attribution
+        (and timestamp) when the parent re-emits them."""
         self.events_emitted += 1
         if not self.sinks:
             return
-        event = {"type": event_type, "ts": time.time(), **fields}
+        context = current_context()
+        event = {"type": event_type, "ts": time.time(),
+                 **(context.as_fields() if context is not None else {}),
+                 **fields}
         for sink in self.sinks:
             sink.write(event)
 
@@ -214,13 +225,19 @@ class Tracer:
             self.slow_sql_seconds is not None
             and seconds >= self.slow_sql_seconds
         )
-        if slow and len(self.slow_queries) < self.max_slow_queries:
-            self.slow_queries.append({
-                "statement": statement,
-                "seconds": seconds,
-                "rows": rows,
-                "plan": plan,
-            })
+        if slow:
+            if len(self.slow_queries) < self.max_slow_queries:
+                self.slow_queries.append({
+                    "statement": statement,
+                    "seconds": seconds,
+                    "rows": rows,
+                    "plan": plan,
+                })
+            else:
+                # No silent caps: a slow query beyond the retention
+                # limit is counted, not just dropped (see the
+                # telemetry.dropped.* rows of the metric catalog).
+                self.incr("telemetry.dropped.slow_queries")
         self.emit(
             "sql",
             statement=statement,

@@ -1,0 +1,119 @@
+"""OpenMetrics snapshot export: rendering, parsing, the snapshot sink."""
+
+import pytest
+
+from repro.telemetry import (
+    MetricsSnapshotSink,
+    Tracer,
+    parse_openmetrics,
+    render_openmetrics,
+)
+
+
+def _tracer_with_metrics() -> Tracer:
+    tracer = Tracer()
+    tracer.incr("sql.queries", 12)
+    tracer.gauge("explore.depth", 5)
+    for v in (0.1, 0.2, 0.3):
+        tracer.observe("sql.seconds", v)
+    return tracer
+
+
+class TestRender:
+    def test_counters_get_total_suffix(self):
+        text = render_openmetrics(_tracer_with_metrics())
+        assert "# TYPE repro_sql_queries counter" in text
+        assert "repro_sql_queries_total 12" in text
+
+    def test_gauges_and_summaries(self):
+        text = render_openmetrics(_tracer_with_metrics())
+        assert "# TYPE repro_explore_depth gauge" in text
+        assert "repro_explore_depth 5" in text
+        assert "# TYPE repro_sql_seconds summary" in text
+        assert 'repro_sql_seconds{quantile="0.5"}' in text
+        assert "repro_sql_seconds_count 3" in text
+
+    def test_ends_with_eof(self):
+        assert render_openmetrics(Tracer()).endswith("# EOF\n")
+
+    def test_round_trips_through_parser(self):
+        tracer = _tracer_with_metrics()
+        families = parse_openmetrics(render_openmetrics(tracer))
+        counters = families["repro_sql_queries"]
+        assert counters["type"] == "counter"
+        assert counters["samples"][0][2] == 12.0
+        summary = families["repro_sql_seconds"]
+        names = [name for name, _, _ in summary["samples"]]
+        assert "repro_sql_seconds_count" in names
+        # The run-metadata families are always present.
+        assert "repro_tracer_uptime_seconds" in families
+        assert "repro_tracer_events_emitted" in families
+
+    def test_metric_names_sanitized(self):
+        tracer = Tracer()
+        tracer.incr("mutate.detected.oracle")
+        text = render_openmetrics(tracer)
+        assert "repro_mutate_detected_oracle_total 1" in text
+
+
+class TestParse:
+    def test_missing_eof_rejected(self):
+        with pytest.raises(ValueError, match="EOF"):
+            parse_openmetrics("# TYPE x counter\nx_total 1\n")
+
+    def test_sample_before_type_rejected(self):
+        with pytest.raises(ValueError, match="no preceding TYPE"):
+            parse_openmetrics("orphan 1\n# EOF\n")
+
+    def test_counter_without_total_rejected(self):
+        with pytest.raises(ValueError, match="_total"):
+            parse_openmetrics("# TYPE x counter\nx 1\n# EOF\n")
+
+    def test_content_after_eof_rejected(self):
+        with pytest.raises(ValueError, match="after # EOF"):
+            parse_openmetrics("# EOF\nx 1\n")
+
+    def test_duplicate_type_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_openmetrics(
+                "# TYPE x gauge\n# TYPE x gauge\n# EOF\n")
+
+    def test_labels_parsed(self):
+        families = parse_openmetrics(
+            '# TYPE s summary\ns{quantile="0.5"} 2.5\n# EOF\n')
+        (name, labels, value) = families["s"]["samples"][0]
+        assert labels == {"quantile": "0.5"} and value == 2.5
+
+
+class TestSnapshotSink:
+    def test_writes_valid_snapshot_per_event(self, tmp_path):
+        path = str(tmp_path / "metrics.prom")
+        tracer = Tracer()
+        sink = MetricsSnapshotSink(tracer, path, min_interval=0.0)
+        tracer.sinks.append(sink)
+        tracer.incr("a.calls")
+        tracer.emit("tick")
+        families = parse_openmetrics(open(path, encoding="utf-8").read())
+        assert "repro_a_calls" in families
+
+    def test_throttles_between_writes(self, tmp_path):
+        path = str(tmp_path / "metrics.prom")
+        tracer = Tracer()
+        sink = MetricsSnapshotSink(tracer, path, min_interval=3600.0)
+        tracer.sinks.append(sink)
+        tracer.emit("tick")  # first event writes
+        first = open(path, encoding="utf-8").read()
+        tracer.incr("late.counter")
+        tracer.emit("tick")  # throttled: no rewrite
+        assert open(path, encoding="utf-8").read() == first
+
+    def test_close_writes_final_state(self, tmp_path):
+        path = str(tmp_path / "metrics.prom")
+        tracer = Tracer()
+        sink = MetricsSnapshotSink(tracer, path, min_interval=3600.0)
+        tracer.sinks.append(sink)
+        tracer.emit("tick")
+        tracer.incr("final.counter")
+        tracer.close()
+        families = parse_openmetrics(open(path, encoding="utf-8").read())
+        assert "repro_final_counter" in families

@@ -73,3 +73,40 @@ class TestSnapshot:
         assert reg.empty
         reg.incr("x")
         assert not reg.empty
+
+
+class TestReservoir:
+    """Beyond the cap the histogram keeps a seeded uniform reservoir
+    (Algorithm R), not the first-N prefix."""
+
+    def test_reservoir_sees_the_whole_stream(self):
+        h = Histogram(max_samples=100)
+        for v in range(10_000):
+            h.observe(float(v))
+        # A keep-first-prefix histogram would report p50 == 50; the
+        # reservoir's median must reflect the full 0..9999 stream.
+        assert h.percentile(50) > 2_000
+        assert h.max == 9_999.0 and h.count == 10_000  # exact regardless
+
+    def test_reservoir_is_deterministic(self):
+        def fill():
+            h = Histogram(max_samples=10)
+            for v in range(1_000):
+                h.observe(float(v))
+            return h.samples
+
+        assert fill() == fill()
+
+    def test_overflowed_property(self):
+        h = Histogram(max_samples=10)
+        for v in range(15):
+            h.observe(float(v))
+        assert h.overflowed == 5
+        assert Histogram(max_samples=10).overflowed == 0
+
+    def test_registry_counts_dropped_samples(self):
+        reg = MetricsRegistry()
+        reg.histograms["h"] = Histogram(max_samples=5)
+        for v in range(8):
+            reg.observe("h", float(v))
+        assert reg.counter("telemetry.dropped.histogram_samples") == 3

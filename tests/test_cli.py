@@ -96,6 +96,8 @@ class TestTelemetryFlags:
         assert "repro: error:" in capsys.readouterr().err
         assert main(["stats", "--trace-out", "/nonexistent/t.jsonl"]) == 2
         assert "repro: error:" in capsys.readouterr().err
+        assert main(["stats", "--metrics-out", "/nonexistent/m.prom"]) == 2
+        assert "repro: error:" in capsys.readouterr().err
 
     def test_check_report_out_emits_valid_json(self, tmp_path, capsys):
         path = tmp_path / "report.json"
