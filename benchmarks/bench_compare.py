@@ -15,7 +15,9 @@ With ``--check`` the script exits non-zero when any compared span mean
 or the module wall time regresses by more than ``--max-regression``
 (default 2.0x) — this is the CI smoke gate.  Spans whose baseline mean
 is under 1 ms are reported but never gated: at that scale the numbers
-are scheduler noise, not regressions.
+are scheduler noise, not regressions.  Gauges named ``*_per_sec`` are
+rates and gate in the other direction: they fail when the current value
+drops below baseline divided by the same factor.
 
 Usage::
 
@@ -37,7 +39,7 @@ import subprocess
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
-DEFAULT_MODULES = ("invariants", "deadlock")
+DEFAULT_MODULES = ("invariants", "deadlock", "exploration")
 
 #: spans faster than this in the baseline are noise, not signal.
 GATE_FLOOR_SECONDS = 0.001
@@ -115,6 +117,29 @@ def compare_module(name: str, baseline: dict | None, current: dict,
     base_s = f"{base_q:>11}" if base_q is not None else "         --"
     ratio = fmt_ratio(float(base_q or 0), float(cur_q))
     print(f"  {'sql queries':44} {base_s} {cur_q:>11} {ratio:>9}")
+
+    # Rate gauges: states/sec and friends, where *lower* is the
+    # regression.  Gated symmetrically to the span rule.
+    base_g = (baseline or {}).get("gauges", {})
+    cur_g = current.get("gauges", {})
+    for gauge in sorted(cur_g):
+        if not gauge.endswith("_per_sec"):
+            continue
+        cur_v = float(cur_g[gauge])
+        base_v = base_g.get(gauge)
+        if base_v is not None:
+            r = cur_v / float(base_v) if base_v else 0.0
+            ratio = f"{r:6.2f}x" + ("  " if r >= 0.8 else " -")
+            base_s = f"{float(base_v):>11,.0f}"
+        else:
+            ratio, base_s = "    n/a", "         --"
+        print(f"  {f'rate {gauge}':44} {base_s} {cur_v:>11,.0f} {ratio:>9}")
+        if base_v and cur_v < float(base_v) / max_regression:
+            failures.append(
+                f"bench_{name}: rate {gauge} regressed "
+                f"{float(base_v) / cur_v:.2f}x (baseline "
+                f"{float(base_v):,.0f}/s, current {cur_v:,.0f}/s, "
+                f"limit {max_regression:.1f}x)")
     return failures
 
 

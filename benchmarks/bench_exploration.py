@@ -1,15 +1,21 @@
 """Bounded reachability exploration — the ground-truth oracle's cost.
 
-The oracle column of ``BENCH_explore.json`` is only affordable if a
+The oracle column of ``BENCH_oracle.json`` is only affordable if a
 bounded exploration stays orders of magnitude below the minutes a model
 checker needs on the same configuration (see ``bench_model_checker``).
 These benchmarks pin the explorer's throughput on the clean tables —
-state growth per depth, symmetry-reduction payoff, worker scaling — and
+state growth per depth, kernel dispatch vs SQL lookups, the warm
+successor-store sweep, symmetry-reduction payoff, worker scaling — and
 the end-to-end price of one oracle verdict inside the campaign loop.
+
+Throughput lands in the run report as ``explore.rate.*_states_per_sec``
+gauges; ``bench_compare`` gates them as higher-is-better rates.
 
 Fixed pedantic rounds keep the recorded numbers comparable across
 commits, matching the other benchmark modules.
 """
+
+import time
 
 import pytest
 
@@ -28,6 +34,56 @@ def test_explore_2node_by_depth(benchmark, system, depth):
 
     result = benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
     assert result.ok and result.depth == depth
+
+
+@pytest.mark.parametrize("kernel", ["interpreted", "compiled"])
+def test_explore_kernel_throughput(benchmark, system, module_telemetry,
+                                   kernel):
+    """Dispatch-codegen kernels vs SQL lookups on the same frontier —
+    the per-transition price of each execution backend."""
+    times = []
+
+    def run():
+        t0 = time.perf_counter()
+        explorer = ReachabilityExplorer(
+            system, ExploreConfig(nodes=2, depth=10, kernel=kernel))
+        result = explorer.run()
+        times.append(time.perf_counter() - t0)
+        explorer.close()
+        return result
+
+    result = benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+    assert result.ok and result.depth == 10
+    module_telemetry.gauge(f"explore.rate.{kernel}_states_per_sec",
+                           round(result.states / min(times)))
+
+
+def test_explore_warm_sweep(benchmark, system, module_telemetry,
+                            tmp_path_factory):
+    """The set-based sweep over a warm successor store: each BFS level
+    is a handful of SQL joins over precomputed edges — no simulator, no
+    decoding, no invariant re-evaluation.  The recorded gauge is the
+    headline states/sec of the compiled+store pipeline."""
+    frontier_dir = str(tmp_path_factory.mktemp("frontier"))
+    cfg = dict(nodes=2, lines=2, depth=16, frontier_dir=frontier_dir)
+    explorer = ReachabilityExplorer(system, ExploreConfig(**cfg))
+    cold = explorer.run()          # populate the successor store once
+    explorer.close()
+    times = []
+
+    def run():
+        t0 = time.perf_counter()
+        warm = ReachabilityExplorer(system, ExploreConfig(**cfg))
+        result = warm.run()
+        times.append(time.perf_counter() - t0)
+        warm.close()
+        return result
+
+    result = benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+    assert result.ok
+    assert result.to_dict() == cold.to_dict()   # warm/cold parity
+    module_telemetry.gauge("explore.rate.warm_states_per_sec",
+                           round(result.states / min(times)))
 
 
 def test_explore_3node_symmetric(benchmark, system):

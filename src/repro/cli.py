@@ -183,6 +183,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--oracle-nodes", type=int, default=2, metavar="N",
                    help="node count for --oracle exploration "
                         "(default: %(default)s)")
+    p.add_argument("--oracle-kernel", choices=("compiled", "interpreted"),
+                   default="compiled",
+                   help="transition backend for --oracle exploration: "
+                        "codegen dispatch kernels or the interpreted "
+                        "parity oracle (default: %(default)s)")
 
     p = sub.add_parser("explore", parents=[common],
                        help="bounded-depth exhaustive reachability "
@@ -200,14 +205,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="channel assignment to explore under "
                         "(default: %(default)s)")
     p.add_argument("--workers", type=int, default=1,
-                   help="threads expanding each BFS frontier; results are "
-                        "identical for any worker count "
-                        "(default: %(default)s)")
+                   help="parallel frontier expanders (kernel worker "
+                        "processes under --kernel compiled, threads under "
+                        "interpreted); results are identical for any "
+                        "worker count (default: %(default)s)")
     p.add_argument("--capacity", type=int, default=1,
                    help="per-channel queue capacity (default: %(default)s)")
+    p.add_argument("--kernel", choices=("compiled", "interpreted"),
+                   default="compiled",
+                   help="transition backend: integer-indexed codegen "
+                        "dispatch kernels, or the SQL-interpreted tables "
+                        "kept as the parity oracle (default: %(default)s)")
+    p.add_argument("--frontier-dir", metavar="DIR", default=None,
+                   help="disk-back the frontier and memoize the successor "
+                        "relation in DIR/frontier.sqlite; re-runs over an "
+                        "unchanged system expand whole BFS levels with "
+                        "set-based joins instead of the simulator")
+    p.add_argument("--quads", type=int, default=None, metavar="N",
+                   help="number of quads hosting the nodes (default: "
+                        "topology-derived; >2 enables quad-interchange "
+                        "reduction under --symmetry full)")
     p.add_argument("--no-symmetry", action="store_true",
                    help="disable canonicalization under node permutation "
                         "symmetry (explores the full concrete space)")
+    p.add_argument("--symmetry", choices=("off", "quad", "full"),
+                   default=None,
+                   help="symmetry reduction mode: 'quad' canonicalizes "
+                        "node permutations within each quad, 'full' also "
+                        "permutes interchangeable quads (default: quad)")
     p.add_argument("--journal", metavar="PATH", default=None,
                    help="checkpoint each completed depth to a crash-safe "
                         "JSONL journal at PATH")
@@ -404,7 +429,8 @@ def _cmd_mutate(system, args) -> int:
             workers=args.workers, isolation=args.isolation,
             timeout=args.timeout, journal_path=args.journal,
             resume_from=args.resume, oracle=args.oracle,
-            oracle_depth=args.oracle_depth, oracle_nodes=args.oracle_nodes)
+            oracle_depth=args.oracle_depth, oracle_nodes=args.oracle_nodes,
+            oracle_kernel=args.oracle_kernel)
     except (ValueError, JournalError, OSError) as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
@@ -439,29 +465,44 @@ def _cmd_explore(system, args) -> int:
         except OSError as exc:
             print(f"repro: error: {exc}", file=sys.stderr)
             return 2
+    if args.no_symmetry and args.symmetry not in (None, "off"):
+        print("repro: error: --no-symmetry contradicts "
+              f"--symmetry {args.symmetry}", file=sys.stderr)
+        return 2
+    # ``True`` (not "quad") when neither flag is given, so journal
+    # headers written by older versions keep resuming cleanly.
+    symmetry = "off" if args.no_symmetry else (args.symmetry or True)
+    explorer = None
     try:
         config = ExploreConfig(
             nodes=args.nodes, depth=args.depth, lines=args.lines,
             assignment=args.assignment, workers=args.workers,
-            capacity=args.capacity, symmetry=not args.no_symmetry,
+            capacity=args.capacity, symmetry=symmetry,
+            kernel=args.kernel, frontier_dir=args.frontier_dir,
+            quads=args.quads,
             journal_path=args.journal, resume_from=args.resume)
         explorer = ReachabilityExplorer(system, config)
         result = explorer.run()
     except (ValueError, ExplorationError, JournalError, OSError) as exc:
+        if explorer is not None:
+            explorer.close()
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
-    # Persist before printing: a truncated stdout pipe (e.g. | head)
-    # must not cost the --out file or the --save-db summary table.
-    explorer.write_summary(system.db, result)
-    if args.out:
-        atomic_write_json(args.out, result.to_dict())
-    print(result.render())
-    for violation in result.violations:
-        trace = explorer.counterexample(violation.digest)
-        if trace:
-            print(f"\ncounterexample ({violation.kind} at depth "
-                  f"{violation.depth}):")
-            print(trace)
+    try:
+        # Persist before printing: a truncated stdout pipe (e.g. | head)
+        # must not cost the --out file or the --save-db summary table.
+        explorer.write_summary(system.db, result)
+        if args.out:
+            atomic_write_json(args.out, result.to_dict())
+        print(result.render())
+        for violation in result.violations:
+            trace = explorer.counterexample(violation.digest)
+            if trace:
+                print(f"\ncounterexample ({violation.kind} at depth "
+                      f"{violation.depth}):")
+                print(trace)
+    finally:
+        explorer.close()
     return 0 if result.ok else 1
 
 

@@ -1,12 +1,20 @@
 """Code generation from implementation tables (paper section 5: "Code is
 automatically generated from these tables using SQL report generation").
 
-Two targets:
+Three targets:
 
 * :func:`generate_python` — a plain-Python decision function equivalent to
   the table (stored NULL inputs are wildcards, NULL outputs are noops).
   The generated source is executable; :func:`compile_python` returns the
   callable so tests can cross-check it against ``ControllerTable.lookup``.
+
+* :func:`generate_dispatch` — an integer-indexed dispatch kernel: every
+  input column is encoded over its domain (the same "code 0 is NULL"
+  convention the Verilog backend uses), rows are grouped by their
+  wildcard mask, and each group becomes a dict keyed by the packed
+  mixed-radix code of its concrete columns.  A probe is a handful of
+  dict lookups regardless of row count — this is what the compiled
+  explorer kernel (:mod:`repro.core.kernel`) executes.
 
 * :func:`generate_verilog` — a synthesizable-flavoured Verilog skeleton:
   value encodings as localparams and one casez arm per table row.  It is a
@@ -17,11 +25,19 @@ Two targets:
 from __future__ import annotations
 
 import math
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
+from .schema import TableSchema
 from .table import ControllerTable
 
-__all__ = ["generate_python", "compile_python", "generate_verilog"]
+__all__ = [
+    "generate_python",
+    "compile_python",
+    "generate_dispatch",
+    "generate_dispatch_source",
+    "compile_dispatch",
+    "generate_verilog",
+]
 
 
 def _py_ident(name: str) -> str:
@@ -75,6 +91,114 @@ def compile_python(
     src = generate_python(table, fn)
     namespace: dict = {}
     exec(compile(src, f"<generated:{table.schema.name}>", "exec"), namespace)
+    return namespace[fn]
+
+
+def generate_dispatch_source(
+    schema: TableSchema,
+    rows: Sequence[tuple[int, dict]],
+    function_name: Optional[str] = None,
+) -> str:
+    """Render ``rows`` of ``schema`` as an indexed dispatch function.
+
+    ``rows`` is a sequence of ``(rowid, row_dict)`` in storage order (see
+    :meth:`ControllerTable.rows_with_ids`).  The generated function takes
+    the input columns positionally in schema order and returns the list
+    of matching row *indexes* (positions in ``rows``, not rowids).
+
+    Encoding: each input column maps its values to small integers; code 0
+    is reserved for NULL and for values outside the encoded domain, so an
+    unknown (or ``None``) probe value matches only rows that leave that
+    column as a wildcard — exactly the SQL ``col IS NULL OR col IS ?``
+    semantics.  The domain is the schema domain plus any out-of-domain
+    values a mutated table actually stores.  Rows sharing a wildcard mask
+    form one group dict keyed by the packed mixed-radix code of the
+    mask's columns; since real codes are >= 1 and every factor exceeds
+    its digit, packing is injective and a probe never aliases.
+    """
+    fn = function_name or f"{_py_ident(schema.name)}_dispatch"
+    inputs = schema.input_names
+    enc: dict[str, dict] = {}
+    for col in schema.inputs:
+        stored = {row[col.name] for _, row in rows if row[col.name] is not None}
+        extra = sorted(stored - set(col.values), key=repr)
+        enc[col.name] = {
+            v: i + 1 for i, v in enumerate((*col.values, *extra))
+        }
+    radix = {c: len(enc[c]) + 1 for c in inputs}
+    pos = {c: i for i, c in enumerate(inputs)}
+
+    groups: dict[tuple, dict[int, list[int]]] = {}
+    for idx, (_rowid, row) in enumerate(rows):
+        mask = tuple(c for c in inputs if row[c] is not None)
+        key = 0
+        for c in mask:
+            key = key * radix[c] + enc[c][row[c]]
+        groups.setdefault(mask, {}).setdefault(key, []).append(idx)
+
+    used = sorted(
+        {c for mask in groups for c in mask}, key=lambda c: pos[c]
+    )
+    lines = [
+        f"# Generated dispatch kernel for controller table "
+        f"{schema.name!r} ({len(rows)} rows); do not edit by hand.",
+        "# Code 0 is reserved for NULL and out-of-domain probe values;",
+        "# rows are grouped by wildcard mask and indexed by the packed",
+        "# mixed-radix code of the mask's concrete columns.",
+    ]
+    for c in used:
+        items = ", ".join(f"{v!r}: {code}" for v, code in enc[c].items())
+        lines.append(f"_E_{_py_ident(c)} = {{{items}}}")
+    ordered = sorted(groups, key=lambda m: tuple(pos[c] for c in m))
+    for j, mask in enumerate(ordered):
+        body = ", ".join(
+            f"{key}: {tuple(groups[mask][key])!r}"
+            for key in sorted(groups[mask])
+        )
+        lines.append(f"_G_{j} = {{{body}}}  # mask: {mask!r}")
+    args = ", ".join(_py_ident(c) for c in inputs)
+    lines.append(f"def {fn}({args}):")
+    lines.append(
+        f'    """Generated dispatch for {schema.name!r}; returns matching'
+        ' row indexes."""'
+    )
+    for c in used:
+        i = _py_ident(c)
+        lines.append(f"    c_{i} = _E_{i}.get({i}, 0)")
+    lines.append("    m = []")
+    for j, mask in enumerate(ordered):
+        if mask:
+            expr = f"c_{_py_ident(mask[0])}"
+            for c in mask[1:]:
+                expr = f"({expr}) * {radix[c]} + c_{_py_ident(c)}"
+        else:
+            expr = "0"
+        lines.append(f"    r = _G_{j}.get({expr})")
+        lines.append("    if r is not None:")
+        lines.append("        m += r")
+    lines.append("    return m")
+    return "\n".join(lines) + "\n"
+
+
+def generate_dispatch(
+    table: ControllerTable, function_name: Optional[str] = None
+) -> str:
+    """Render a live :class:`ControllerTable` as a dispatch kernel."""
+    return generate_dispatch_source(
+        table.schema, table.rows_with_ids(), function_name
+    )
+
+
+def compile_dispatch(
+    schema: TableSchema,
+    rows: Sequence[tuple[int, dict]],
+    function_name: Optional[str] = None,
+) -> Callable[..., list]:
+    """Exec the generated dispatch source and return the probe function."""
+    fn = function_name or f"{_py_ident(schema.name)}_dispatch"
+    src = generate_dispatch_source(schema, rows, fn)
+    namespace: dict = {}
+    exec(compile(src, f"<kernel:{schema.name}>", "exec"), namespace)
     return namespace[fn]
 
 

@@ -401,6 +401,18 @@ class ProtocolDatabase:
                 tracer.record_sql_rows(sql, len(rows))
         return rows
 
+    def query_tuples(self, sql: str, params: Sequence = ()) -> list[tuple]:
+        """Like :meth:`query` but rows come back as plain tuples — for
+        bulk reads where per-row dict construction would dominate."""
+        cursor = self.execute(sql, params)
+        cursor.row_factory = None
+        rows = cursor.fetchall()
+        if rows:
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.record_sql_rows(sql, len(rows))
+        return rows
+
     def scalar(self, sql: str, params: Sequence = ()) -> Any:
         row = self.execute(sql, params).fetchone()
         if row is None:

@@ -1,0 +1,166 @@
+"""Compiled transition kernels.
+
+A :class:`KernelTable` is a drop-in replacement for the lookup surface of
+:class:`~repro.core.table.ControllerTable` that answers probes from a
+generated integer-indexed dispatch function (see
+:func:`~repro.core.codegen.generate_dispatch_source`) instead of issuing
+one SQL query per transition.  Semantics are bit-identical: stored NULL
+inputs are wildcards, a ``None`` (or out-of-domain) probe value matches
+only wildcard rows, rowids and row dicts match what the SQL path returns,
+and the error classes *and message strings* are the same — the explorer
+pins hole-violation details on those strings, so the compiled and
+interpreted kernels must raise identically.
+
+:func:`compile_system_kernels` compiles the tables a simulator executes;
+:class:`KernelSystem` wraps them in the minimal system shape
+:class:`~repro.sim.system.Simulator` needs, which is how worker pools
+rebuild a simulator from pickled rows without shipping a database.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from .codegen import compile_dispatch
+from .schema import SchemaError, TableSchema
+from .table import AmbiguousMatchError, ControllerTable, NoMatchError
+
+__all__ = [
+    "KernelTable",
+    "KernelSystem",
+    "SIMULATED_TABLES",
+    "compile_system_kernels",
+]
+
+# The tables a Simulator executes (directory, memory, cache, network, IO).
+SIMULATED_TABLES = ("D", "M", "C", "N", "IO")
+
+
+class KernelTable:
+    """Dispatch-compiled lookup over a snapshot of a controller table."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        rows: Sequence[tuple[int, dict]],
+        table_name: Optional[str] = None,
+    ) -> None:
+        self.schema = schema
+        self.table_name = table_name or schema.name
+        self._rows = tuple((int(rid), dict(row)) for rid, row in rows)
+        self._input_names = schema.input_names
+        self._input_set = frozenset(self._input_names)
+        self._partial_cache: dict = {}
+        self._dispatch = compile_dispatch(schema, self._rows, "_dispatch")
+
+    @classmethod
+    def from_table(cls, table: ControllerTable) -> "KernelTable":
+        return cls(table.schema, table.rows_with_ids(), table.table_name)
+
+    # A kernel pickles as (schema, rows) and recompiles on load — worker
+    # pools ship rows once per pool, never a live sqlite connection.
+    def __reduce__(self):
+        return (KernelTable, (self.schema, self._rows, self.table_name))
+
+    # -- row access ------------------------------------------------------------
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> list[dict]:
+        return [dict(row) for _, row in self._rows]
+
+    def rows_with_ids(self) -> list[tuple[int, dict]]:
+        return [(rid, dict(row)) for rid, row in self._rows]
+
+    # -- lookup ----------------------------------------------------------------
+    def _match(self, inputs: Mapping[str, object]) -> list[tuple[int, dict]]:
+        """Partial NULL-wildcard match, memoized per input combination.
+
+        Matches ``ControllerTable._match``: unconstrained input columns
+        may be omitted, unknown names raise, results come in rowid order.
+        Partial probes are rare (one call site) and drawn from a small
+        set of combinations, so a linear scan behind a cache is enough.
+        """
+        for name in inputs:
+            if name not in self._input_set:
+                raise SchemaError(
+                    f"{name!r} is not an input column of {self.schema.name!r}"
+                )
+        key = tuple(sorted(inputs.items(), key=lambda kv: kv[0]))
+        cached = self._partial_cache.get(key)
+        if cached is None:
+            cached = [
+                (rid, row)
+                for rid, row in self._rows
+                if all(
+                    row[c] is None or row[c] == v for c, v in inputs.items()
+                )
+            ]
+            self._partial_cache[key] = cached
+        return cached
+
+    def match_rows(self, inputs: Mapping[str, object]) -> list[dict]:
+        return [row for _, row in self._match(inputs)]
+
+    def lookup_id(self, **inputs) -> tuple[int, dict]:
+        missing = self._input_set - set(inputs)
+        if missing:
+            raise SchemaError(f"lookup missing input columns {sorted(missing)}")
+        for name in inputs:
+            if name not in self._input_set:
+                raise SchemaError(
+                    f"{name!r} is not an input column of {self.schema.name!r}"
+                )
+        hits = self._dispatch(*(inputs[c] for c in self._input_names))
+        if not hits:
+            raise NoMatchError(
+                f"{self.schema.name}: no row matches inputs {dict(inputs)!r}"
+            )
+        if len(hits) > 1:
+            raise AmbiguousMatchError(
+                f"{self.schema.name}: {len(hits)} rows match inputs "
+                f"{dict(inputs)!r}"
+            )
+        return self._rows[hits[0]]
+
+    def lookup(self, **inputs) -> dict:
+        return self.lookup_id(**inputs)[1]
+
+    def try_lookup(self, **inputs) -> Optional[dict]:
+        try:
+            return self.lookup(**inputs)
+        except NoMatchError:
+            return None
+
+    def __repr__(self) -> str:
+        return (
+            f"KernelTable({self.schema.name!r}, rows={self.row_count}, "
+            f"cols={len(self.schema)})"
+        )
+
+
+def compile_system_kernels(system) -> dict[str, KernelTable]:
+    """Compile the simulated tables of a protocol system into kernels."""
+    return {
+        name: KernelTable.from_table(system.tables[name])
+        for name in SIMULATED_TABLES
+        if name in system.tables
+    }
+
+
+class KernelSystem:
+    """The minimal system surface a :class:`Simulator` consumes.
+
+    Holds compiled kernel tables plus the channel assignments; worker
+    pools reconstruct one of these from pickled kernels instead of
+    cloning a database-backed :class:`AsuraSystem`.
+    """
+
+    def __init__(
+        self,
+        tables: Mapping[str, KernelTable],
+        channel_assignments: Mapping[str, object],
+    ) -> None:
+        self.tables = dict(tables)
+        self.channel_assignments = dict(channel_assignments)

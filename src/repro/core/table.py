@@ -90,6 +90,20 @@ class ControllerTable:
             out.append({c: r[c] for c in self.schema.column_names})
         return out
 
+    def rows_with_ids(self) -> list[tuple[int, dict[str, Value]]]:
+        """All rows paired with their sqlite rowids, in storage order.
+
+        The compiled kernel backend (:mod:`repro.core.kernel`) snapshots a
+        table through this so its matches report the same rowids coverage
+        analysis records for the interpreted path.
+        """
+        sql = (f"SELECT rowid AS __rowid__, * "
+               f"FROM {quote_ident(self.table_name)} ORDER BY rowid")
+        return [
+            (r["__rowid__"], {c: r[c] for c in self.schema.column_names})
+            for r in self.db.query(sql)
+        ]
+
     def distinct(self, column: str) -> list[Value]:
         self.schema.column(column)
         return self.db.distinct_values(self.table_name, column)

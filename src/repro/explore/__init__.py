@@ -31,15 +31,19 @@ from .explorer import (
     explore_system,
 )
 from .oracle import ORACLE_LAYER, OracleVerdict, oracle_check
+from .pool import KernelPool
 from .state import (
     canonicalize,
     decode_state,
     encode_state,
     hash_state,
+    permute_quads,
     permute_state,
     snapshot_state,
     restore_state,
+    symmetry_mode,
 )
+from .store import DiskStateMap, SuccessorStore, system_fingerprint
 
 __all__ = [
     "ExplorationError",
@@ -51,11 +55,17 @@ __all__ = [
     "ORACLE_LAYER",
     "OracleVerdict",
     "oracle_check",
+    "KernelPool",
+    "DiskStateMap",
+    "SuccessorStore",
+    "system_fingerprint",
     "canonicalize",
     "decode_state",
     "encode_state",
     "hash_state",
+    "permute_quads",
     "permute_state",
     "snapshot_state",
     "restore_state",
+    "symmetry_mode",
 ]

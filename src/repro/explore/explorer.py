@@ -37,22 +37,43 @@ as a paper-style sequence chart by :func:`repro.sim.trace.render_sequence`.
 Long runs checkpoint one journal record per completed depth
 (``--journal``) and resume exactly after the last completed depth, even
 with a larger ``--depth``.
+
+Two kernels execute the moves (``--kernel``):
+
+* ``compiled`` (default) — the controller tables are compiled into
+  integer-indexed dispatch kernels (:mod:`repro.core.kernel`) at
+  explorer construction; a lookup is a handful of dict probes instead
+  of an SQL query, and multi-worker runs fan out over a persistent
+  :class:`~repro.explore.pool.KernelPool` that received the kernels
+  once and thereafter only ships encoded state batches.
+* ``interpreted`` — the original SQL lookup path, kept as the parity
+  oracle: both kernels must produce identical reached-state digest
+  sets, identical violations, and identical hole messages.
+
+With ``--frontier-dir`` the successor relation itself is memoized into
+an indexed SQLite store (:mod:`repro.explore.store`): a warm sweep
+expands each BFS level with two set-based queries and pure digest
+bookkeeping — no simulator, no decoding, no invariant re-evaluation.
 """
 
 from __future__ import annotations
 
+import json
 import math
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
 from ..core.database import DatabaseError, ProtocolDatabase
+from ..core.kernel import compile_system_kernels
 from ..core.table import LookupError_
 from ..runtime import CheckpointJournal, JournalError, load_journal, run_units
 from ..sim.models import SimProtocolError
 from ..sim.system import SimConfig, Simulator, TraceEvent
 from ..sim.trace import render_sequence
 from ..telemetry import get_tracer, new_run_id, span
+from .pool import KernelPool
 from .state import (
     canonicalize,
     decode_state,
@@ -60,6 +81,13 @@ from .state import (
     hash_state,
     restore_state,
     snapshot_state,
+    symmetry_mode,
+)
+from .store import (
+    _ORD_RADIX,
+    DiskStateMap,
+    SuccessorStore,
+    system_fingerprint,
 )
 
 __all__ = [
@@ -130,7 +158,19 @@ class ExploreConfig:
     assignment: str = "v5d"
     workers: int = 1
     capacity: int = 1
-    symmetry: bool = True
+    #: ``True``/"quad" = within-quad node relabellings, "full" = also
+    #: permute interchangeable non-home quads, ``False``/"off" = none.
+    symmetry: Any = True
+    #: "compiled" = dispatch-table kernels, "interpreted" = SQL lookups
+    #: (the parity oracle, and the only mode that sees in-memory table
+    #: mutations made *after* explorer construction).
+    kernel: str = "compiled"
+    #: directory for the successor-relation store + disk-backed frontier;
+    #: None keeps everything in memory and uncached.
+    frontier_dir: Optional[str] = None
+    #: quad count override (default: 1 quad for 1 node, else 2).  Three
+    #: or more quads give "full" symmetry non-trivial orbits.
+    quads: Optional[int] = None
     #: states per parallel work unit (smaller = better load balance,
     #: larger = less per-unit clone overhead).
     batch_size: int = 64
@@ -149,6 +189,16 @@ class ExploreConfig:
             raise ExplorationError("depth bound must be >= 0")
         if self.capacity < 1:
             raise ExplorationError("channel capacity must be >= 1")
+        if self.kernel not in ("compiled", "interpreted"):
+            raise ExplorationError(
+                f"kernel must be 'compiled' or 'interpreted', "
+                f"got {self.kernel!r}")
+        if self.quads is not None and self.quads < 1:
+            raise ExplorationError("quads must be >= 1")
+        try:
+            symmetry_mode(self.symmetry)
+        except ValueError as exc:
+            raise ExplorationError(str(exc)) from exc
 
 
 @dataclass
@@ -232,7 +282,8 @@ class ExploreResult:
             f"{'s' if self.lines != 1 else ''}, V={self.assignment}, "
             f"{self.wall_seconds:.2f}s)",
             f"dedup hits: {self.dedup_hits}"
-            + (", symmetry reduction on" if self.symmetry else ""),
+            + (", symmetry reduction on"
+               if self.symmetry not in (False, None, "off") else ""),
         ]
         if self.exhausted:
             lines.append("state space exhausted below the depth bound")
@@ -258,8 +309,51 @@ class ExploreResult:
 
 
 # -- topology -----------------------------------------------------------------
+def _n_quads(config: ExploreConfig) -> int:
+    if config.quads is not None:
+        return config.quads
+    return 1 if config.nodes == 1 else 2
+
+
+def _quad_node_counts(config: ExploreConfig) -> dict[int, int]:
+    """Nodes hosted per quad under the round-robin trim of
+    :func:`_build_simulator`."""
+    n_quads = _n_quads(config)
+    nodes_per_quad = math.ceil(config.nodes / n_quads)
+    keep = [
+        q for i in range(nodes_per_quad) for q in range(n_quads)
+    ][:config.nodes]
+    counts = {q: 0 for q in range(n_quads)}
+    for q in keep:
+        counts[q] += 1
+    return counts
+
+
+def _quad_classes(config: ExploreConfig) -> tuple:
+    """Interchangeable-quad classes for "full" symmetry.
+
+    Non-home quads (every explored address is homed at quad 0) hosting
+    the same number of nodes are protocol-indistinguishable: their
+    directory/memory/IO controllers execute identical tables and their
+    channel instances are keyed only by destination quad.  Permuting
+    them wholesale is an automorphism; the home quad never moves.
+    """
+    if symmetry_mode(config.symmetry) != "full":
+        return ()
+    by_count: dict[int, list[int]] = {}
+    for quad, count in _quad_node_counts(config).items():
+        if quad == 0:
+            continue  # home quad: the directory of every line lives here
+        by_count.setdefault(count, []).append(quad)
+    return tuple(
+        tuple(sorted(quads))
+        for _, quads in sorted(by_count.items())
+        if len(quads) > 1
+    )
+
+
 def _sim_config(config: ExploreConfig, home_map: dict) -> SimConfig:
-    n_quads = 1 if config.nodes == 1 else 2
+    n_quads = _n_quads(config)
     nodes_per_quad = math.ceil(config.nodes / n_quads)
     return SimConfig(
         n_quads=n_quads,
@@ -273,16 +367,18 @@ def _sim_config(config: ExploreConfig, home_map: dict) -> SimConfig:
 
 
 def _build_simulator(system, config: ExploreConfig, home_map: dict,
-                     channels=None) -> Simulator:
+                     channels=None, tables=None) -> Simulator:
     """A simulator trimmed to exactly ``config.nodes`` nodes.
 
     Nodes are kept in round-robin order across quads (``node:0.0``,
-    ``node:1.0``, ``node:0.1``, …) so both quads participate before any
+    ``node:1.0``, ``node:0.1``, …) so every quad participates before any
     quad gets a second node.  ``channels`` overrides the clone's channel
     assignment with the parent system's live object, so in-memory
-    reassignment mutations survive worker cloning.
+    reassignment mutations survive worker cloning.  ``tables`` injects
+    compiled kernel tables in place of the SQL-backed ones.
     """
-    sim = Simulator(system, config.assignment, _sim_config(config, home_map))
+    sim = Simulator(system, config.assignment, _sim_config(config, home_map),
+                    tables=tables)
     if channels is not None:
         sim.channels = channels
         sim.fabric.assignment = channels
@@ -301,6 +397,29 @@ def _addrs(config: ExploreConfig) -> list[str]:
 
 
 # -- moves --------------------------------------------------------------------
+#: (nid, addr, line-state) -> inject-move tuple template.  The domain is
+#: tiny (nodes x lines x 4 cache states) and every expanded state walks
+#: it, so the skip rules run once per combination instead of per state.
+_INJECT_TEMPLATES: dict[tuple, tuple] = {}
+
+
+def _inject_moves(nid: str, addr: str, line: str) -> tuple:
+    key = (nid, addr, line)
+    moves = _INJECT_TEMPLATES.get(key)
+    if moves is None:
+        # Skip moves that cannot change the state: a load hit, a store
+        # that already owns the line, an evict of nothing.
+        moves = tuple(
+            ("inject", nid, op, addr)
+            for op in INJECT_OPS
+            if not (op == "ld" and line != "I")
+            and not (op == "st" and line == "M")
+            and not (op == "evict" and line == "I")
+        )
+        _INJECT_TEMPLATES[key] = moves
+    return moves
+
+
 def _moves_for(state: tuple, addrs: Sequence[str]) -> list[tuple]:
     """Every potentially enabled atomic move of a state, in a fixed
     deterministic order (the merge order of the parallel expansion)."""
@@ -319,18 +438,19 @@ def _moves_for(state: tuple, addrs: Sequence[str]) -> list[tuple]:
             continue  # one queued processor operation per node at a time
         cached = dict(cache)
         for addr in addrs:
-            line = cached.get(addr, "I")
-            for op in INJECT_OPS:
-                # Skip moves that cannot change the state: a load hit, a
-                # store that already owns the line, an evict of nothing.
-                if op == "ld" and line != "I":
-                    continue
-                if op == "st" and line == "M":
-                    continue
-                if op == "evict" and line == "I":
-                    continue
-                moves.append(("inject", nid, op, addr))
+            moves.extend(_inject_moves(nid, addr, cached.get(addr, "I")))
     return moves
+
+
+def _move_tuple(move):
+    """Moves from the set-based sweep stay JSON-encoded until used."""
+    return tuple(json.loads(move)) if isinstance(move, str) else move
+
+
+def _move_list(move):
+    if move is None:
+        return None
+    return json.loads(move) if isinstance(move, str) else list(move)
 
 
 def _fire(sim: Simulator, move: tuple) -> bool:
@@ -380,9 +500,14 @@ def _pending_work(state: tuple) -> bool:
 
 
 def _expand_state(sim: Simulator, state: tuple, addrs: Sequence[str],
-                  symmetry: bool) -> dict:
-    """All successors of one state, plus holes and the deadlock verdict."""
-    successors: list[list] = []   # [move, encoded canonical state, digest]
+                  symmetry, quad_classes: tuple = ()) -> dict:
+    """All successors of one state, plus holes and the deadlock verdict.
+
+    Successor entries are ``(move, canonical state tuple, digest)`` —
+    raw tuples, no serialization: the inline path hands them straight to
+    the merge loop, and the pool path pickles them natively.
+    """
+    successors: list[tuple] = []
     holes: list[dict] = []
     progress = False              # some non-inject move committed
     for move in _moves_for(state, addrs):
@@ -399,8 +524,8 @@ def _expand_state(sim: Simulator, state: tuple, addrs: Sequence[str],
             continue
         if move[0] != "inject":
             progress = True
-        succ = canonicalize(snapshot_state(sim), symmetry)
-        successors.append([list(move), encode_state(succ), hash_state(succ)])
+        succ = canonicalize(snapshot_state(sim), symmetry, quad_classes)
+        successors.append((move, succ, hash_state(succ)))
     # Deadlock: pending work, nothing non-injected can ever commit (new
     # processor operations cannot unstick messages already in flight), and
     # the stall is not explained by a missing table row already reported.
@@ -422,10 +547,11 @@ def _expand_unit(payload: tuple) -> list:
         home_map = {a: 0 for a in _addrs(config)}
         sim = _build_simulator(system, config, home_map, channels=channels)
         addrs = _addrs(config)
+        quad_classes = _quad_classes(config)
         return [
-            [digest, _expand_state(sim, decode_state(enc), addrs,
-                                   config.symmetry)]
-            for digest, enc in batch
+            [digest, _expand_state(sim, state, addrs, config.symmetry,
+                                   quad_classes)]
+            for digest, state in batch
         ]
     finally:
         db.close()
@@ -500,20 +626,79 @@ class ReachabilityExplorer:
         #: every line homed at quad 0: requests from quad 1 exercise the
         #: remote-request path, requests from quad 0 the local one.
         self.home_map = {a: 0 for a in self.addrs}
-        self.sim = _build_simulator(system, self.config, self.home_map)
-        root = canonicalize(snapshot_state(self.sim), self.config.symmetry)
+        self.quad_classes = _quad_classes(self.config)
+        # Kernels and the simulator are built on first use: a fully warm
+        # store sweep never fires a transition, so it should not pay for
+        # dispatch compilation.  The root state is backend-independent
+        # (nothing has fired yet), so any simulator may produce it.
+        self._kernels: Optional[dict] = None
+        self._sim: Optional[Simulator] = None
+        self._pool: Optional[KernelPool] = None
+        root_sim = _build_simulator(system, self.config, self.home_map)
+        if self.config.kernel != "compiled":
+            self._sim = root_sim
+        root = canonicalize(snapshot_state(root_sim), self.config.symmetry,
+                            self.quad_classes)
         self.root_digest = hash_state(root)
-        #: digest -> canonical state, for every reached state.
-        self.states: dict[str, tuple] = {self.root_digest: root}
+        #: the successor-relation store; None without ``frontier_dir``.
+        self.store: Optional[SuccessorStore] = None
+        if self.config.frontier_dir:
+            os.makedirs(self.config.frontier_dir, exist_ok=True)
+            self.store = SuccessorStore(
+                os.path.join(self.config.frontier_dir, "frontier.sqlite"),
+                system_fingerprint(system, self.config))
+            #: digest -> canonical state, disk-backed.
+            self.states = DiskStateMap(self.store, self._state_flags)
+        else:
+            #: digest -> canonical state, for every reached state.
+            self.states = {}
+        self.states[self.root_digest] = root
         #: digest -> (predecessor digest, move); root maps to None.
+        #: Sweep runs keep the full chain in the store instead (see
+        #: :meth:`_pred_entry`) and only mirror journaled depths here.
         self.pred: dict[str, Optional[tuple]] = {self.root_digest: None}
+        #: reached-state count maintained by the set-based sweep, which
+        #: does not mirror digests into Python; None on the merge path.
+        self._reached: Optional[int] = None
+        self._sweep_detail = False
+
+    @property
+    def kernels(self) -> Optional[dict]:
+        """Compiled dispatch kernels; None on the interpreted path.
+
+        Compiled lazily from the tables as they stand when a transition
+        first needs firing — mutations applied before the run (the
+        oracle path) are therefore always part of what gets compiled.
+        """
+        if self.config.kernel != "compiled":
+            return None
+        if self._kernels is None:
+            self._kernels = compile_system_kernels(self.system)
+        return self._kernels
+
+    @property
+    def sim(self) -> Simulator:
+        if self._sim is None:
+            self._sim = _build_simulator(self.system, self.config,
+                                         self.home_map, tables=self.kernels)
+        return self._sim
+
+    def close(self) -> None:
+        """Release the worker pool and flush/close the frontier store."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        if self.store is not None:
+            self.store.close()
 
     # -- journaling -----------------------------------------------------------
     def _journal_header(self) -> dict:
         # The depth bound stays out: resuming a depth-8 journal with
-        # --depth 12 legitimately continues the same exploration.
+        # --depth 12 legitimately continues the same exploration.  The
+        # kernel choice stays out too — compiled and interpreted runs
+        # are parity-identical, so either may resume the other.
         c = self.config
-        return {
+        header = {
             "kind": JOURNAL_KIND,
             "nodes": c.nodes,
             "lines": c.lines,
@@ -521,6 +706,11 @@ class ReachabilityExplorer:
             "symmetry": c.symmetry,
             "capacity": c.capacity,
         }
+        if c.quads is not None:
+            # Only stamped when overridden, so pre-override journals
+            # (no "quads" key) still resume under the default topology.
+            header["quads"] = c.quads
+        return header
 
     def _load_resume(self, path: str) -> dict[int, dict]:
         header, units = load_journal(path)
@@ -531,6 +721,11 @@ class ReachabilityExplorer:
                     f"cannot resume: journal {path!r} was written by an "
                     f"exploration with {key}={header.get(key)!r}, this run "
                     f"has {key}={value!r}")
+        if "quads" not in expected and header.get("quads") is not None:
+            raise JournalError(
+                f"cannot resume: journal {path!r} was written by an "
+                f"exploration with quads={header['quads']!r}, this run "
+                f"has quads=None")
         return {int(d): data for d, data in units.items()}
 
     # -- the BFS --------------------------------------------------------------
@@ -575,7 +770,7 @@ class ReachabilityExplorer:
             # One live progress event per completed BFS level — what
             # ``repro watch`` renders between journal flushes.
             tracer.emit("explore.depth", run_id=run_id,
-                        states=len(self.states), **stats.to_dict())
+                        states=self._states_total(), **stats.to_dict())
 
         # Depth 0: the root is a reached state and is checked like any
         # other (an empty initial state is trivially coherent).
@@ -590,12 +785,24 @@ class ReachabilityExplorer:
         try:
             if journal is not None and start_depth == 0:
                 journal.record(0, self._depth_record(
-                    frontier=[], new=[[self.root_digest,
-                                       encode_state(
-                                           self.states[self.root_digest]),
-                                       None, None]],
+                    new=[[self.root_digest, None, None]],
                     stats=per_depth[-1], violations=violations,
                     deadlocks=[]))
+
+            # The set-based sweep advances the reached set inside the
+            # store's SQLite — per depth: one join over the edge table,
+            # one fetch of just the *new* states.  It owns the whole run
+            # or none of it (a resumed reached-set would have to be
+            # rebuilt row by row, forfeiting the point), so resumed runs
+            # take the per-state merge path.
+            sweep = self.store is not None and cfg.resume_from is None
+            if sweep:
+                self.store.sweep_begin(self.root_digest)
+                self._reached = len(self.states)
+                # Only a journal needs the per-state rows back in
+                # Python; otherwise each depth is pure bookkeeping.
+                self._sweep_detail = journal is not None
+            expand = self._expand_depth_sweep if sweep else self._expand_depth
 
             depth = start_depth
             for depth in range(start_depth + 1, cfg.depth + 1):
@@ -606,20 +813,25 @@ class ReachabilityExplorer:
                     depth -= 1
                     break
                 stats, new_frontier, new_records, depth_violations, \
-                    depth_deadlocks = self._expand_depth(depth, frontier)
+                    depth_deadlocks = expand(depth, frontier)
                 violations.extend(depth_violations)
                 deadlocks.extend(depth_deadlocks)
                 per_depth.append(stats)
                 _emit_depth(stats)
                 if journal is not None:
                     journal.record(depth, self._depth_record(
-                        frontier=frontier, new=new_records, stats=stats,
+                        new=new_records, stats=stats,
                         violations=depth_violations,
                         deadlocks=depth_deadlocks))
                 frontier = new_frontier
         finally:
             if journal is not None:
                 journal.close()
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
+            if self.store is not None:
+                self.store.flush()
 
         return ExploreResult(
             nodes=cfg.nodes,
@@ -628,7 +840,7 @@ class ReachabilityExplorer:
             depth_bound=cfg.depth,
             assignment=cfg.assignment,
             symmetry=cfg.symmetry,
-            states=len(self.states),
+            states=self._states_total(),
             transitions=sum(s.transitions for s in per_depth),
             dedup_hits=sum(s.dedup_hits for s in per_depth),
             violations=violations,
@@ -643,6 +855,22 @@ class ReachabilityExplorer:
         """Expand one whole BFS level, in parallel batches."""
         expansions = self._expand_frontier(frontier)
 
+        # Warm (store-cached) expansions carry no state payloads; their
+        # successors' invariant verdicts are prefetched set-wise here so
+        # the merge loop below emits violations in exactly the order the
+        # cold path would.
+        flag_map: dict[str, tuple] = {}
+        if self.store is not None:
+            unseen: list[str] = []
+            queued: set[str] = set()
+            for _, expansion in expansions:
+                for _, payload, sd in expansion["successors"]:
+                    if (payload is None and sd not in self.states
+                            and sd not in queued):
+                        unseen.append(sd)
+                        queued.add(sd)
+            flag_map = self.store.fetch_flags(unseen)
+
         stats = DepthStats(depth, len(frontier), 0, 0, 0, 0, 0)
         new_frontier: list[str] = []
         new_records: list[list] = []
@@ -650,52 +878,150 @@ class ReachabilityExplorer:
         deadlocks: list[str] = []
         for digest, expansion in expansions:
             for hole in expansion["holes"]:
+                # tuple(): cached holes round-trip through JSON as
+                # lists; the detail string must match a live expansion.
                 violations.append(Violation(
                     kind="hole", digest=digest, depth=depth - 1,
-                    detail=f"move {hole['move']}: {hole['error']}"))
+                    detail=f"move {tuple(hole['move'])}: {hole['error']}"))
             if expansion["deadlocked"]:
                 deadlocks.append(digest)
                 violations.append(Violation(
                     kind="deadlock", digest=digest, depth=depth - 1,
                     detail=self._deadlock_detail(digest)))
-            for move, enc, succ_digest in expansion["successors"]:
+            for move, payload, succ_digest in expansion["successors"]:
                 stats.transitions += 1
                 if succ_digest in self.states:
                     stats.dedup_hits += 1
                     continue
-                state = decode_state(enc)
-                self.states[succ_digest] = state
+                if payload is None:
+                    # Warm path: the state stays on disk, undecoded.
+                    self.states.add_ref(succ_digest)
+                    flags = flag_map[succ_digest]
+                else:
+                    self.states[succ_digest] = payload
+                    flags = None
                 self.pred[succ_digest] = (digest, tuple(move))
                 new_frontier.append(succ_digest)
-                new_records.append([succ_digest, enc, digest, move])
+                new_records.append([succ_digest, digest, move])
                 stats.new_states += 1
-                self._check_state(succ_digest, depth, violations)
+                self._check_state(succ_digest, depth, violations,
+                                  flags=flags)
         stats.violations = len(violations)
         stats.deadlocks = len(deadlocks)
         return stats, new_frontier, new_records, violations, deadlocks
 
+    def _expand_depth_sweep(self, depth: int, frontier):
+        """Expand one BFS level with set-based joins in the store.
+
+        Frontier states without a cached expansion are simulated first
+        (and their expansions recorded), then one INSERT..SELECT join
+        against the edge table advances the reached set: dedup,
+        transition counting, and first-reach ordering all happen in
+        SQLite.  Python gets back *counts* — on a warm store the whole
+        level costs a handful of queries, no simulator work, no state
+        decoding, no invariant re-evaluation, and no per-state loop.
+        Only a journaling run pulls the new-state rows back (the
+        ``frontier`` handed around the run loop is then the count).
+
+        Violations are reassembled in exactly the cold path's merge
+        order: per frontier position — holes, then deadlock, then each
+        new successor's coherence/directory checks in move order.  The
+        ``ordkey`` column carries that (position, move) pair.
+        """
+        store = self.store
+        missing = store.sweep_missing(depth - 1)
+        if missing:
+            for digest, expansion in self._expand_frontier_live(missing):
+                # Successor states must land in the states table before
+                # the join below looks up their invariant flags.
+                for _, succ, sd in expansion["successors"]:
+                    store.put_state(sd, succ, self._state_flags(succ))
+                store.put_succ(
+                    digest,
+                    [[list(move), sd]
+                     for move, _, sd in expansion["successors"]],
+                    expansion["holes"], expansion["deadlocked"])
+        step = store.sweep_step(depth, detail=self._sweep_detail)
+        new_count = step["new_count"]
+        self._reached += new_count
+
+        new_records: list[list] = []
+        if self._sweep_detail:
+            new_frontier: Any = []
+            add_ref = self.states.add_ref
+            for d, pd, mv in step["new"]:
+                add_ref(d)
+                # Moves stay JSON-encoded until someone (trace_to, the
+                # journal) actually wants them.
+                self.pred[d] = (pd, mv)
+                new_frontier.append(d)
+                new_records.append([d, pd, mv])
+        else:
+            new_frontier = new_count  # the run loop only needs emptiness
+
+        deadlocks: list[str] = []
+        events: list[tuple] = []
+        for d, ordkey, coh, quiescent, dirv in step["flagged"]:
+            fo, ordinal = divmod(ordkey, _ORD_RADIX)
+            if coh is not None:
+                events.append(((fo, 2, ordinal, 0),
+                               Violation("coherence", d, depth, coh)))
+            if quiescent and dirv is not None:
+                events.append(((fo, 2, ordinal, 1),
+                               Violation("directory", d, depth, dirv)))
+        for fo, d, holes, deadlocked in step["trouble"]:
+            for i, hole in enumerate(json.loads(holes)):
+                events.append(((fo, 0, i, 0), Violation(
+                    kind="hole", digest=d, depth=depth - 1,
+                    detail=f"move {tuple(hole['move'])}: {hole['error']}")))
+            if deadlocked:
+                deadlocks.append(d)
+                events.append(((fo, 1, 0, 0), Violation(
+                    kind="deadlock", digest=d, depth=depth - 1,
+                    detail=self._deadlock_detail(d))))
+        events.sort(key=lambda e: e[0])
+        violations = [v for _, v in events]
+
+        nfront = frontier if isinstance(frontier, int) else len(frontier)
+        stats = DepthStats(
+            depth, nfront, new_count, step["trans"],
+            step["trans"] - new_count, len(violations), len(deadlocks))
+        return stats, new_frontier, new_records, violations, deadlocks
+
     def _expand_frontier(self, frontier: list[str]) -> list:
         """``(digest, expansion)`` for every frontier state, in frontier
-        order — inline for one worker, batched over clones otherwise."""
+        order.  Successor payloads are state tuples from a live
+        expansion, or ``None`` when served from the successor store."""
+        if self.store is not None:
+            return self._expand_frontier_store(frontier)
+        return self._expand_frontier_live(frontier)
+
+    def _expand_frontier_live(self, frontier: list[str]) -> list:
         cfg = self.config
         tracer = get_tracer()
         workers = cfg.workers
         if tracer.enabled:
-            # Frontier expansion fans out with *thread* isolation (the
-            # snapshot clones are cheap in-memory databases), and thread
-            # workers would share this non-thread-safe tracer — so a
-            # recording run expands inline.  The campaign's process
-            # workers are where telemetry keeps its parallelism.
+            # Multi-worker expansion either shares this non-thread-safe
+            # tracer (thread isolation) or would write to inherited
+            # sinks (the kernel pool's forked children) — so a recording
+            # run expands inline.  The campaign's process workers are
+            # where telemetry keeps its parallelism.
             workers = 1
         if workers <= 1:
-            # Inline on the live system: this is the only mode that sees
-            # in-memory table/assignment mutations, hence the oracle path.
+            # Inline on the live simulator: the only mode that sees
+            # in-memory table mutations made after explorer construction
+            # (with the interpreted kernel), hence the oracle path.
+            states = (self.states.get_many(frontier)
+                      if isinstance(self.states, DiskStateMap)
+                      else self.states)
             return [
                 (digest,
-                 _expand_state(self.sim, self.states[digest], self.addrs,
-                               cfg.symmetry))
+                 _expand_state(self.sim, states[digest], self.addrs,
+                               cfg.symmetry, self.quad_classes))
                 for digest in frontier
             ]
+        if cfg.kernel == "compiled":
+            return self._expand_frontier_pool(frontier, workers)
         snapshot = self.system.db.snapshot()
         channels = self.system.channel_assignments[cfg.assignment]
         chunk = max(1, min(cfg.batch_size,
@@ -704,7 +1030,7 @@ class ReachabilityExplorer:
                    for i in range(0, len(frontier), chunk)]
         units = [
             (i, (snapshot, channels, cfg,
-                 [(d, encode_state(self.states[d])) for d in batch]))
+                 [(d, self.states[d]) for d in batch]))
             for i, batch in enumerate(batches)
         ]
         results = run_units(units, _expand_unit, workers=workers,
@@ -718,20 +1044,107 @@ class ReachabilityExplorer:
                        for digest, expansion in unit.value)
         return out
 
+    def _expand_frontier_pool(self, frontier: list[str],
+                              workers: int) -> list:
+        """Fan out over the persistent kernel pool: the kernels shipped
+        at pool creation, each task is only a batch of state tuples."""
+        cfg = self.config
+        if self._pool is None:
+            channels = self.system.channel_assignments[cfg.assignment]
+            self._pool = KernelPool(self.kernels, channels, cfg,
+                                    self.home_map, workers)
+        chunk = max(1, min(cfg.batch_size,
+                           math.ceil(len(frontier) / workers)))
+        states = (self.states.get_many(frontier)
+                  if isinstance(self.states, DiskStateMap)
+                  else self.states)
+        batches = [
+            [(d, states[d]) for d in frontier[i:i + chunk]]
+            for i in range(0, len(frontier), chunk)
+        ]
+        out: list = []
+        for batch_result in self._pool.expand(batches):
+            out.extend((digest, expansion)
+                       for digest, expansion in batch_result)
+        return out
+
+    def _expand_frontier_store(self, frontier: list[str]) -> list:
+        """Serve cached expansions set-wise; live-expand only the rest.
+
+        On a warm store this is the whole depth: one ``IN`` query for
+        the successor lists (plus the flag prefetch in
+        :meth:`_expand_depth`) and zero simulator work.
+        """
+        cached = self.store.fetch_succ(frontier)
+        fresh: dict[str, dict] = {}
+        missing = [d for d in frontier if d not in cached]
+        if missing:
+            for digest, expansion in self._expand_frontier_live(missing):
+                fresh[digest] = expansion
+                # Persist the expansion.  Successor *states* are
+                # persisted by DiskStateMap the moment the merge loop
+                # first sees them (and were already persisted earlier if
+                # they dedup) — so the succ lists only reference digests
+                # the states table is guaranteed to hold.
+                self.store.put_succ(
+                    digest,
+                    [[list(move), sd]
+                     for move, _, sd in expansion["successors"]],
+                    expansion["holes"], expansion["deadlocked"])
+        out: list = []
+        for digest in frontier:
+            if digest in fresh:
+                out.append((digest, fresh[digest]))
+            else:
+                hit = cached[digest]
+                out.append((digest, {
+                    "successors": [(move, None, sd)
+                                   for move, sd in hit["successors"]],
+                    "holes": hit["holes"],
+                    "deadlocked": hit["deadlocked"],
+                }))
+        return out
+
+    def _state_flags(self, state: tuple) -> tuple:
+        """The precomputed invariant verdicts of one canonical state:
+        ``(coherence_detail, quiescent, directory_detail)``."""
+        coh = _coherence_violation(state)
+        quiescent = _quiescent(state)
+        dirv = (_directory_violation(state, self.home_map)
+                if quiescent else None)
+        return (coh, quiescent, dirv)
+
+    def _states_total(self) -> int:
+        """Reached states so far — the sweep's counter, or the map."""
+        if self._reached is not None:
+            return self._reached
+        return len(self.states)
+
+    def _state_of(self, digest: str) -> tuple:
+        """A reached state's tuple; falls back to the store for sweep
+        runs, which do not mirror the reached set into Python."""
+        try:
+            return self.states[digest]
+        except KeyError:
+            if self.store is not None:
+                fetched = self.store.fetch_states([digest])
+                if digest in fetched:
+                    return fetched[digest]
+            raise
+
     def _check_state(self, digest: str, depth: int,
-                     violations: list[Violation]) -> None:
-        state = self.states[digest]
-        detail = _coherence_violation(state)
-        if detail is not None:
-            violations.append(Violation("coherence", digest, depth, detail))
-        if _quiescent(state):
-            detail = _directory_violation(state, self.home_map)
-            if detail is not None:
-                violations.append(
-                    Violation("directory", digest, depth, detail))
+                     violations: list[Violation],
+                     flags: Optional[tuple] = None) -> None:
+        if flags is None:
+            flags = self._state_flags(self.states[digest])
+        coh, quiescent, dirv = flags
+        if coh is not None:
+            violations.append(Violation("coherence", digest, depth, coh))
+        if quiescent and dirv is not None:
+            violations.append(Violation("directory", digest, depth, dirv))
 
     def _deadlock_detail(self, digest: str) -> str:
-        channels = self.states[digest][0]
+        channels = self._state_of(digest)[0]
         stuck = [f"{vc}@q{dq}:" + "/".join(msg for msg, *_ in envs)
                  for (vc, dq), envs in channels]
         if stuck:
@@ -739,10 +1152,17 @@ class ReachabilityExplorer:
         return "no enabled transition for outstanding work"
 
     # -- journal records ------------------------------------------------------
-    @staticmethod
-    def _depth_record(frontier, new, stats, violations, deadlocks) -> dict:
+    def _depth_record(self, new, stats, violations, deadlocks) -> dict:
+        # ``new`` holds (digest, pred_digest, move) triples; encodings
+        # are materialized only here, when a journal actually wants them.
+        states = (self.states.get_many([d for d, _, _ in new])
+                  if isinstance(self.states, DiskStateMap)
+                  else self.states)
         return {
-            "new": new,
+            "new": [
+                [d, encode_state(states[d]), pd, _move_list(mv)]
+                for d, pd, mv in new
+            ],
             "stats": stats.to_dict(),
             "violations": [v.to_dict() for v in violations],
             "deadlocks": list(deadlocks),
@@ -778,17 +1198,27 @@ class ReachabilityExplorer:
     # -- counterexamples ------------------------------------------------------
     def trace_to(self, digest: str) -> list[tuple]:
         """The move sequence from the initial state to ``digest``."""
-        if digest not in self.pred:
-            raise ExplorationError(f"state {digest!r} was not reached")
         moves: list[tuple] = []
-        while True:
-            entry = self.pred[digest]
-            if entry is None:
-                break
+        entry = self._pred_entry(digest)
+        while entry is not None:
             digest, move = entry
-            moves.append(move)
+            moves.append(_move_tuple(move))
+            entry = self._pred_entry(digest)
         moves.reverse()
         return moves
+
+    def _pred_entry(self, digest: str) -> Optional[tuple]:
+        """One predecessor-chain entry — from the in-memory map, or
+        from the sweep's reached-set for set-based runs, which keep the
+        chain in SQLite rather than in a Python dict."""
+        if digest in self.pred:
+            return self.pred[digest]
+        if self.store is not None:
+            row = self.store.sweep_pred(digest)
+            if row is not None:
+                pd, mv = row
+                return None if pd is None else (pd, mv)
+        raise ExplorationError(f"state {digest!r} was not reached")
 
     def replay(self, moves: Sequence[tuple]) -> tuple[list[TraceEvent], str]:
         """Re-execute a move sequence through the simulator.
@@ -817,7 +1247,7 @@ class ReachabilityExplorer:
                 for e in self.sim.trace
             )
             state = canonicalize(snapshot_state(self.sim),
-                                 self.config.symmetry)
+                                 self.config.symmetry, self.quad_classes)
         return events, hash_state(state)
 
     def counterexample(self, digest: str, width: int = 14) -> str:

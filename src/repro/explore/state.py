@@ -19,18 +19,26 @@ Three properties the explorer depends on:
   representative is itself a reachable state, so exploration can restore
   and expand it directly.
 * **Process-stable hashing** — :func:`hash_state` is SHA-256 over the
-  JSON encoding, never Python's seeded ``hash``; the deduplication
-  seen-set therefore agrees across worker processes and across runs
-  regardless of ``PYTHONHASHSEED``.
+  canonical ``repr`` of the tuple, never Python's seeded ``hash``; the
+  deduplication seen-set therefore agrees across worker processes and
+  across runs regardless of ``PYTHONHASHSEED``.
 * **Serializable** — :func:`encode_state` / :func:`decode_state`
   round-trip a state through JSON for checkpoint journals.
+
+Symmetry comes in three modes (:func:`symmetry_mode`): ``"off"``,
+``"quad"`` (within-quad node relabellings — every node in a quad runs
+the same C/N tables over the same channel instances), and ``"full"``
+(additionally permuting whole interchangeable quads — non-home quads
+hosting the same number of nodes are indistinguishable: their
+directory/memory/IO controllers run identical tables and their channel
+instances are keyed only by destination quad).  Home quads are never
+permuted; the home of every explored address is quad 0.
 """
 
 from __future__ import annotations
 
 import hashlib
 import itertools
-import json
 from typing import Iterable, Optional
 
 from ..sim.channel import Envelope
@@ -44,8 +52,10 @@ __all__ = [
     "encode_state",
     "decode_state",
     "permute_state",
+    "permute_quads",
     "node_groups",
     "canonicalize",
+    "symmetry_mode",
 ]
 
 
@@ -161,8 +171,16 @@ def decode_state(obj) -> tuple:
 
 
 def state_key(state: tuple) -> str:
-    """The deterministic JSON encoding used for ordering and hashing."""
-    return json.dumps(encode_state(state), separators=(",", ":"))
+    """The deterministic encoding used for ordering and hashing.
+
+    ``repr`` of a nested tuple of strings/ints/bools/``None`` is
+    deterministic across processes and injective (quoting disambiguates
+    strings from everything else), and is ~25x cheaper than a JSON dump —
+    this sits on the canonicalization hot path, where every candidate
+    permutation is keyed.  Journals still serialize states through
+    :func:`encode_state`; only ordering and hashing use the repr.
+    """
+    return repr(state)
 
 
 def hash_state(state: tuple) -> str:
@@ -241,26 +259,136 @@ def _group_permutations(groups: list[list[str]]) -> Iterable[dict[str, str]]:
         yield mapping
 
 
-def canonicalize(state: tuple, symmetry: bool = True) -> tuple:
+def symmetry_mode(symmetry) -> str:
+    """Normalize a symmetry setting to ``"off"`` / ``"quad"`` / ``"full"``.
+
+    Booleans are the historical spelling: ``True`` means within-quad
+    reduction, ``False`` means none.
+    """
+    if symmetry is True:
+        return "quad"
+    if symmetry is False or symmetry is None:
+        return "off"
+    if symmetry in ("off", "quad", "full"):
+        return symmetry
+    raise ValueError(
+        f"symmetry must be a bool or one of 'off'/'quad'/'full', "
+        f"got {symmetry!r}"
+    )
+
+
+def _rename_quad_endpoint(endpoint: str, qmap: dict[int, int]) -> str:
+    kind, _, rest = endpoint.partition(":")
+    if kind == "node":
+        q, _, i = rest.partition(".")
+        return f"node:{qmap.get(int(q), int(q))}.{i}"
+    if kind in ("dir", "mem", "io"):
+        return f"{kind}:{qmap.get(int(rest), int(rest))}"
+    return endpoint
+
+
+def permute_quads(state: tuple, qmap: dict[int, int]) -> tuple:
+    """Apply a quad relabelling to every occurrence of a quad id.
+
+    ``qmap`` must permute interchangeable quads: quads with the same
+    number of hosted nodes, none of which is the home quad of an
+    explored address (home roles break the symmetry — the directory at
+    the home quad holds the line).  Everything quad-indexed is renamed
+    wholesale: channel-instance keys ``(vc, dst_quad)``, directory /
+    memory / IO controller ids, and the quad digit inside every node id.
+    Channel FIFO order is preserved.
+    """
+    channels, dirs, nodes, ios = state
+    new_channels = tuple(sorted(
+        (
+            (vc, qmap.get(dq, dq)),
+            tuple((msg, _rename_quad_endpoint(src, qmap),
+                   _rename_quad_endpoint(dst, qmap), addr, sr, dr)
+                  for msg, src, dst, addr, sr, dr in envs),
+        )
+        for (vc, dq), envs in channels
+    ))
+    new_dirs = tuple(sorted(
+        (
+            qmap.get(quad, quad),
+            tuple(sorted(
+                (addr, st,
+                 tuple(sorted(_rename_quad_endpoint(n, qmap) for n in pv)))
+                for addr, st, pv in lines
+            )),
+            tuple(sorted(
+                (addr, st,
+                 tuple(sorted(_rename_quad_endpoint(n, qmap) for n in pv)),
+                 _rename_quad_endpoint(req, qmap))
+                for addr, st, pv, req in busy
+            )),
+        )
+        for quad, lines, busy in dirs
+    ))
+    new_nodes = tuple(sorted(
+        (_rename_quad_endpoint(nid, qmap), cache, miss, wb, cpu_ops)
+        for nid, cache, miss, wb, cpu_ops in nodes
+    ))
+    new_ios = tuple(sorted(
+        (qmap.get(quad, quad), iost, pend_op, pend_addr, retry, dev_ops)
+        for quad, iost, pend_op, pend_addr, retry, dev_ops in ios
+    ))
+    return (new_channels, new_dirs, new_nodes, new_ios)
+
+
+def _quad_permutations(
+    quad_classes: Iterable[Iterable[int]],
+) -> list[dict[int, int]]:
+    """Every product of within-class quad permutations."""
+    per_class = [
+        [dict(zip(cls, perm)) for perm in itertools.permutations(cls)]
+        for cls in (list(c) for c in quad_classes)
+    ]
+    out = []
+    for combo in itertools.product(*per_class):
+        qmap: dict[int, int] = {}
+        for m in combo:
+            qmap.update(m)
+        out.append(qmap)
+    return out
+
+
+def canonicalize(
+    state: tuple,
+    symmetry=True,
+    quad_classes: Iterable[Iterable[int]] = (),
+) -> tuple:
     """The canonical representative of a state's symmetry orbit.
 
-    With ``symmetry`` the representative is the permuted variant whose
-    :func:`state_key` is lexicographically least over all within-quad
-    node relabellings; without it, the state itself.  States whose quads
-    hold at most one node each are their own representatives (the orbit
-    is trivial), which the common 2-node configuration hits — the scan
-    is skipped entirely there.
+    The representative is the permuted variant whose :func:`state_key`
+    is lexicographically least over the chosen symmetry group:
+    within-quad node relabellings for ``"quad"`` (or ``True``), and
+    additionally whole-quad permutations over each class in
+    ``quad_classes`` for ``"full"``.  ``"off"`` (or ``False``) returns
+    the state itself.  States with a trivial orbit — every quad holds at
+    most one node and no quad class has two members — are returned
+    untouched, which the common 2-node configuration hits.
     """
-    if not symmetry:
+    mode = symmetry_mode(symmetry)
+    if mode == "off":
         return state
+    if mode == "full" and quad_classes:
+        qmaps = _quad_permutations(quad_classes)
+    else:
+        qmaps = [{}]
     groups = [g for g in node_groups(state) if len(g) > 1]
-    if not groups:
+    if len(qmaps) == 1 and not groups:
         return state
     best: Optional[tuple] = None
     best_key = ""
-    for mapping in _group_permutations(groups):
-        candidate = permute_state(state, mapping)
-        key = state_key(candidate)
-        if best is None or key < best_key:
-            best, best_key = candidate, key
+    for qmap in qmaps:
+        base = permute_quads(state, qmap) if qmap else state
+        node_maps = _group_permutations(
+            [g for g in node_groups(base) if len(g) > 1]
+        )
+        for mapping in node_maps:
+            candidate = permute_state(base, mapping) if mapping else base
+            key = state_key(candidate)
+            if best is None or key < best_key:
+                best, best_key = candidate, key
     return best

@@ -1,0 +1,531 @@
+"""The precomputed successor relation and the disk-backed state map.
+
+The explorer's cold path fires every move of every frontier state
+through the simulator.  For a fixed protocol + topology the successor
+relation is a pure function of the tables, so :class:`SuccessorStore`
+materializes it into an indexed SQLite file (``--frontier-dir``): one
+row per canonical state (its encoding plus the *precomputed* invariant
+verdicts) and one row per expanded state (its successor digest list,
+holes, and deadlock verdict).  A warm sweep then expands a whole BFS
+level with two set-based ``IN`` queries — one join against the
+successor table, one against the flags — and never touches the
+simulator, never decodes a state, and never re-evaluates an invariant:
+state throughput becomes digest-set bookkeeping.
+
+The store is keyed by :func:`system_fingerprint` — a digest of the
+controller-table rows, the channel assignment, and the exploration
+topology.  Any drift (a mutated table, a different capacity) invalidates
+the store and the next run repopulates it; the compiled and interpreted
+kernels are parity-identical, so the kernel choice is deliberately *not*
+part of the fingerprint and their stores are interchangeable.
+
+:class:`DiskStateMap` is the matching frontier map: digests stay in
+memory (dedup must be RAM-speed), state encodings live in the store,
+and a small LRU of decoded tuples serves replay/expansion.  Sweeps
+bounded by available memory before — the motivation named in
+ROADMAP.md — are now bounded by disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from typing import Callable, Iterable, Optional
+
+from ..core.database import ProtocolDatabase
+from .state import decode_state, encode_state, symmetry_mode
+
+__all__ = [
+    "STORE_SCHEMA",
+    "SuccessorStore",
+    "DiskStateMap",
+    "system_fingerprint",
+]
+
+#: schema tag recorded in the store's meta table.
+STORE_SCHEMA = "repro.explore.frontier/v2"
+
+META_TABLE = "__frontier_meta"
+STATES_TABLE = "__frontier_states"
+SUCC_TABLE = "__frontier_succ"
+EDGES_TABLE = "__frontier_edges"
+SWEEP_TABLE = "__sweep_reached"
+
+#: parameters per IN(...) chunk, comfortably under sqlite's 999 limit.
+_CHUNK = 400
+
+#: queued rows before an automatic flush.
+_FLUSH_EVERY = 1000
+
+#: packs (frontier position, move ordinal) into one sortable integer:
+#: ``rowid * _ORD_RADIX + ord``.  No state has anywhere near this many
+#: enabled moves, and 64-bit rowids leave 43 bits of frontier headroom.
+_ORD_RADIX = 1 << 20
+
+
+def _chunks(seq: list, size: int = _CHUNK):
+    for i in range(0, len(seq), size):
+        yield seq[i:i + size]
+
+
+def system_fingerprint(system, config) -> str:
+    """A digest pinning a store to one protocol + exploration topology.
+
+    Covers every simulated controller table row, the channel assignment
+    (reassign-channel mutations live there, not in a table), and the
+    topology/symmetry knobs that shape the state space.  Execution knobs
+    (kernel choice, workers, depth bound) are excluded: they cannot
+    change the successor relation.
+    """
+    from ..core.kernel import SIMULATED_TABLES
+
+    tables = {
+        name: system.tables[name].rows()
+        for name in SIMULATED_TABLES
+        if name in system.tables
+    }
+    channels = system.channel_assignments[config.assignment]
+    payload = {
+        "schema": STORE_SCHEMA,
+        "tables": tables,
+        "assignment": {
+            "name": channels.name,
+            "assignments": [
+                [a.message, a.src, a.dst, a.channel]
+                for a in channels.assignments
+            ],
+            "dedicated": sorted(channels.dedicated),
+        },
+        "topology": {
+            "nodes": config.nodes,
+            "lines": config.lines,
+            "capacity": config.capacity,
+            "assignment": config.assignment,
+            "symmetry": symmetry_mode(config.symmetry),
+            "quads": config.quads,
+        },
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class SuccessorStore:
+    """Indexed SQLite materialization of the successor relation."""
+
+    def __init__(self, path: str, fingerprint: str) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+        self.db = ProtocolDatabase(path)
+        # The sweep's temp reached-set and its ORDER BY sort must stay
+        # in memory, and the edge join wants a large page cache and
+        # mmap'd reads; none of this changes on-disk format.
+        for pragma in ("temp_store=MEMORY", "cache_size=-65536",
+                       "mmap_size=268435456"):
+            self.db.execute(f"PRAGMA {pragma}")
+        self._pending_states: list[tuple] = []
+        self._pending_succ: list[tuple] = []
+        self.invalidated = False
+        #: True once :meth:`sweep_begin` created the temp reached-set.
+        self.swept = False
+        self._ensure()
+
+    def _ensure(self) -> None:
+        if self.db.table_exists(META_TABLE):
+            stored = dict(
+                (r["key"], r["value"])
+                for r in self.db.query(f"SELECT key, value FROM {META_TABLE}")
+            )
+            if (stored.get("schema") != STORE_SCHEMA
+                    or stored.get("fingerprint") != self.fingerprint):
+                # The protocol or topology changed under the store: every
+                # cached expansion is stale.  Rebuild from scratch.
+                for t in (META_TABLE, STATES_TABLE, SUCC_TABLE, EDGES_TABLE):
+                    if self.db.table_exists(t):
+                        self.db.drop_table(t)
+                self.invalidated = True
+        self.db.execute(
+            f"CREATE TABLE IF NOT EXISTS {META_TABLE} "
+            f"(key TEXT PRIMARY KEY, value TEXT NOT NULL)")
+        # States intern their digest into a compact integer id; the
+        # successor/edge tables and the sweep all join on ids, so the
+        # hot b-tree probes compare machine words, not 64-char hex.
+        self.db.execute(
+            f"CREATE TABLE IF NOT EXISTS {STATES_TABLE} ("
+            f"id INTEGER PRIMARY KEY, digest TEXT NOT NULL UNIQUE, "
+            f"enc TEXT NOT NULL, "
+            f"coh TEXT, quiescent INTEGER NOT NULL, dirv TEXT)")
+        self.db.execute(
+            f"CREATE TABLE IF NOT EXISTS {SUCC_TABLE} ("
+            f"id INTEGER PRIMARY KEY, nsucc INTEGER NOT NULL, "
+            f"holes TEXT NOT NULL, deadlocked INTEGER NOT NULL)")
+        # The successor relation proper: one row per transition, indexed
+        # by source so a whole BFS level expands with one join.
+        self.db.execute(
+            f"CREATE TABLE IF NOT EXISTS {EDGES_TABLE} ("
+            f"src INTEGER NOT NULL, ord INTEGER NOT NULL, "
+            f"move TEXT NOT NULL, dst INTEGER NOT NULL, "
+            f"PRIMARY KEY (src, ord)) WITHOUT ROWID")
+        self.db.executemany(
+            f"INSERT OR REPLACE INTO {META_TABLE} (key, value) VALUES (?, ?)",
+            [("schema", STORE_SCHEMA), ("fingerprint", self.fingerprint)])
+
+    # -- writes ---------------------------------------------------------------
+    def put_state(self, digest: str, state: tuple, flags: tuple) -> None:
+        """Queue one canonical state with its precomputed invariant
+        verdicts ``(coherence_detail, quiescent, directory_detail)``."""
+        coh, quiescent, dirv = flags
+        self._pending_states.append((
+            digest,
+            json.dumps(encode_state(state), separators=(",", ":")),
+            coh, int(bool(quiescent)), dirv,
+        ))
+        if len(self._pending_states) >= _FLUSH_EVERY:
+            self.flush()
+
+    def put_succ(self, digest: str, succs: list, holes: list,
+                 deadlocked: bool) -> None:
+        """Queue one expansion: ``succs`` is ``[[move, succ_digest], …]``
+        in move order."""
+        self._pending_succ.append((
+            digest,
+            len(succs),
+            json.dumps(holes, separators=(",", ":")),
+            int(bool(deadlocked)),
+            tuple((i, json.dumps(list(move), separators=(",", ":")), dst)
+                  for i, (move, dst) in enumerate(succs)),
+        ))
+        if len(self._pending_succ) >= _FLUSH_EVERY:
+            self.flush()
+
+    def _ids(self, digests: Iterable[str]) -> dict[str, int]:
+        """The interned integer ids of a set of digests."""
+        out: dict[str, int] = {}
+        for chunk in _chunks(list(digests)):
+            marks = ", ".join("?" * len(chunk))
+            for d, i in self.db.query_tuples(
+                    f"SELECT digest, id FROM {STATES_TABLE} "
+                    f"WHERE digest IN ({marks})", chunk):
+                out[d] = i
+        return out
+
+    def flush(self) -> None:
+        if self._pending_states:
+            self.db.executemany(
+                f"INSERT OR IGNORE INTO {STATES_TABLE} "
+                f"(digest, enc, coh, quiescent, dirv) VALUES (?, ?, ?, ?, ?)",
+                self._pending_states)
+            self._pending_states = []
+        if self._pending_succ:
+            wanted: set[str] = set()
+            for digest, _, _, _, edges in self._pending_succ:
+                wanted.add(digest)
+                wanted.update(dst for _, _, dst in edges)
+            ids = self._ids(wanted)
+            deferred, succ_rows, edge_rows = [], [], []
+            for entry in self._pending_succ:
+                digest, nsucc, holes, deadlocked, edges = entry
+                sid = ids.get(digest)
+                if sid is None or any(dst not in ids for _, _, dst in edges):
+                    # The merge path records successor *states* after
+                    # the expansion batch, so an auto-flush can race a
+                    # dst's interning — keep the row queued until every
+                    # referenced state has an id (at the latest, the
+                    # final flush: states flush first in this method).
+                    deferred.append(entry)
+                    continue
+                succ_rows.append((sid, nsucc, holes, deadlocked))
+                edge_rows.extend(
+                    (sid, o, mv, ids[dst]) for o, mv, dst in edges)
+            if succ_rows:
+                # Re-recording an expansion replaces its edges wholesale,
+                # so a shorter successor list cannot leave stale ordinals.
+                self.db.executemany(
+                    f"DELETE FROM {EDGES_TABLE} WHERE src = ?",
+                    [(r[0],) for r in succ_rows])
+                self.db.executemany(
+                    f"INSERT OR REPLACE INTO {SUCC_TABLE} "
+                    f"(id, nsucc, holes, deadlocked) VALUES (?, ?, ?, ?)",
+                    succ_rows)
+                self.db.executemany(
+                    f"INSERT INTO {EDGES_TABLE} "
+                    f"(src, ord, move, dst) VALUES (?, ?, ?, ?)",
+                    edge_rows)
+            self._pending_succ = deferred
+
+    # -- set-based reads ------------------------------------------------------
+    def fetch_succ(self, digests: list[str]) -> dict[str, dict]:
+        """Cached expansions for a whole frontier, one query per chunk."""
+        self.flush()
+        out: dict[str, dict] = {}
+        for chunk in _chunks(list(digests)):
+            marks = ", ".join("?" * len(chunk))
+            for digest, holes, deadlocked in self.db.query_tuples(
+                    f"SELECT st.digest, s.holes, s.deadlocked "
+                    f"FROM {SUCC_TABLE} s "
+                    f"JOIN {STATES_TABLE} st ON st.id = s.id "
+                    f"WHERE st.digest IN ({marks})", chunk):
+                out[digest] = {
+                    "successors": [],
+                    "holes": json.loads(holes),
+                    "deadlocked": bool(deadlocked),
+                }
+            for src, move, dst in self.db.query_tuples(
+                    f"SELECT sst.digest, e.move, dst.digest "
+                    f"FROM {EDGES_TABLE} e "
+                    f"JOIN {STATES_TABLE} sst ON sst.id = e.src "
+                    f"JOIN {STATES_TABLE} dst ON dst.id = e.dst "
+                    f"WHERE sst.digest IN ({marks}) "
+                    f"ORDER BY e.src, e.ord", chunk):
+                out[src]["successors"].append([json.loads(move), dst])
+        return out
+
+    def fetch_flags(self, digests: list[str]) -> dict[str, tuple]:
+        """Precomputed invariant verdicts for a set of states."""
+        self.flush()
+        out: dict[str, tuple] = {}
+        for chunk in _chunks(list(digests)):
+            marks = ", ".join("?" * len(chunk))
+            for r in self.db.query(
+                    f"SELECT digest, coh, quiescent, dirv "
+                    f"FROM {STATES_TABLE} WHERE digest IN ({marks})", chunk):
+                out[r["digest"]] = (
+                    r["coh"], bool(r["quiescent"]), r["dirv"])
+        return out
+
+    def fetch_states(self, digests: list[str]) -> dict[str, tuple]:
+        """Decoded canonical states for a set of digests."""
+        self.flush()
+        out: dict[str, tuple] = {}
+        for chunk in _chunks(list(digests)):
+            marks = ", ".join("?" * len(chunk))
+            for r in self.db.query(
+                    f"SELECT digest, enc FROM {STATES_TABLE} "
+                    f"WHERE digest IN ({marks})", chunk):
+                out[r["digest"]] = decode_state(json.loads(r["enc"]))
+        return out
+
+    # -- the set-based BFS sweep ----------------------------------------------
+    # One TEMP table tracks the reached set *inside SQLite*, so a whole
+    # BFS level advances with a single INSERT..SELECT join against the
+    # edge table: dedup, first-reach ordering, and transition counting
+    # all happen in C.  Python only ever sees per-depth *counts* (and
+    # the usually-empty flagged/hole/deadlock rows) — never the
+    # transitions, and not even the well-behaved new states.
+
+    def sweep_begin(self, root_digest: str) -> None:
+        """(Re)create the temp reached-set seeded with the root.
+
+        The reached-set is keyed by interned state id (``UNIQUE``, so
+        the advance's ``OR IGNORE`` dedups on it) while the table keeps
+        its own rowid: rowids count up in insertion order, which the
+        advance makes first-reach order.  ``ordkey`` packs (predecessor
+        frontier position, move ordinal) into one integer —
+        ``rowid * _ORD_RADIX + ord`` — so "first reach in cold merge
+        order" is simply the smallest ordkey.
+        """
+        self.flush()
+        self.swept = True
+        self.db.execute(f"DROP TABLE IF EXISTS temp.{SWEEP_TABLE}")
+        self.db.execute(
+            f"CREATE TEMP TABLE {SWEEP_TABLE} ("
+            f"id INTEGER NOT NULL UNIQUE, depth INTEGER NOT NULL, "
+            f"pred INTEGER, move TEXT, ordkey INTEGER)")
+        # Every sweep query selects one BFS level; without this index
+        # each depth rescans the whole reached set (quadratic sweeps).
+        self.db.execute(
+            f"CREATE INDEX {SWEEP_TABLE}_depth ON {SWEEP_TABLE} (depth)")
+        root_id = self.db.scalar(
+            f"SELECT id FROM {STATES_TABLE} WHERE digest = ?",
+            (root_digest,))
+        self.db.execute(
+            f"INSERT INTO {SWEEP_TABLE} "
+            f"(id, depth, pred, move, ordkey) VALUES (?, 0, NULL, "
+            f"NULL, 0)", (root_id,))
+
+    def sweep_missing(self, depth: int) -> list[str]:
+        """Frontier states (at ``depth``) with no cached expansion, in
+        first-reach order — the part a warm sweep must still simulate."""
+        self.flush()
+        return [d for (d,) in self.db.query_tuples(
+            f"SELECT st.digest FROM {SWEEP_TABLE} r "
+            f"JOIN {STATES_TABLE} st ON st.id = r.id "
+            f"WHERE r.depth = ? AND NOT EXISTS "
+            f"(SELECT 1 FROM {SUCC_TABLE} s WHERE s.id = r.id) "
+            f"ORDER BY r.rowid", (depth,))]
+
+    def sweep_step(self, depth: int, detail: bool = False) -> dict:
+        """Advance the reached-set one BFS level with set-based joins.
+
+        Expands every frontier state at ``depth - 1``.  One INSERT joins
+        the frontier against the edge table: ``OR IGNORE`` on the digest
+        primary key performs the dedup, and because INSERT..SELECT
+        honours ORDER BY, among same-depth duplicates the smallest
+        ``ordkey`` (= first reach in cold merge order) lands first and
+        wins — no GROUP BY temp b-tree, no reached-set subquery, and
+        rowid order within the depth doubles as first-reach order.
+
+        Python gets back *counts* plus the usually-empty flagged and
+        hole/deadlock rows; the full new-state rows are fetched only
+        with ``detail`` (the journal path).  Every frontier state must
+        have a cached expansion (see :meth:`sweep_missing`).
+        """
+        self.flush()
+        prev = depth - 1
+        trans = int(self.db.scalar(
+            f"SELECT COALESCE(SUM(s.nsucc), 0) FROM {SWEEP_TABLE} r "
+            f"JOIN {SUCC_TABLE} s ON s.id = r.id "
+            f"WHERE r.depth = ?", (prev,)))
+        self.db.execute(
+            f"INSERT OR IGNORE INTO {SWEEP_TABLE} "
+            f"(id, depth, pred, move, ordkey) "
+            f"SELECT e.dst, ?, e.src, e.move, "
+            f"r.rowid * {_ORD_RADIX} + e.ord "
+            f"FROM {SWEEP_TABLE} r JOIN {EDGES_TABLE} e ON e.src = r.id "
+            f"WHERE r.depth = ? ORDER BY 5", (depth, prev))
+        new_count = int(self.db.scalar(
+            f"SELECT COUNT(*) FROM {SWEEP_TABLE} WHERE depth = ?",
+            (depth,)))
+        flagged = self.db.query_tuples(
+            f"SELECT st.digest, r.ordkey, st.coh, st.quiescent, st.dirv "
+            f"FROM {SWEEP_TABLE} r "
+            f"JOIN {STATES_TABLE} st ON st.id = r.id "
+            f"WHERE r.depth = ? AND (st.coh IS NOT NULL "
+            f"OR (st.quiescent = 1 AND st.dirv IS NOT NULL)) "
+            f"ORDER BY r.ordkey", (depth,))
+        new = None
+        if detail:
+            new = self.db.query_tuples(
+                f"SELECT st.digest, pst.digest, r.move "
+                f"FROM {SWEEP_TABLE} r "
+                f"JOIN {STATES_TABLE} st ON st.id = r.id "
+                f"JOIN {STATES_TABLE} pst ON pst.id = r.pred "
+                f"WHERE r.depth = ? ORDER BY r.rowid", (depth,))
+        trouble = self.db.query_tuples(
+            f"SELECT r.rowid, st.digest, s.holes, s.deadlocked "
+            f"FROM {SWEEP_TABLE} r "
+            f"JOIN {SUCC_TABLE} s ON s.id = r.id "
+            f"JOIN {STATES_TABLE} st ON st.id = r.id "
+            f"WHERE r.depth = ? AND (s.deadlocked = 1 OR s.holes != '[]') "
+            f"ORDER BY r.rowid", (prev,))
+        return {"trans": trans, "new_count": new_count, "new": new,
+                "flagged": flagged, "trouble": trouble}
+
+    def sweep_pred(self, digest: str) -> Optional[tuple]:
+        """Predecessor entry of a swept state: ``(pred_digest, move)``
+        with the move still JSON-encoded, ``(None, None)`` for the root,
+        or ``None`` when no sweep ran or the digest was never reached.
+        Sweep runs keep the predecessor chain here, in SQLite, instead
+        of mirroring every reached digest into a Python dict."""
+        if not self.swept:
+            return None
+        rows = self.db.query_tuples(
+            f"SELECT pst.digest, r.move FROM {SWEEP_TABLE} r "
+            f"JOIN {STATES_TABLE} st ON st.id = r.id "
+            f"LEFT JOIN {STATES_TABLE} pst ON pst.id = r.pred "
+            f"WHERE st.digest = ?", (digest,))
+        return rows[0] if rows else None
+
+    # -- inventory ------------------------------------------------------------
+    @property
+    def state_count(self) -> int:
+        self.flush()
+        return int(self.db.scalar(f"SELECT COUNT(*) FROM {STATES_TABLE}"))
+
+    @property
+    def succ_count(self) -> int:
+        self.flush()
+        return int(self.db.scalar(f"SELECT COUNT(*) FROM {SUCC_TABLE}"))
+
+    def close(self) -> None:
+        self.flush()
+        self.db.close()
+
+
+class DiskStateMap:
+    """The explorer's ``states`` map backed by a :class:`SuccessorStore`.
+
+    Membership ("was this digest reached in *this* exploration") is an
+    in-memory set — the store may hold states from deeper previous runs,
+    which must not count as reached.  Encodings are persisted through
+    the store; an LRU keeps recently-touched decoded tuples so the cold
+    path and counterexample replay stay dict-fast.
+    """
+
+    def __init__(self, store: SuccessorStore,
+                 flags_fn: Callable[[tuple], tuple],
+                 cache_size: int = 4096) -> None:
+        self._store = store
+        self._flags_fn = flags_fn
+        self._digests: set[str] = set()
+        self._cache: "OrderedDict[str, tuple]" = OrderedDict()
+        self._cache_size = cache_size
+
+    def _remember(self, digest: str, state: tuple) -> None:
+        self._cache[digest] = state
+        self._cache.move_to_end(digest)
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+
+    def __setitem__(self, digest: str, state: tuple) -> None:
+        if digest not in self._digests:
+            self._store.put_state(digest, state, self._flags_fn(state))
+            self._digests.add(digest)
+        self._remember(digest, state)
+
+    def add_ref(self, digest: str) -> None:
+        """Mark a digest as reached whose encoding the store already
+        holds — the warm path, which never materializes the state."""
+        self._digests.add(digest)
+
+    def __contains__(self, digest: object) -> bool:
+        return digest in self._digests
+
+    def __len__(self) -> int:
+        return len(self._digests)
+
+    def __iter__(self):
+        return iter(self._digests)
+
+    def __getitem__(self, digest: str) -> tuple:
+        if digest not in self._digests:
+            raise KeyError(digest)
+        state = self._cache.get(digest)
+        if state is None:
+            fetched = self._store.fetch_states([digest])
+            if digest not in fetched:
+                raise KeyError(digest)
+            state = fetched[digest]
+            self._remember(digest, state)
+        else:
+            self._cache.move_to_end(digest)
+        return state
+
+    def get_many(self, digests: Iterable[str]) -> dict[str, tuple]:
+        """Batch lookup (one chunked query for the cache misses)."""
+        out: dict[str, tuple] = {}
+        misses: list[str] = []
+        for d in digests:
+            state = self._cache.get(d)
+            if state is None:
+                misses.append(d)
+            else:
+                out[d] = state
+        if misses:
+            fetched = self._store.fetch_states(misses)
+            for d, state in fetched.items():
+                self._remember(d, state)
+            out.update(fetched)
+        return out
+
+    def keys(self):
+        return iter(self._digests)
+
+    def values(self):
+        for d in self._digests:
+            yield self[d]
+
+    def items(self):
+        for d in self._digests:
+            yield d, self[d]

@@ -97,9 +97,16 @@ class Simulator:
         system: AsuraSystem,
         assignment: str = "v5d",
         config: Optional[SimConfig] = None,
+        *,
+        tables: Optional[dict] = None,
     ) -> None:
         self.system = system
         self.config = config or SimConfig()
+        # The models execute self.tables; injecting compiled KernelTables
+        # here swaps the SQL lookup path for the dispatch kernels while
+        # everything else (scheduler, fabric, commit rules) is shared —
+        # the kernel-vs-simulator parity hook.
+        self.tables = dict(tables) if tables is not None else system.tables
         self.channels: ChannelAssignment = system.channel_assignments[assignment]
         capacities = dict(self.config.capacities)
         # Invalidations multicast to every sharer in a quad in one
@@ -116,11 +123,11 @@ class Simulator:
         )
         self.recorder = CoverageRecorder() if self.config.coverage else None
         self.directories = {
-            q: DirectoryModel(q, system.tables["D"], recorder=self.recorder)
+            q: DirectoryModel(q, self.tables["D"], recorder=self.recorder)
             for q in range(self.config.n_quads)
         }
         self.memories = {
-            q: MemoryModel(q, system.tables["M"],
+            q: MemoryModel(q, self.tables["M"],
                            refresh_until=self.config.memory_refresh_until,
                            recorder=self.recorder)
             for q in range(self.config.n_quads)
@@ -130,12 +137,12 @@ class Simulator:
             for i in range(self.config.nodes_per_quad):
                 nid = f"node:{q}.{i}"
                 self.nodes[nid] = NodeModel(
-                    nid, system.tables["C"], system.tables["N"],
+                    nid, self.tables["C"], self.tables["N"],
                     reissue_delay=self.config.reissue_delay,
                     recorder=self.recorder,
                 )
         self.ios = {
-            q: IOModel(q, system.tables["IO"],
+            q: IOModel(q, self.tables["IO"],
                        reissue_delay=self.config.reissue_delay,
                        recorder=self.recorder)
             for q in range(self.config.n_quads)

@@ -1,0 +1,286 @@
+"""Differential tests: compiled kernels vs the interpreted SQL path.
+
+The compiled dispatch kernels (``repro.core.kernel``) and the successor
+store's set-based sweep (``repro.explore.store``) are performance paths;
+the SQL-backed interpreter is the semantics oracle.  Everything here
+pins the fast paths byte-identical to the oracle: lookup results *and*
+error messages, per-state expansions, whole-run results on clean and
+mutated tables across every fault class, and warm-store sweeps against
+their own cold runs.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernel import (
+    SIMULATED_TABLES,
+    KernelTable,
+    compile_system_kernels,
+)
+from repro.core.schema import SchemaError
+from repro.core.table import AmbiguousMatchError, NoMatchError
+from repro.explore import ExploreConfig, ReachabilityExplorer
+from repro.explore.explorer import (
+    _build_simulator,
+    _expand_state,
+    _quad_classes,
+)
+from repro.explore.state import canonicalize, hash_state, permute_quads
+from repro.faults.mutations import FAULT_CLASSES, MutationEngine
+from repro.protocols.asura import build_system
+from repro.telemetry.tracer import Tracer, use_tracer
+
+_LOOKUP_ERRORS = (NoMatchError, AmbiguousMatchError, SchemaError)
+
+#: Out-of-domain probe: matches only wildcard rows on both paths.
+_BOGUS = "__no-such-value__"
+
+
+def _outcome(fn, **inputs):
+    """Normalized result of a lookup: value, or error class + message."""
+    try:
+        return ("ok", fn(**inputs))
+    except _LOOKUP_ERRORS as exc:
+        return ("err", type(exc).__name__, str(exc))
+
+
+def _domains(table):
+    """Observed value domain per input column, plus the two edge probes."""
+    doms = {}
+    for name in table.schema.input_names:
+        seen = sorted(
+            {row[name] for row in table.rows() if row[name] is not None},
+            key=str,
+        )
+        doms[name] = seen + [None, _BOGUS]
+    return doms
+
+
+@pytest.fixture(scope="module")
+def kernels(system):
+    return {
+        name: KernelTable.from_table(system.tables[name])
+        for name in SIMULATED_TABLES
+    }
+
+
+@pytest.fixture(scope="module")
+def domains(system):
+    return {name: _domains(system.tables[name]) for name in SIMULATED_TABLES}
+
+
+class TestLookupParity:
+    """KernelTable answers every probe exactly like ControllerTable —
+    including which error class fires and its message string, because
+    hole-violation details are pinned on those strings."""
+
+    @given(data=st.data())
+    @settings(max_examples=150, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_full_probe_parity(self, system, kernels, domains, data):
+        name = data.draw(st.sampled_from(SIMULATED_TABLES), label="table")
+        table, kern = system.tables[name], kernels[name]
+        inputs = {
+            col: data.draw(st.sampled_from(dom), label=col)
+            for col, dom in domains[name].items()
+        }
+        assert (_outcome(kern.lookup_id, **inputs)
+                == _outcome(table.lookup_id, **inputs))
+        assert (_outcome(kern.try_lookup, **inputs)
+                == _outcome(table.try_lookup, **inputs))
+
+    @given(data=st.data())
+    @settings(max_examples=100, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_partial_match_parity(self, system, kernels, domains, data):
+        """``match_rows`` with any *subset* of input columns returns the
+        same rows in the same (rowid) order."""
+        name = data.draw(st.sampled_from(SIMULATED_TABLES), label="table")
+        table, kern = system.tables[name], kernels[name]
+        cols = data.draw(
+            st.sets(st.sampled_from(table.schema.input_names)), label="cols")
+        inputs = {
+            col: data.draw(st.sampled_from(domains[name][col]), label=col)
+            for col in sorted(cols)
+        }
+        assert kern.match_rows(inputs) == table.match_rows(inputs)
+
+    def test_missing_input_parity(self, system, kernels):
+        name = SIMULATED_TABLES[0]
+        first = system.tables[name].schema.input_names[0]
+        probe = {first: _BOGUS}  # every other input column missing
+        assert (_outcome(kernels[name].lookup_id, **probe)
+                == _outcome(system.tables[name].lookup_id, **probe))
+
+    def test_unknown_column_parity(self, system, kernels):
+        for name in SIMULATED_TABLES:
+            assert (_outcome(kernels[name].match_rows,
+                             inputs={"no_such_column": 1})
+                    == _outcome(system.tables[name].match_rows,
+                                inputs={"no_such_column": 1}))
+
+    def test_kernel_pickles_to_identical_lookup_surface(self, kernels):
+        import pickle
+
+        for name, kern in kernels.items():
+            clone = pickle.loads(pickle.dumps(kern))
+            assert clone.rows_with_ids() == kern.rows_with_ids()
+            assert clone.schema.input_names == kern.schema.input_names
+
+
+class TestExpansionParity:
+    """Per-state differential: both backends produce byte-identical
+    successor sets, holes, and deadlock verdicts for every reached
+    state of a clean exploration."""
+
+    def test_every_reached_state_expands_identically(self, system,
+                                                     explored_2n8):
+        explorer, _ = explored_2n8
+        cfg = explorer.config
+        interp = _build_simulator(system, cfg, explorer.home_map)
+        compiled = _build_simulator(system, cfg, explorer.home_map,
+                                    tables=compile_system_kernels(system))
+        addrs = explorer.addrs
+        for digest, state in explorer.states.items():
+            a = _expand_state(interp, state, addrs, cfg.symmetry,
+                              explorer.quad_classes)
+            b = _expand_state(compiled, state, addrs, cfg.symmetry,
+                              explorer.quad_classes)
+            assert a == b, f"expansion diverged at {digest}"
+
+
+def _run(system, **overrides):
+    explorer = ReachabilityExplorer(system, ExploreConfig(**overrides))
+    try:
+        result = explorer.run()
+        return result, set(explorer.states)
+    finally:
+        explorer.close()
+
+
+class TestMutantParity:
+    """Whole-run differential on *broken* tables: each fault class
+    perturbs the controllers differently (dropped rows become holes,
+    duplicated rows become ambiguity, corrupt updates become coherence
+    violations), and the compiled kernels must reproduce the oracle's
+    verdicts — violations, traces, and digests — exactly."""
+
+    @pytest.mark.parametrize("fault_class", FAULT_CLASSES)
+    def test_fault_class_explores_identically(self, fault_class):
+        mutated = build_system()
+        engine = MutationEngine(mutated, seed=7, classes=[fault_class])
+        engine.sample(1)[0].apply_to(mutated)
+        res_c, states_c = _run(mutated, nodes=2, depth=6, kernel="compiled")
+        res_i, states_i = _run(mutated, nodes=2, depth=6,
+                               kernel="interpreted")
+        assert states_c == states_i
+        assert res_c.to_dict() == res_i.to_dict()
+
+    def test_clean_run_digest_sets_identical(self, system):
+        res_c, states_c = _run(system, nodes=2, depth=8, kernel="compiled")
+        res_i, states_i = _run(system, nodes=2, depth=8,
+                               kernel="interpreted")
+        assert res_c.ok and res_i.ok
+        assert states_c == states_i
+        assert res_c.to_dict() == res_i.to_dict()
+
+
+class TestSuccessorStore:
+    """The warm sweep replays a cold run entirely in SQL; cold and warm
+    must agree on everything a caller can observe."""
+
+    @pytest.fixture()
+    def frontier_dir(self, tmp_path):
+        return str(tmp_path / "frontier")
+
+    def test_warm_sweep_matches_cold_run(self, system, frontier_dir):
+        cfg = dict(nodes=2, depth=8, frontier_dir=frontier_dir)
+        cold, _ = _run(system, **cfg)
+        warm, _ = _run(system, **cfg)
+        assert warm.to_dict() == cold.to_dict()
+
+    def test_warm_sweep_matches_memory_run(self, system, frontier_dir):
+        cfg = dict(nodes=2, depth=8)
+        plain, plain_states = _run(system, **cfg)
+        _run(system, frontier_dir=frontier_dir, **cfg)       # cold fill
+        warm, _ = _run(system, frontier_dir=frontier_dir, **cfg)
+        assert warm.to_dict() == plain.to_dict()
+
+    def test_warm_trace_matches_plain_trace(self, system, frontier_dir):
+        """``trace_to`` after a count-only sweep falls back to the store's
+        predecessor table and must replay to the same digest."""
+        cfg = dict(nodes=2, depth=6, frontier_dir=frontier_dir)
+        _run(system, **cfg)                                  # cold fill
+        warm = ReachabilityExplorer(system, ExploreConfig(**cfg))
+        plain = ReachabilityExplorer(system, ExploreConfig(nodes=2, depth=6))
+        try:
+            warm.run()
+            plain.run()
+            for digest in plain.states:
+                assert warm.trace_to(digest) == plain.trace_to(digest)
+        finally:
+            warm.close()
+            plain.close()
+
+    def test_extending_depth_reuses_then_extends(self, system, frontier_dir):
+        _run(system, nodes=2, depth=6, frontier_dir=frontier_dir)
+        deeper, _ = _run(system, nodes=2, depth=9,
+                         frontier_dir=frontier_dir)
+        plain, _ = _run(system, nodes=2, depth=9)
+        assert deeper.to_dict() == plain.to_dict()
+
+    def test_fingerprint_invalidation_on_mutated_tables(self, system,
+                                                        frontier_dir):
+        """A store built from clean tables must not serve successors for
+        a mutated system — the fingerprint mismatch forces a rebuild,
+        and the rebuilt run matches a storeless run on the mutant."""
+        _run(system, nodes=2, depth=6, frontier_dir=frontier_dir)
+        mutated = build_system()
+        MutationEngine(mutated, seed=3,
+                       classes=["drop-row"]).sample(1)[0].apply_to(mutated)
+        got, _ = _run(mutated, nodes=2, depth=6, frontier_dir=frontier_dir)
+        want, _ = _run(mutated, nodes=2, depth=6)
+        assert got.to_dict() == want.to_dict()
+        assert not got.ok  # the drop-row mutant does violate
+
+    def test_warm_sweep_queries_not_linear_in_transitions(self, system,
+                                                          frontier_dir):
+        """The tentpole's SQL criterion: a warm sweep costs a handful of
+        set-based queries per depth, not one per transition."""
+        cfg = dict(nodes=2, depth=10, frontier_dir=frontier_dir)
+        _run(system, **cfg)                                  # cold fill
+        tracer = Tracer()
+        with use_tracer(tracer):
+            result, _ = _run(system, **cfg)
+        queries = tracer.registry.snapshot()["counters"]["sql.queries"]
+        assert result.transitions > 500
+        assert queries < result.transitions / 4
+
+
+class TestFullSymmetry:
+    """Full-node-permutation canonicalization: interchangeable non-home
+    quads collapse into orbits the within-quad mode cannot reach."""
+
+    def test_orbit_counts_at_three_quads(self, system):
+        quad, _ = _run(system, nodes=3, depth=4, quads=3, symmetry="quad")
+        full, _ = _run(system, nodes=3, depth=4, quads=3, symmetry="full")
+        assert (quad.states, quad.transitions) == (97, 120)
+        assert (full.states, full.transitions) == (53, 74)
+
+    def test_full_canonical_form_invariant_under_quad_swap(self, system):
+        cfg = ExploreConfig(nodes=3, depth=4, quads=3, symmetry="full")
+        explorer = ReachabilityExplorer(system, cfg)
+        try:
+            explorer.run()
+            classes = _quad_classes(cfg)
+            (swappable,) = [c for c in classes if len(c) > 1]
+            a, b = swappable[0], swappable[1]
+            qmap = {q: q for cls in classes for q in cls}
+            qmap[a], qmap[b] = b, a
+            for digest, state in explorer.states.items():
+                swapped = permute_quads(state, qmap)
+                canon = canonicalize(swapped, "full", classes)
+                assert hash_state(canon) == digest
+        finally:
+            explorer.close()
