@@ -1,0 +1,58 @@
+"""Experiment A5 — cross-family generation and verification cost.
+
+The protocol family (`docs/PROTOCOL_FAMILY.md`) claims the paper's
+method is protocol-agnostic: the same constraint builders generate
+MESI, MOESI, and MESIF, and the same static layers verify them.  For
+that claim to matter in practice the *cost* has to stay flat across
+members — a family member must not be meaningfully more expensive to
+generate or to sweep than the MESI baseline, even when its D table is
+~25% larger (MOESI's 344 rows vs 274).
+
+Two benchmarks per member, with fixed pedantic rounds so the recorded
+query totals in ``BENCH_protocol_family.json`` stay deterministic:
+
+* full 8-table generation from constraints (the paper's "minutes, not
+  hours" point, per member);
+* the batched invariant sweep over the generated tables (the paper's
+  "within 5 minutes" point — milliseconds here, for every member).
+"""
+
+import pytest
+
+from repro.protocols.family import SPECS, build_variant
+
+#: fixed pedantic rounds per benchmark — keep in sync with the docstring.
+ROUNDS_BUILD = 3
+ROUNDS_SWEEP = 20
+
+MEMBERS = tuple(SPECS)
+
+
+@pytest.mark.parametrize("variant", MEMBERS)
+def test_member_generation(benchmark, module_telemetry, variant):
+    """Generating one member's full table set from its spec."""
+    def run():
+        system = build_variant(variant)
+        rows = sum(t.row_count for t in system.tables.values())
+        system.db.close()
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=ROUNDS_BUILD, iterations=1)
+    assert rows > 0
+    module_telemetry.gauge(f"family.rows.{variant}", rows)
+
+
+@pytest.mark.parametrize("variant", MEMBERS)
+def test_member_invariant_sweep(benchmark, variant):
+    """The batched invariant sweep on one generated member."""
+    system = build_variant(variant)
+    try:
+        checker = system.invariant_checker()
+        report = benchmark.pedantic(
+            checker.check_all, rounds=ROUNDS_SWEEP, iterations=1,
+            warmup_rounds=2,
+        )
+        assert report.passed
+        assert len(report.results) >= 50
+    finally:
+        system.db.close()

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..protocols import messages as M
-from ..protocols import states as S
 
 __all__ = ["ProtocolStats", "collect"]
 
@@ -47,7 +46,10 @@ class ProtocolStats:
 
 
 def collect(system) -> ProtocolStats:
-    """Gather statistics from an :class:`AsuraSystem`."""
+    """Gather statistics from a generated family member (the MESI
+    baseline :class:`AsuraSystem` or any other :class:`FamilySystem`).
+    The busy-state count comes from the system itself; the message
+    catalog is family-wide (variants reuse it, MOESI adds ``owb``)."""
     raw = system.stats()
     d = system.tables["D"]
     return ProtocolStats(
@@ -55,7 +57,7 @@ def collect(system) -> ProtocolStats:
         message_types=len(M.CATALOG),
         request_types=len(M.REQUEST_NAMES),
         response_types=len(M.RESPONSE_NAMES),
-        busy_states=len(S.BUSY_NAMES),
+        busy_states=raw["busy_states"],
         directory_columns=raw["directory_columns"],
         directory_rows=raw["directory_rows"],
         directory_input_space=d.schema.cross_product_size(d.schema.input_names),

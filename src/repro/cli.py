@@ -11,6 +11,8 @@
     python -m repro mutate --seed 0 --count 50   # fault-injection campaign
     python -m repro explore --nodes 2 --depth 12 # bounded reachability
     python -m repro watch campaign.journal       # live view of a run
+    python -m repro family --variant moesi       # one member, full pipeline
+    python -m repro family --all --matrix-out BENCH_family.json
 
 Every subcommand (except ``watch``, which only observes) also accepts
 the telemetry flags ``--profile`` (human text summary), ``--trace-out
@@ -21,6 +23,14 @@ snapshot), and ``--quiet`` (suppress the normal human output) — see
 ``docs/OBSERVABILITY.md`` — plus the database flags ``--db PATH``
 (attach to an existing generated database file) and ``--save-db PATH``
 (generate into a file for later ``--db`` runs).
+
+Every system-building subcommand also accepts ``--variant KEY`` to work
+on a protocol-family member other than the MESI baseline (MOESI, MESIF,
+and the axis variants — see ``docs/PROTOCOL_FAMILY.md``); ``--db`` files
+carry their member in a marker table, so attaching never needs the flag.
+``family`` runs the whole differential pipeline (invariants, deadlock
+arcs, simulation, bounded exploration, a seeded oracle campaign) for one
+member or every member, and emits the cross-family benchmark matrix.
 
 ``mutate`` additionally runs through the crash-safe runtime:
 ``--journal`` checkpoints completed mutants, ``--resume`` restarts an
@@ -67,6 +77,13 @@ def _telemetry_parent() -> argparse.ArgumentParser:
     d.add_argument("--save-db", metavar="PATH", default=None,
                    help="generate the protocol into a database file at PATH "
                         "(reusable later via --db)")
+    from .protocols.family import SPECS
+    d.add_argument("--variant", metavar="KEY", choices=tuple(SPECS),
+                   default=None,
+                   help="protocol-family member to generate "
+                        f"({', '.join(SPECS)}; default: mesi). A --db file "
+                        "names its own member in a marker table; giving a "
+                        "conflicting --variant is an error")
     return common
 
 
@@ -243,6 +260,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="PATH", default=None,
                    help="write the exploration result JSON to PATH "
                         "(atomically: temp file + rename)")
+
+    p = sub.add_parser("family", parents=[common],
+                       help="cross-family differential pipeline: generate "
+                            "one or all members, run invariants, deadlock "
+                            "arcs, simulation, bounded exploration, and a "
+                            "seeded oracle campaign per member")
+    p.add_argument("--all", action="store_true",
+                   help="run every registered family member instead of the "
+                        "one named by --variant")
+    p.add_argument("--nodes", type=int, default=2, metavar="N",
+                   help="caching nodes for the simulation/exploration "
+                        "topology (default: %(default)s)")
+    p.add_argument("--assignment", choices=("v4", "v5", "v5d"),
+                   default="v5d",
+                   help="channel assignment for the dynamic stages "
+                        "(default: %(default)s; the deadlock stage always "
+                        "sweeps all three)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign RNG seed (default: %(default)s)")
+    p.add_argument("--count", type=int, default=12, metavar="N",
+                   help="mutants per member in the campaign stage "
+                        "(default: %(default)s)")
+    p.add_argument("--explore-depth", type=int, default=6, metavar="N",
+                   help="BFS depth bound of the clean-system exploration "
+                        "stage (default: %(default)s)")
+    p.add_argument("--oracle-depth", type=int, default=5, metavar="N",
+                   help="exploration depth bound for the campaign's "
+                        "ground-truth oracle (default: %(default)s)")
+    p.add_argument("--skip-campaign", action="store_true",
+                   help="stop after the clean-system stages (no mutation "
+                        "campaign, no oracle; much faster)")
+    p.add_argument("--matrix-out", metavar="PATH", default=None,
+                   help="write the cross-family benchmark JSON "
+                        "(BENCH_family.json format) to PATH atomically")
+    p.add_argument("--baseline", metavar="PATH", default=None,
+                   help="compare each member's campaign against a committed "
+                        "cross-family benchmark and exit 1 on any "
+                        "detection regression")
 
     # ``watch`` is read-only and attaches to *another* process's run; it
     # takes neither the telemetry flags nor a protocol database.
@@ -474,12 +529,17 @@ def _cmd_explore(system, args) -> int:
     symmetry = "off" if args.no_symmetry else (args.symmetry or True)
     explorer = None
     try:
+        # The member is pinned in the config (and thus the journal
+        # header) so a resume under a different --variant is refused;
+        # ``None`` for MESI keeps pre-family journals resuming cleanly.
+        spec_key = getattr(getattr(system, "spec", None), "key", "mesi")
         config = ExploreConfig(
             nodes=args.nodes, depth=args.depth, lines=args.lines,
             assignment=args.assignment, workers=args.workers,
             capacity=args.capacity, symmetry=symmetry,
             kernel=args.kernel, frontier_dir=args.frontier_dir,
             quads=args.quads,
+            variant=spec_key if spec_key != "mesi" else None,
             journal_path=args.journal, resume_from=args.resume)
         explorer = ReachabilityExplorer(system, config)
         result = explorer.run()
@@ -506,6 +566,175 @@ def _cmd_explore(system, args) -> int:
     return 0 if result.ok else 1
 
 
+def _family_member_entry(system, args, failures: list) -> dict:
+    """Run the whole differential pipeline for one generated member and
+    return its benchmark entry; hard failures (a stage that should be
+    clean on an unmutated system going red) are appended to ``failures``."""
+    from .explore import ExploreConfig, ReachabilityExplorer
+    from .faults import run_campaign
+    from .sim import figure2_scenario, random_workload
+
+    spec = system.spec
+    stats = system.stats()
+    entry: dict = {
+        "title": spec.title,
+        "rows": stats["total_rows"],
+        "busy_states": stats["busy_states"],
+    }
+
+    report = system.check_invariants()
+    entry["invariants"] = {"passed": report.passed,
+                           "checks": len(report.results)}
+    print(f"  invariants: {'PASS' if report.passed else 'FAIL'} "
+          f"({len(report.results)} checks)")
+    if not report.passed:
+        failures.append(f"{spec.key}: invariant suite failed")
+
+    entry["deadlock"] = {}
+    for assignment in ("v4", "v5", "v5d"):
+        analysis = system.analyze_deadlocks(assignment)
+        cycles = analysis.cycles()
+        entry["deadlock"][assignment] = {"free": not cycles,
+                                         "cycles": len(cycles)}
+        print(f"  deadlock {assignment}: "
+              + ("free" if not cycles else f"{len(cycles)} cycle(s)"))
+    if not entry["deadlock"]["v5d"]["free"]:
+        failures.append(f"{spec.key}: v5d is not deadlock-free")
+
+    entry["simulation"] = {}
+    for name, workload in (
+            ("fig2", figure2_scenario(system, assignment=args.assignment)),
+            ("random", random_workload(system, assignment=args.assignment,
+                                       seed=args.seed, n_ops=60))):
+        result = workload.run()
+        entry["simulation"][name] = {"status": result.status,
+                                     "steps": result.steps}
+        print(f"  simulate {name}: {result.status} ({result.steps} steps)")
+        if result.status != "quiescent":
+            failures.append(f"{spec.key}: {name} simulation "
+                            f"{result.status}")
+
+    config = ExploreConfig(
+        nodes=args.nodes, depth=args.explore_depth,
+        assignment=args.assignment,
+        variant=spec.key if spec.key != "mesi" else None)
+    explorer = ReachabilityExplorer(system, config)
+    try:
+        result = explorer.run()
+    finally:
+        explorer.close()
+    entry["explore"] = {
+        "states": result.states,
+        "transitions": result.transitions,
+        "violations": len(result.violations),
+        "deadlocks": len(result.deadlocks),
+        "ok": result.ok,
+    }
+    print(f"  explore: {result.states} states / {result.transitions} "
+          f"transitions to depth {args.explore_depth}"
+          + ("" if result.ok else
+             f" — {len(result.violations)} violation(s), "
+             f"{len(result.deadlocks)} deadlock(s)"))
+    if not result.ok:
+        failures.append(f"{spec.key}: clean-system exploration found "
+                        f"violations")
+
+    if not args.skip_campaign:
+        campaign = run_campaign(
+            system=system, seed=args.seed, count=args.count,
+            assignment=args.assignment, oracle="explore",
+            oracle_depth=args.oracle_depth, oracle_nodes=args.nodes)
+        entry["campaign"] = campaign.to_dict()
+        totals = campaign.totals()
+        print(f"  campaign: {totals['count'] - totals['escaped']}"
+              f"/{totals['count']} caught, "
+              f"{totals['false_negatives']} oracle-only "
+              f"(FN rate {totals['false_negative_rate'] * 100:.1f}%)")
+        if totals["crashed"]:
+            failures.append(f"{spec.key}: {totals['crashed']} campaign "
+                            f"worker crash(es)")
+    return entry
+
+
+def _cmd_family(args) -> int:
+    """The cross-family differential pipeline.  Self-loading: generates
+    one fresh system per member instead of taking the single system the
+    other subcommands get from :func:`_load_system`."""
+    import json
+
+    from .faults import compare_to_baseline
+    from .protocols.family import SPECS, build_variant
+    from .runtime import atomic_write_json
+
+    if getattr(args, "db", None) or getattr(args, "save_db", None):
+        print("repro: error: family generates its own databases; "
+              "--db/--save-db do not apply", file=sys.stderr)
+        return 2
+    baseline = None
+    if args.baseline:
+        try:
+            with open(args.baseline, encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"repro: error: cannot read baseline "
+                  f"{args.baseline!r}: {exc}", file=sys.stderr)
+            return 2
+    if args.matrix_out:
+        try:
+            # Fail fast on an unwritable matrix path, before the runs.
+            open(args.matrix_out, "a", encoding="utf-8").close()
+        except OSError as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
+
+    keys = tuple(SPECS) if args.all else (args.variant or "mesi",)
+    members: dict = {}
+    failures: list[str] = []
+    for key in keys:
+        print(f"=== {key} ===")
+        system = build_variant(key)
+        try:
+            members[key] = _family_member_entry(system, args, failures)
+        finally:
+            system.db.close()
+
+    bench = {
+        "schema": "repro.family.bench/v1",
+        "assignment": args.assignment,
+        "nodes": args.nodes,
+        "seed": args.seed,
+        "count": args.count,
+        "explore_depth": args.explore_depth,
+        "oracle_depth": args.oracle_depth,
+        "members": members,
+    }
+    if args.matrix_out:
+        atomic_write_json(args.matrix_out, bench)
+    regressions = []
+    if baseline is not None:
+        base_members = baseline.get("members", {})
+        for key, entry in members.items():
+            current = entry.get("campaign")
+            base = base_members.get(key, {}).get("campaign")
+            if current is None or base is None:
+                continue
+            regressions.extend(f"[{key}] {f}"
+                               for f in compare_to_baseline(current, base))
+        if regressions:
+            print("detection regressions vs baseline:")
+            for failure in regressions:
+                print(f"  FAIL {failure}")
+        else:
+            print(f"no detection regressions vs baseline ({args.baseline})")
+    if failures:
+        print("family pipeline failures:")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    print(f"family: all {len(members)} member(s) clean")
+    return 1 if regressions else 0
+
+
 def _cmd_watch(args) -> int:
     from .runtime.watch import run_watch
     return run_watch(args.journal, events_path=args.events,
@@ -516,6 +745,11 @@ def _cmd_watch(args) -> int:
 #: subcommands that observe other runs rather than performing one: no
 #: protocol database, no telemetry flags.
 _NO_SYSTEM_COMMANDS = {"watch": _cmd_watch}
+
+#: subcommands that build their own systems (one per family member)
+#: instead of receiving the single one from :func:`_load_system`; they
+#: still take the telemetry flags.
+_SELF_SYSTEM_COMMANDS = {"family": _cmd_family}
 
 _COMMANDS = {
     "stats": _cmd_stats,
@@ -537,17 +771,24 @@ class _SystemLoadError(RuntimeError):
 
 
 def _load_system(args):
-    """Build or attach the protocol system per the --db/--save-db flags."""
+    """Build or attach the protocol system per the --db/--save-db/--variant
+    flags.  A ``--db`` file's family member comes from its own marker
+    table; naming a conflicting ``--variant`` is an error rather than a
+    silent reinterpretation of the tables."""
     import os
     import sqlite3
 
     from .core.database import DatabaseError, ProtocolDatabase
     from .core.schema import SchemaError
-    from .protocols.asura import build_system
-    from .protocols.asura.system import AsuraSystem
+    from .protocols.family import (
+        attach_variant,
+        build_variant,
+        read_variant_marker,
+    )
 
     db_path = getattr(args, "db", None)
     save_path = getattr(args, "save_db", None)
+    variant = getattr(args, "variant", None)
     if db_path and save_path:
         raise _SystemLoadError("--db and --save-db are mutually exclusive")
     if db_path:
@@ -556,19 +797,26 @@ def _load_system(args):
                 f"database file {db_path!r} does not exist "
                 f"(generate one with --save-db)")
         try:
-            return AsuraSystem.from_database(ProtocolDatabase(db_path))
+            db = ProtocolDatabase(db_path)
+            marker = read_variant_marker(db)
+            if variant is not None and variant != marker:
+                raise _SystemLoadError(
+                    f"--variant {variant} conflicts with the {marker!r} "
+                    f"member recorded in {db_path!r}")
+            return attach_variant(db, marker)
         except (DatabaseError, SchemaError, sqlite3.Error) as exc:
             raise _SystemLoadError(
                 f"cannot load protocol database {db_path!r}: "
                 f"{str(exc).splitlines()[0]}") from exc
     if save_path:
         try:
-            return build_system(ProtocolDatabase(save_path))
+            return build_variant(variant or "mesi",
+                                 ProtocolDatabase(save_path))
         except (DatabaseError, sqlite3.Error) as exc:
             raise _SystemLoadError(
                 f"cannot generate a database at {save_path!r}: "
                 f"{str(exc).splitlines()[0]}") from exc
-    return build_system()
+    return build_variant(variant or "mesi")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -599,6 +847,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         tracer = telemetry.get_tracer()
 
     try:
+        if args.command in _SELF_SYSTEM_COMMANDS:
+            try:
+                sink = io.StringIO() if args.quiet else None
+                with contextlib.redirect_stdout(sink) if sink \
+                        else contextlib.nullcontext():
+                    return _SELF_SYSTEM_COMMANDS[args.command](args)
+            except BrokenPipeError:
+                try:
+                    sys.stdout.close()
+                except Exception:
+                    pass
+                return 0
         try:
             system = _load_system(args)
         except _SystemLoadError as exc:

@@ -174,6 +174,11 @@ class ExploreConfig:
     #: states per parallel work unit (smaller = better load balance,
     #: larger = less per-unit clone overhead).
     batch_size: int = 64
+    #: protocol-family variant key (``repro.protocols.family``); None
+    #: means "whatever the database holds" — workers re-attach via the
+    #: variant marker either way, this knob only pins journals/stores to
+    #: one family member.
+    variant: Optional[str] = None
     journal_path: Optional[str] = None
     resume_from: Optional[str] = None
     #: finish the current depth, then stop as soon as any violation is
@@ -195,6 +200,12 @@ class ExploreConfig:
                 f"got {self.kernel!r}")
         if self.quads is not None and self.quads < 1:
             raise ExplorationError("quads must be >= 1")
+        if self.variant is not None:
+            from ..protocols.family.spec import SPECS
+            if self.variant not in SPECS:
+                raise ExplorationError(
+                    f"unknown protocol-family variant {self.variant!r}; "
+                    f"known: {', '.join(sorted(SPECS))}")
         try:
             symmetry_mode(self.symmetry)
         except ValueError as exc:
@@ -398,8 +409,13 @@ def _addrs(config: ExploreConfig) -> list[str]:
 
 # -- moves --------------------------------------------------------------------
 #: (nid, addr, line-state) -> inject-move tuple template.  The domain is
-#: tiny (nodes x lines x 4 cache states) and every expanded state walks
-#: it, so the skip rules run once per combination instead of per state.
+#: tiny (nodes x lines x the family member's cache states) and every
+#: expanded state walks it, so the skip rules run once per combination
+#: instead of per state.  The rules are family-safe by construction: a
+#: load is skipped in any non-I state (hits never transition, O/F
+#: included), a store is skipped only in M (an O/F/S/E holder still
+#: upgrades or transitions), and evicting I is a no-op — so the cache is
+#: keyed purely by state *name* and serves every variant in one process.
 _INJECT_TEMPLATES: dict[tuple, tuple] = {}
 
 
@@ -539,11 +555,13 @@ def _expand_unit(payload: tuple) -> list:
     on a private clone of the protocol database (sqlite connections are
     single-thread; every unit builds its own)."""
     snapshot, channels, config, batch = payload
-    from ..protocols.asura.system import AsuraSystem
+    from ..protocols.family import attach_variant
 
     db = ProtocolDatabase.deserialize(snapshot)
     try:
-        system = AsuraSystem.from_database(db)
+        # The variant marker in the database picks the family member;
+        # a bare MESI database attaches exactly as before.
+        system = attach_variant(db, config.variant)
         home_map = {a: 0 for a in _addrs(config)}
         sim = _build_simulator(system, config, home_map, channels=channels)
         addrs = _addrs(config)
@@ -558,21 +576,31 @@ def _expand_unit(payload: tuple) -> list:
 
 
 # -- state-level invariants ---------------------------------------------------
-def _coherence_violation(state: tuple) -> Optional[str]:
+def _coherence_violation(state: tuple, fwd: Optional[str] = None) -> Optional[str]:
     """Single-writer/multiple-reader over the state's cache contents
-    (mirrors :meth:`Simulator.check_coherence`)."""
+    (mirrors :meth:`Simulator.check_coherence`).
+
+    ``fwd`` is the family member's forwarder state (MOESI ``O``, MESIF
+    ``F``): it counts as a shared copy and is unique per line.
+    """
     holders: dict[str, list[tuple[str, str]]] = {}
     for nid, cache, miss, wb, cpu_ops in state[2]:
         for addr, st in cache:
             holders.setdefault(addr, []).append((nid, st))
     for addr, hs in sorted(holders.items()):
         owners = [nid for nid, st in hs if st in ("M", "E")]
-        sharers = [nid for nid, st in hs if st == "S"]
+        sharers = [nid for nid, st in hs
+                   if st == "S" or (fwd is not None and st == fwd)]
         if len(owners) > 1:
             return f"line {addr}: multiple owners {sorted(owners)}"
         if owners and sharers:
             return (f"line {addr}: owner {owners[0]} coexists with "
                     f"sharers {sorted(sharers)}")
+        if fwd is not None:
+            forwarders = [nid for nid, st in hs if st == fwd]
+            if len(forwarders) > 1:
+                return (f"line {addr}: multiple forwarders ({fwd}) "
+                        f"{sorted(forwarders)}")
     return None
 
 
@@ -673,7 +701,19 @@ class ReachabilityExplorer:
         if self.config.kernel != "compiled":
             return None
         if self._kernels is None:
-            self._kernels = compile_system_kernels(self.system)
+            try:
+                self._kernels = compile_system_kernels(self.system)
+            except Exception as exc:
+                # A table shape the dispatch compiler cannot handle (an
+                # exotic family member / topology) degrades to the SQL
+                # lookup path instead of failing the run; the counter
+                # makes the silent downgrade visible in telemetry.
+                get_tracer().incr("explore.kernel_fallback")
+                get_tracer().emit(
+                    "explore.kernel_fallback",
+                    error=f"{type(exc).__name__}: {exc}".splitlines()[0])
+                self.config.kernel = "interpreted"
+                return None
         return self._kernels
 
     @property
@@ -710,6 +750,10 @@ class ReachabilityExplorer:
             # Only stamped when overridden, so pre-override journals
             # (no "quads" key) still resume under the default topology.
             header["quads"] = c.quads
+        if c.variant is not None:
+            # Same rule for the protocol-family variant: absent means
+            # the MESI baseline, keeping historical journals resumable.
+            header["variant"] = c.variant
         return header
 
     def _load_resume(self, path: str) -> dict[int, dict]:
@@ -726,6 +770,11 @@ class ReachabilityExplorer:
                 f"cannot resume: journal {path!r} was written by an "
                 f"exploration with quads={header['quads']!r}, this run "
                 f"has quads=None")
+        if "variant" not in expected and header.get("variant") is not None:
+            raise JournalError(
+                f"cannot resume: journal {path!r} was written by an "
+                f"exploration of variant={header['variant']!r}, this run "
+                f"explores the MESI baseline")
         return {int(d): data for d, data in units.items()}
 
     # -- the BFS --------------------------------------------------------------
@@ -1108,7 +1157,9 @@ class ReachabilityExplorer:
     def _state_flags(self, state: tuple) -> tuple:
         """The precomputed invariant verdicts of one canonical state:
         ``(coherence_detail, quiescent, directory_detail)``."""
-        coh = _coherence_violation(state)
+        spec = getattr(self.system, "spec", None)
+        coh = _coherence_violation(
+            state, spec.forward_state if spec is not None else None)
         quiescent = _quiescent(state)
         dirv = (_directory_violation(state, self.home_map)
                 if quiescent else None)

@@ -194,11 +194,19 @@ def hash_state(state: tuple) -> str:
 
 
 # -- symmetry -----------------------------------------------------------------
-def node_groups(state: tuple) -> list[list[str]]:
-    """Node ids grouped by quad — the interchangeable-node classes."""
-    groups: dict[int, list[str]] = {}
+def node_groups(state: tuple, group_of=quad_of) -> list[list[str]]:
+    """Node ids grouped into interchangeable-node classes.
+
+    ``group_of`` maps a node id to its class key; the default groups by
+    quad (nodes in one quad run identical C/N tables over identically
+    shared channel instances).  Non-quad topologies pass their own
+    grouping — e.g. a 3- or 5-node single-quad configuration groups all
+    nodes together, which ``quad_of`` already yields for ``node:0.*``
+    ids; an asymmetric topology can restrict classes further.
+    """
+    groups: dict = {}
     for nid, *_ in state[2]:
-        groups.setdefault(quad_of(nid), []).append(nid)
+        groups.setdefault(group_of(nid), []).append(nid)
     return [sorted(g) for _, g in sorted(groups.items())]
 
 
@@ -357,6 +365,7 @@ def canonicalize(
     state: tuple,
     symmetry=True,
     quad_classes: Iterable[Iterable[int]] = (),
+    group_of=quad_of,
 ) -> tuple:
     """The canonical representative of a state's symmetry orbit.
 
@@ -376,7 +385,7 @@ def canonicalize(
         qmaps = _quad_permutations(quad_classes)
     else:
         qmaps = [{}]
-    groups = [g for g in node_groups(state) if len(g) > 1]
+    groups = [g for g in node_groups(state, group_of) if len(g) > 1]
     if len(qmaps) == 1 and not groups:
         return state
     best: Optional[tuple] = None
@@ -384,7 +393,7 @@ def canonicalize(
     for qmap in qmaps:
         base = permute_quads(state, qmap) if qmap else state
         node_maps = _group_permutations(
-            [g for g in node_groups(base) if len(g) > 1]
+            [g for g in node_groups(base, group_of) if len(g) > 1]
         )
         for mapping in node_maps:
             candidate = permute_state(base, mapping) if mapping else base

@@ -162,6 +162,8 @@ class CampaignResult:
     seed: int
     assignment: str
     classes: tuple[str, ...]
+    #: protocol-family member the campaign mutated ("mesi" = baseline).
+    variant: str = "mesi"
     reports: list[DetectionReport] = field(default_factory=list)
     wall_seconds: float = 0.0
     #: mutants restored from a checkpoint journal instead of re-executed
@@ -240,6 +242,10 @@ class CampaignResult:
             "assignment": self.assignment,
             "classes": list(self.classes),
         }
+        if self.variant != "mesi":
+            # Only stamped off-baseline: MESI matrices stay byte-identical
+            # to every pre-family code version.
+            d["variant"] = self.variant
         if self.oracle:
             d["oracle"] = dict(self.oracle)
         d |= {
@@ -251,8 +257,9 @@ class CampaignResult:
 
     def render(self) -> str:
         """Human-readable detection matrix."""
+        variant = f"variant={self.variant} " if self.variant != "mesi" else ""
         lines = [f"mutation campaign: seed={self.seed} count={self.count} "
-                 f"assignment={self.assignment} "
+                 f"assignment={self.assignment} {variant}"
                  f"({self.wall_seconds:.2f}s)"]
         oracle_col = f"{'oracle':>8}" if self.oracle else ""
         header = (f"{'fault class':<22}{'n':>4}{'invariants':>12}"
@@ -352,7 +359,7 @@ def _run_mutant(snapshot: bytes, mutation: Mutation, assignment: str,
     really did corrupt the tables, while a mutant that merely trips the
     optimized path still gets a genuine verdict (tagged
     ``degraded=True``)."""
-    from ..protocols.asura.system import AsuraSystem
+    from ..protocols.family import attach_variant
     from ..sim import figure2_scenario, random_workload
     from ..sim.models import SimProtocolError
     from ..sim.system import CoherenceError
@@ -363,7 +370,9 @@ def _run_mutant(snapshot: bytes, mutation: Mutation, assignment: str,
         lambda: ProtocolDatabase.deserialize(snapshot),
         CLONE_RETRY_POLICY, metric="mutate.clone_retries")
     try:
-        system = AsuraSystem.from_database(db)
+        # The variant marker inside the snapshot recovers the right
+        # family member; an unmarked (MESI) snapshot attaches as before.
+        system = attach_variant(db)
         # Audits must capture the *clean* constraints, so build them
         # before the mutation lands (relax-constraint edits them).
         audits = structural_invariants(system)
@@ -504,6 +513,7 @@ def run_campaign(
     count: int = 50,
     classes: Optional[Sequence[str]] = None,
     assignment: str = "v5d",
+    variant: Optional[str] = None,
     workers: Optional[int] = None,
     sim_ops: int = 40,
     isolation: str = "thread",
@@ -544,8 +554,13 @@ def run_campaign(
     only the missing mutants, and keeps appending to the same journal
     unless a different ``journal_path`` is given.  Sampling is
     deterministic, so a resumed campaign's matrix is identical to an
-    uninterrupted run's."""
-    from ..protocols.asura import build_system
+    uninterrupted run's.
+
+    ``variant`` picks the protocol-family member to mutate (default: the
+    MESI baseline, or whatever family member a supplied ``system`` is);
+    passing both a ``system`` and a conflicting ``variant`` is an
+    error."""
+    from ..protocols.family import build_variant
 
     t0 = time.perf_counter()
     tracer = get_tracer()
@@ -568,7 +583,16 @@ def run_campaign(
     with span("mutate.campaign", count=count, seed=seed,
               assignment=assignment, isolation=isolation):
         if system is None:
-            system = build_system()
+            system = build_variant(variant or "mesi")
+        else:
+            system_variant = getattr(
+                getattr(system, "spec", None), "key", "mesi")
+            if variant is not None and variant != system_variant:
+                raise ValueError(
+                    f"variant={variant!r} conflicts with the supplied "
+                    f"system's family member {system_variant!r}")
+            variant = system_variant
+        variant = variant or "mesi"
         prepare_reference_tables(system)
 
         engine = MutationEngine(system, seed=seed, classes=classes,
@@ -584,6 +608,9 @@ def run_campaign(
             "classes": list(engine.classes),
             "sim_ops": sim_ops,
         }
+        if variant != "mesi":
+            # Absent for the baseline so pre-family journals resume.
+            header["variant"] = variant
         if oracle_cfg:
             # Oracle verdicts depend on the exploration bounds, so a
             # journal written under one oracle config must not seed a
@@ -726,6 +753,7 @@ def run_campaign(
             seed=seed,
             assignment=assignment,
             classes=engine.classes,
+            variant=variant,
             reports=reports,
             wall_seconds=time.perf_counter() - t0,
             resumed=len(restored),
@@ -749,7 +777,7 @@ def compare_to_baseline(current: dict, baseline: dict) -> list[str]:
     if baseline.get("schema") != MATRIX_SCHEMA:
         return [f"baseline has schema {baseline.get('schema')!r}, "
                 f"expected {MATRIX_SCHEMA!r}"]
-    for key in ("seed", "assignment", "classes", "oracle"):
+    for key in ("seed", "assignment", "classes", "variant", "oracle"):
         if baseline.get(key) != current.get(key):
             failures.append(
                 f"campaign parameter {key!r} differs from baseline "

@@ -22,8 +22,17 @@ first ``n`` draws of a longer campaign are exactly the shorter campaign
 (``--count 25`` is a prefix of ``--count 50``), which is what lets CI run
 a cheap smoke slice against the committed full baseline.  Mutations are
 applied to cloned systems (snapshot + :meth:`ProtocolDatabase.deserialize`
-+ :meth:`AsuraSystem.from_database`), never to the system they were
-sampled from.
++ :func:`repro.protocols.family.attach_variant`), never to the system
+they were sampled from.
+
+Every fault class derives its targets from the *live* system — schemas,
+deadlock-spec message triples, constraint sets, and the variant's own
+channel assignment — so the engine is family-clean by construction:
+``reassign-channel`` draws from whatever V the member defines (including
+MOESI's ``owb`` entries and the VC6 split of ``mesi-vc6``), and
+``corrupt-pv-update`` targets the ``nxtdirpv``/``nxtbdirpv`` columns
+present in every member's directory schema.  Nothing hardcodes MESI
+state or message names.
 """
 
 from __future__ import annotations

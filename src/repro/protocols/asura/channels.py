@@ -1,4 +1,6 @@
-"""Virtual-channel assignments (paper sections 4.1–4.2).
+"""Virtual-channel assignments (paper sections 4.1–4.2): the MESI
+instantiation of the family-parameterized builder (see
+:mod:`repro.protocols.family.channels`).
 
 Three assignments reproduce the paper's debugging history:
 
@@ -15,78 +17,22 @@ Three assignments reproduce the paper's debugging history:
   response processing generates (``mread``, and in our protocol also the
   dirty-data ``mwrite``).  Dedicated paths are unbounded and leave the
   VCG; the assignment is deadlock-free.
-
-Two always-dedicated channels model the on-chip interfaces: ``CPU``
-(cache/processor side of the node controller) and ``DEV`` (device side of
-the I/O controller) — both are sinkable by construction, the standard
-assumption for processor and device interfaces.
 """
 
 from __future__ import annotations
 
-from ...core.deadlock import ChannelAssignment, VCAssignment
+from ...core.deadlock import ChannelAssignment
+from ..family import channels as _family
+from ..family.channels import RESPONSE_TRIGGERED_MEM
+from ..family.spec import MESI
 
-__all__ = ["channel_assignments", "V4", "V5", "V5D"]
-
-_L, _H, _R = "local", "home", "remote"
-
-#: Messages grouped by route; the channel per group varies by assignment.
-_REQUESTS_LH = ("read", "readex", "upgrade", "wb", "flush", "ior", "iow")
-_SNOOPS_HR = ("sinv", "sread")
-_REPLIES_RH = ("idone", "ddata", "sdone")
-_RESPONSES_HL = ("cdata", "compl", "retry", "data", "nack")
-_DIR_MEM = ("mread", "mwrite", "wbmem", "dwrite")
-_MEM_DIR = ("data", "mdone")
-_CACHE_SIDE = ("miss_rd", "miss_wr", "wb_victim", "flush_victim")
-_DEV_SIDE = ("io_read", "io_write", "dev_intr")
-
-#: Memory requests generated while *processing responses* — the ones the
-#: paper's dedicated hardware path must carry (section 4.2).
-RESPONSE_TRIGGERED_MEM = ("mread", "mwrite", "dwrite")
-
-
-def _base(dir_mem_channel: dict[str, str]) -> list[VCAssignment]:
-    v: list[VCAssignment] = []
-    v += [VCAssignment(m, _L, _H, "VC0") for m in _REQUESTS_LH]
-    # Completion acknowledgments ride their own channel: the directory
-    # sinks them unconditionally (the ack transition emits nothing), so
-    # VC5 is a leaf of every VCG.
-    v.append(VCAssignment("compl", _L, _H, "VC5"))
-    v += [VCAssignment(m, _H, _R, "VC1") for m in _SNOOPS_HR]
-    v += [VCAssignment(m, _R, _H, "VC2") for m in _REPLIES_RH]
-    v += [VCAssignment(m, _H, _L, "VC3") for m in _RESPONSES_HL]
-    v += [VCAssignment(m, _H, _H, dir_mem_channel[m]) for m in _DIR_MEM]
-    v += [VCAssignment(m, _H, _H, "VC2") for m in _MEM_DIR]
-    v += [VCAssignment(m, "cache", _L, "CPU") for m in _CACHE_SIDE]
-    v += [VCAssignment(m, "dev", _L, "DEV") for m in _DEV_SIDE]
-    return v
+__all__ = ["channel_assignments", "RESPONSE_TRIGGERED_MEM",
+           "V4", "V5", "V5D"]
 
 
 def channel_assignments() -> dict[str, ChannelAssignment]:
     """The three assignments of the paper's debugging history."""
-    always_dedicated = ("CPU", "DEV")
-
-    v4 = ChannelAssignment(
-        "v4",
-        _base({m: "VC0" for m in _DIR_MEM}),
-        dedicated=always_dedicated,
-    )
-    v5 = ChannelAssignment(
-        "v5",
-        _base({m: "VC4" for m in _DIR_MEM}),
-        dedicated=always_dedicated,
-    )
-    v5d = ChannelAssignment(
-        "v5d",
-        _base(
-            {
-                m: ("PDM" if m in RESPONSE_TRIGGERED_MEM else "VC4")
-                for m in _DIR_MEM
-            }
-        ),
-        dedicated=always_dedicated + ("PDM",),
-    )
-    return {"v4": v4, "v5": v5, "v5d": v5d}
+    return _family.channel_assignments(MESI)
 
 
 _ASSIGNMENTS = channel_assignments()

@@ -1,27 +1,19 @@
-"""The directory controller table D (paper sections 2.1 and 3).
+"""The directory controller table D (paper sections 2.1 and 3): the MESI
+instantiation of the family-parameterized builder (see
+:mod:`repro.protocols.family.directory`).
 
-D is the protocol's largest controller: 30 columns (10 inputs, 20
-outputs).  Inputs describe the incoming message (name, source,
-destination, arrival queue), the directory entry (state, presence vector,
-lookup result) and the busy-directory entry (ditto).  Outputs name up to
-three outgoing messages — to the local requester, to remote sharers, and
-to home memory — each with source/destination/resource columns, plus the
-next directory and busy-directory states, presence-vector operations, the
-write strobes for both directory arrays, a transaction-complete marker and
-the new owner.
-
-Every transition is specified by the per-column constraints in
-:func:`directory_constraints`; the table itself is *generated*, never
-hand-entered.
+D is the protocol's largest controller: 31 columns (11 inputs, 20
+outputs).  Every transition is specified by per-column constraints; the
+table itself is *generated*, never hand-entered.  The golden snapshot
+test pins the MESI instantiation byte-identical to the pre-family table.
 """
 
 from __future__ import annotations
 
 from ...core.constraints import ConstraintSet
-from ...core.expr import And, BoolExpr, C, In, Or, TRUE, cases, when
-from ...core.schema import Column, Role, TableSchema
-from .. import messages as M
-from .. import states as S
+from ...core.schema import TableSchema
+from ..family import directory as _family
+from ..family.spec import MESI
 
 __all__ = [
     "directory_schema",
@@ -29,416 +21,14 @@ __all__ = [
     "DIR_TABLE_NAME",
 ]
 
-DIR_TABLE_NAME = "D"
-
-_ROLES = ("local", "home", "remote")
-_IN = Role.INPUT
-_OUT = Role.OUTPUT
+DIR_TABLE_NAME = _family.DIR_TABLE_NAME
 
 
 def directory_schema() -> TableSchema:
-    """The 30-column schema of the directory controller table D."""
-    cols = [
-        # -- inputs (10) -----------------------------------------------------
-        Column("inmsg", M.DIR_INPUTS, _IN, nullable=False,
-               doc="incoming protocol message"),
-        Column("inmsgsrc", _ROLES, _IN, nullable=False,
-               doc="node role the message came from"),
-        Column("inmsgdst", _ROLES, _IN, nullable=False,
-               doc="node role the message is addressed to (always home)"),
-        Column("inmsgres", ("reqq", "respq"), _IN, nullable=False,
-               doc="input queue the message arrived on (Figure 5)"),
-        Column("dirst", S.DIR_STATES, _IN, nullable=False,
-               doc="directory state of the line"),
-        Column("dirpv", S.PV_VALUES, _IN, nullable=False,
-               doc="directory presence vector, abstracted to zero/one/gone"),
-        Column("dirlookup", ("hit", "miss"), _IN, nullable=False,
-               doc="result of the directory lookup"),
-        Column("bdirst", S.BDIR_STATES, _IN, nullable=False,
-               doc="busy-directory state (I = no pending transaction)"),
-        Column("bdirpv", S.PV_VALUES, _IN, nullable=False,
-               doc="busy-directory presence vector (sharers still pending)"),
-        Column("bdirlookup", ("hit", "miss"), _IN, nullable=False,
-               doc="result of the busy-directory lookup"),
-        Column("reqinpv", ("yes", "no"), _IN,
-               doc=("requester found in the presence vector — "
-                    "distinguishes a still-sharing requester from a stale "
-                    "writeback/flush whose line has already moved on")),
-        # -- outputs (20) -----------------------------------------------------
-        Column("locmsg", M.DIR_LOCAL_OUTPUTS, _OUT, doc="message to the local node"),
-        Column("locmsgsrc", _ROLES, _OUT),
-        Column("locmsgdst", _ROLES, _OUT),
-        Column("locmsgres", ("locq",), _OUT, doc="output queue used (Figure 5)"),
-        Column("remmsg", M.DIR_REMOTE_OUTPUTS, _OUT, doc="snoop to remote node(s)"),
-        Column("remmsgsrc", _ROLES, _OUT),
-        Column("remmsgdst", _ROLES, _OUT),
-        Column("remmsgres", ("remq",), _OUT),
-        Column("memmsg", M.DIR_MEM_OUTPUTS, _OUT, doc="request to home memory"),
-        Column("memmsgsrc", _ROLES, _OUT),
-        Column("memmsgdst", _ROLES, _OUT),
-        Column("memmsgres", ("memq",), _OUT),
-        Column("nxtdirst", S.DIR_STATES, _OUT, doc="next directory state (NULL = unchanged)"),
-        Column("nxtdirpv", S.PV_OPS, _OUT, doc="presence-vector operation (Figure 3)"),
-        Column("nxtbdirst", S.BDIR_STATES, _OUT, doc="next busy-directory state (I = deallocate)"),
-        Column("nxtbdirpv", S.BPV_OPS, _OUT, doc="busy presence-vector operation"),
-        Column("dirwr", ("yes",), _OUT, doc="directory array write strobe"),
-        Column("bdirwr", ("yes",), _OUT, doc="busy-directory write strobe"),
-        Column("cmpl", ("yes",), _OUT, doc="transaction completes on this transition"),
-        Column("nxtowner", ("local",), _OUT, doc="new owner when ownership transfers"),
-    ]
-    return TableSchema(DIR_TABLE_NAME, cols)
-
-
-# ---------------------------------------------------------------------------
-# Named transition conditions (all over input columns)
-# ---------------------------------------------------------------------------
-
-
-def _conditions() -> dict[str, BoolExpr]:
-    inmsg, dirst, dirpv = C("inmsg"), C("dirst"), C("dirpv")
-    bdirst, bdirpv = C("bdirst"), C("bdirpv")
-    is_req = inmsg.isin(M.DIR_REQUEST_INPUTS)
-    miss = C("bdirlookup").eq("miss")
-    hit = C("bdirlookup").eq("hit")
-    normal = is_req & miss
-
-    c: dict[str, BoolExpr] = {}
-    c["is_req"] = is_req
-    c["retrying"] = is_req & hit
-
-    # Requests at an idle line.
-    c["rd_i"] = normal & inmsg.eq("read") & dirst.eq(S.DIR_I)
-    c["rd_si"] = normal & inmsg.eq("read") & dirst.eq(S.DIR_SI)
-    c["rd_m"] = normal & inmsg.eq("read") & dirst.eq(S.DIR_MESI)
-    reqin = C("reqinpv")
-    c["x_i"] = normal & inmsg.eq("readex") & dirst.eq(S.DIR_I)
-    # readex at SI: the requester may itself be a (stale) tracked sharer —
-    # a node that answered a snoop from its victim buffer stays in the
-    # presence vector until invalidated.  It must not be snooped.
-    c["x_si"] = (normal & inmsg.eq("readex") & dirst.eq(S.DIR_SI)
-                 & reqin.eq("no"))
-    c["x_si_self_one"] = (normal & inmsg.eq("readex") & dirst.eq(S.DIR_SI)
-                          & reqin.eq("yes") & dirpv.eq(S.PV_ONE))
-    c["x_si_self_gone"] = (normal & inmsg.eq("readex") & dirst.eq(S.DIR_SI)
-                           & reqin.eq("yes") & dirpv.eq(S.PV_GONE))
-    c["x_m"] = normal & inmsg.eq("readex") & dirst.eq(S.DIR_MESI)
-    c["up_one"] = (normal & inmsg.eq("upgrade") & reqin.eq("yes")
-                   & dirpv.eq(S.PV_ONE))
-    c["up_gone"] = (normal & inmsg.eq("upgrade") & reqin.eq("yes")
-                    & dirpv.eq(S.PV_GONE))
-    # An upgrade whose requester is no longer tracked lost its line to an
-    # earlier transaction: refused, the node re-derives a readex.
-    c["up_stale"] = normal & inmsg.eq("upgrade") & reqin.eq("no")
-    # Writebacks and flushes whose line has already left the requester
-    # (the victim buffer answered a snoop and the transaction was
-    # cancelled, but the request was already in flight) are stale: nacked.
-    # A live writeback comes from the tracked *owner*; a wb whose line has
-    # since been demoted to SI (its data already travelled with a snoop
-    # reply) or fully moved on is stale.
-    c["wb_m"] = (normal & inmsg.eq("wb") & reqin.eq("yes")
-                 & dirst.eq(S.DIR_MESI))
-    c["wb_stale"] = (normal & inmsg.eq("wb")
-                     & Or((reqin.eq("no"), dirst.ne(S.DIR_MESI))))
-    c["fl_one"] = (normal & inmsg.eq("flush") & reqin.eq("yes")
-                   & dirst.eq(S.DIR_SI) & dirpv.eq(S.PV_ONE))
-    c["fl_gone"] = (normal & inmsg.eq("flush") & reqin.eq("yes")
-                    & dirst.eq(S.DIR_SI) & dirpv.eq(S.PV_GONE))
-    # Eviction of a clean-exclusive (E) line: no data to write back, the
-    # entry is simply dropped.
-    c["fl_m"] = (normal & inmsg.eq("flush") & reqin.eq("yes")
-                 & dirst.eq(S.DIR_MESI))
-    c["fl_stale"] = normal & inmsg.eq("flush") & reqin.eq("no")
-    c["ior_i"] = normal & inmsg.eq("ior") & dirst.eq(S.DIR_I)
-    c["ior_si"] = normal & inmsg.eq("ior") & dirst.eq(S.DIR_SI)
-    c["ior_m"] = normal & inmsg.eq("ior") & dirst.eq(S.DIR_MESI)
-    c["iow_i"] = normal & inmsg.eq("iow") & dirst.eq(S.DIR_I)
-    c["iow_si"] = normal & inmsg.eq("iow") & dirst.eq(S.DIR_SI)
-    c["iow_m"] = normal & inmsg.eq("iow") & dirst.eq(S.DIR_MESI)
-
-    # Responses, keyed by the busy state that awaits them.
-    data = inmsg.eq("data")
-    idone = inmsg.eq("idone")
-    c["data_rd"] = data & bdirst.eq("Busy-r-d")
-    c["data_rsd"] = data & bdirst.eq("Busy-rs-d")
-    c["data_xd"] = data & bdirst.eq("Busy-x-d")
-    c["data_xssd"] = data & bdirst.eq("Busy-xs-sd")
-    c["data_xsd"] = data & bdirst.eq("Busy-xs-d")
-    c["data_xmd"] = data & bdirst.eq("Busy-xm-d")
-    c["data_iord"] = data & bdirst.eq("Busy-ior-d")
-    c["idone_xssd_gone"] = idone & bdirst.eq("Busy-xs-sd") & bdirpv.eq(S.PV_GONE)
-    c["idone_xssd_one"] = idone & bdirst.eq("Busy-xs-sd") & bdirpv.eq(S.PV_ONE)
-    c["idone_xss_gone"] = idone & bdirst.eq("Busy-xs-s") & bdirpv.eq(S.PV_GONE)
-    c["idone_xss_one"] = idone & bdirst.eq("Busy-xs-s") & bdirpv.eq(S.PV_ONE)
-    c["idone_us_gone"] = idone & bdirst.eq("Busy-u-s") & bdirpv.eq(S.PV_GONE)
-    c["idone_us_one"] = idone & bdirst.eq("Busy-u-s") & bdirpv.eq(S.PV_ONE)
-    c["idone_xms"] = idone & bdirst.eq("Busy-xm-s")
-    c["ddata_xms"] = inmsg.eq("ddata") & bdirst.eq("Busy-xm-s")
-    c["sdone_rms"] = inmsg.eq("sdone") & bdirst.eq("Busy-rm-s")
-    c["mdone_wm"] = inmsg.eq("mdone") & bdirst.eq("Busy-w-m")
-    c["mdone_iowm"] = inmsg.eq("mdone") & bdirst.eq("Busy-iow-m")
-    # Coherent DMA responses.
-    c["data_iorsd"] = data & bdirst.eq("Busy-iors-d")
-    c["sdone_iorm"] = inmsg.eq("sdone") & bdirst.eq("Busy-iorm-s")
-    c["idone_iows_gone"] = (idone & bdirst.eq("Busy-iows-s")
-                            & bdirpv.eq(S.PV_GONE))
-    c["idone_iows_one"] = (idone & bdirst.eq("Busy-iows-s")
-                           & bdirpv.eq(S.PV_ONE))
-    c["idone_iowm"] = idone & bdirst.eq("Busy-iowm-s")
-    c["ddata_iowm"] = inmsg.eq("ddata") & bdirst.eq("Busy-iowm-s")
-    # Completion acknowledgments from the requester (paper section 4.3:
-    # "D receiving a compl response").
-    c["compl_rc"] = inmsg.eq("compl") & bdirst.eq("Busy-r-c")
-    c["compl_xc"] = inmsg.eq("compl") & bdirst.eq("Busy-x-c")
-    c["compl_uc"] = inmsg.eq("compl") & bdirst.eq("Busy-u-c")
-    return c
-
-
-def _any(c: dict[str, BoolExpr], *names: str) -> BoolExpr:
-    return Or(tuple(c[n] for n in names))
-
-
-#: Transitions sending the final response to a read requester — the busy
-#: entry moves to Busy-r-c awaiting the requester's acknowledgment.
-_READ_GRANTS = ("data_rd", "data_rsd", "sdone_rms")
-#: Likewise for readex (-> Busy-x-c) ...
-_READEX_GRANTS = ("data_xd", "data_xsd", "data_xmd", "ddata_xms",
-                  "idone_xss_one")
-#: ... and upgrade (-> Busy-u-c).
-_UPGRADE_GRANTS = ("up_one", "idone_us_one")
-
-#: Transitions on which the busy entry is deallocated outright: cache-free
-#: transactions (writebacks, I/O) and the requester acknowledgments.
-_DEALLOCS = ("data_iord", "data_iorsd", "sdone_iorm",
-             "mdone_wm", "mdone_iowm",
-             "compl_rc", "compl_xc", "compl_uc")
-
-#: Acknowledgment transitions transferring exclusive ownership.
-_OWNERSHIP = ("compl_xc", "compl_uc")
+    """The 31-column schema of the directory controller table D."""
+    return _family.directory_schema(MESI)
 
 
 def directory_constraints() -> ConstraintSet:
-    """All 30 column constraints of D."""
-    schema = directory_schema()
-    cs = ConstraintSet(schema)
-    c = _conditions()
-    inmsg = C("inmsg")
-
-    # -- input-legality constraints ------------------------------------------
-    cs.set("inmsgsrc", cases(
-        (c["is_req"], C("inmsgsrc").eq("local")),
-        # The completion acknowledgment comes from the requester.
-        (inmsg.eq("compl"), C("inmsgsrc").eq("local")),
-        (inmsg.isin(M.RESPONSES_FROM_HOME), C("inmsgsrc").eq("home")),
-        default=C("inmsgsrc").eq("remote"),
-    ))
-    cs.set("inmsgdst", C("inmsgdst").eq("home"))
-    cs.set("inmsgres", when(
-        c["is_req"], C("inmsgres").eq("reqq"), C("inmsgres").eq("respq"),
-    ))
-    cs.set("dirst", cases(
-        # Mutual exclusion: while a busy entry exists the directory entry
-        # does not (paper's second invariant in section 4.3).
-        (C("bdirlookup").eq("hit"), C("dirst").eq(S.DIR_I)),
-        (inmsg.eq("upgrade") & C("reqinpv").eq("yes"), C("dirst").eq(S.DIR_SI)),
-        # Stale writebacks/flushes (requester no longer tracked, or no
-        # longer the owner) can find the line in any state; live flushes
-        # require a tracked copy.
-        (inmsg.eq("flush") & C("reqinpv").eq("yes"),
-         C("dirst").isin((S.DIR_SI, S.DIR_MESI))),
-        default=TRUE,
-    ))
-    cs.set("dirpv", cases(
-        # The paper's first invariant, enforced at specification time.
-        (C("dirst").eq(S.DIR_I), C("dirpv").eq(S.PV_ZERO)),
-        (C("dirst").eq(S.DIR_MESI), C("dirpv").eq(S.PV_ONE)),
-        default=C("dirpv").isin((S.PV_ONE, S.PV_GONE)),
-    ))
-    cs.set("dirlookup", when(
-        C("dirst").eq(S.DIR_I), C("dirlookup").eq("miss"), C("dirlookup").eq("hit"),
-    ))
-    cs.set("bdirst", cases(
-        # Each response is only legal in the busy states awaiting it.
-        (inmsg.eq("data"), C("bdirst").isin(S.busy_awaiting("data"))),
-        (inmsg.eq("mdone"), C("bdirst").isin(S.busy_awaiting("mdone"))),
-        (inmsg.eq("idone"), C("bdirst").isin(S.busy_awaiting("idone"))),
-        (inmsg.eq("ddata"), C("bdirst").isin(S.busy_awaiting("ddata"))),
-        (inmsg.eq("sdone"), C("bdirst").isin(S.busy_awaiting("sdone"))),
-        (inmsg.eq("compl"), C("bdirst").isin(S.busy_awaiting("compl"))),
-        default=TRUE,
-    ))
-    bpv_branches = [(C("bdirst").eq(S.DIR_I), C("bdirpv").eq(S.PV_ZERO))]
-    for b in S.BUSY_NAMES:
-        bpv_branches.append(
-            (C("bdirst").eq(b), C("bdirpv").isin(S.busy_pv_domain(b)))
-        )
-    cs.set("bdirpv", cases(*bpv_branches, default=TRUE))
-    cs.set("bdirlookup", when(
-        C("bdirst").eq(S.DIR_I), C("bdirlookup").eq("miss"), C("bdirlookup").eq("hit"),
-    ))
-    cs.set("reqinpv", cases(
-        # Meaningful only where the directory's decision depends on it.
-        (inmsg.eq("readex") & C("dirst").eq(S.DIR_SI), C("reqinpv").not_null()),
-        (inmsg.isin(("wb", "flush", "upgrade")),
-         when(C("dirpv").eq(S.PV_ZERO),
-              C("reqinpv").eq("no"), C("reqinpv").not_null())),
-        default=C("reqinpv").is_null(),
-    ))
-
-    # -- message outputs --------------------------------------------------------
-    cs.set("locmsg", cases(
-        (c["retrying"], C("locmsg").eq("retry")),
-        (_any(c, "wb_stale", "fl_stale", "up_stale"), C("locmsg").eq("nack")),
-        (c["data_xssd"], C("locmsg").eq("data")),  # early data forward
-        (_any(c, "data_rd", "data_rsd", "data_xd", "data_xsd", "data_xmd",
-              "data_iord", "data_iorsd", "sdone_iorm", "ddata_xms",
-              "sdone_rms"),
-         C("locmsg").eq("cdata")),
-        (_any(c, "idone_xss_one", "idone_us_one", "mdone_wm", "mdone_iowm",
-              "up_one", "fl_one", "fl_gone", "fl_m"),
-         C("locmsg").eq("compl")),
-        default=C("locmsg").is_null(),
-    ))
-    cs.set("locmsgsrc", when(
-        C("locmsg").not_null(), C("locmsgsrc").eq("home"), C("locmsgsrc").is_null(),
-    ))
-    cs.set("locmsgdst", when(
-        C("locmsg").not_null(), C("locmsgdst").eq("local"), C("locmsgdst").is_null(),
-    ))
-    cs.set("locmsgres", when(
-        C("locmsg").not_null(), C("locmsgres").eq("locq"), C("locmsgres").is_null(),
-    ))
-
-    # This is the paper's example constraint:
-    #   inmsg = readex and dirst = SI ? remmsg = sinv : remmsg = NULL
-    # generalized over every snooping transaction.
-    cs.set("remmsg", cases(
-        (_any(c, "x_si", "x_si_self_gone", "x_m", "up_gone", "iow_si",
-              "iow_m"),
-         C("remmsg").eq("sinv")),
-        (_any(c, "rd_m", "ior_m"), C("remmsg").eq("sread")),
-        default=C("remmsg").is_null(),
-    ))
-    cs.set("remmsgsrc", when(
-        C("remmsg").not_null(), C("remmsgsrc").eq("home"), C("remmsgsrc").is_null(),
-    ))
-    cs.set("remmsgdst", when(
-        C("remmsg").not_null(), C("remmsgdst").eq("remote"), C("remmsgdst").is_null(),
-    ))
-    cs.set("remmsgres", when(
-        C("remmsg").not_null(), C("remmsgres").eq("remq"), C("remmsgres").is_null(),
-    ))
-
-    cs.set("memmsg", cases(
-        (_any(c, "rd_i", "rd_si", "x_i", "x_si", "x_si_self_one",
-              "x_si_self_gone", "ior_i", "ior_si"),
-         C("memmsg").eq("mread")),
-        # The Figure 4 deadlock row R2: processing idone requires mread.
-        (c["idone_xms"], C("memmsg").eq("mread")),
-        (_any(c, "ddata_xms", "sdone_rms", "sdone_iorm"),
-         C("memmsg").eq("mwrite")),
-        (_any(c, "wb_m", "iow_i"), C("memmsg").eq("wbmem")),
-        # DMA writes to previously-cached lines reach memory from
-        # *response* processing and must ride the dedicated path (the
-        # same argument as the Figure 4 mread).
-        (_any(c, "idone_iows_one", "idone_iowm", "ddata_iowm"),
-         C("memmsg").eq("dwrite")),
-        default=C("memmsg").is_null(),
-    ))
-    cs.set("memmsgsrc", when(
-        C("memmsg").not_null(), C("memmsgsrc").eq("home"), C("memmsgsrc").is_null(),
-    ))
-    cs.set("memmsgdst", when(
-        C("memmsg").not_null(), C("memmsgdst").eq("home"), C("memmsgdst").is_null(),
-    ))
-    cs.set("memmsgres", when(
-        C("memmsg").not_null(), C("memmsgres").eq("memq"), C("memmsgres").is_null(),
-    ))
-
-    # -- next directory state / presence vector -----------------------------------
-    cs.set("nxtdirst", cases(
-        # The entry moves into the busy directory while snoops/data are
-        # outstanding (mutual exclusion), or is dropped entirely.  It is
-        # rewritten only on the requester's acknowledgment.
-        (_any(c, "rd_si", "rd_m", "x_si", "x_si_self_one", "x_si_self_gone",
-              "x_m", "up_one", "up_gone", "wb_m", "fl_one", "fl_m",
-              "ior_si", "ior_m", "iow_si", "iow_m"),
-         C("nxtdirst").eq(S.DIR_I)),
-        # DMA reads restore the entry with its saved sharer set (the
-        # owner is a sharer after its downgrade).
-        (_any(c, "compl_rc", "data_iorsd", "sdone_iorm"),
-         C("nxtdirst").eq(S.DIR_SI)),
-        (Or(tuple(c[n] for n in _OWNERSHIP)), C("nxtdirst").eq(S.DIR_MESI)),
-        default=C("nxtdirst").is_null(),
-    ))
-    cs.set("nxtdirpv", cases(
-        (c["compl_rc"], C("nxtdirpv").eq(S.PV_INC)),
-        (Or(tuple(c[n] for n in _OWNERSHIP)), C("nxtdirpv").eq(S.PV_REPL)),
-        (_any(c, "wb_m", "fl_m"), C("nxtdirpv").eq(S.PV_DEC)),
-        (_any(c, "fl_one", "fl_gone"), C("nxtdirpv").eq(S.PV_DREPL)),
-        default=C("nxtdirpv").is_null(),
-    ))
-
-    # -- next busy-directory state / presence vector ---------------------------------
-    cs.set("nxtbdirst", cases(
-        (c["rd_i"], C("nxtbdirst").eq("Busy-r-d")),
-        (c["rd_si"], C("nxtbdirst").eq("Busy-rs-d")),
-        (c["rd_m"], C("nxtbdirst").eq("Busy-rm-s")),
-        (c["x_i"], C("nxtbdirst").eq("Busy-x-d")),
-        (_any(c, "x_si", "x_si_self_gone"), C("nxtbdirst").eq("Busy-xs-sd")),
-        (c["x_si_self_one"], C("nxtbdirst").eq("Busy-xs-d")),
-        (c["x_m"], C("nxtbdirst").eq("Busy-xm-s")),
-        (c["up_gone"], C("nxtbdirst").eq("Busy-u-s")),
-        (c["wb_m"], C("nxtbdirst").eq("Busy-w-m")),
-        (c["ior_i"], C("nxtbdirst").eq("Busy-ior-d")),
-        (c["iow_i"], C("nxtbdirst").eq("Busy-iow-m")),
-        (c["data_xssd"], C("nxtbdirst").eq("Busy-xs-s")),
-        (c["idone_xssd_one"], C("nxtbdirst").eq("Busy-xs-d")),
-        (c["idone_xms"], C("nxtbdirst").eq("Busy-xm-d")),
-        (c["ior_si"], C("nxtbdirst").eq("Busy-iors-d")),
-        (c["ior_m"], C("nxtbdirst").eq("Busy-iorm-s")),
-        (c["iow_si"], C("nxtbdirst").eq("Busy-iows-s")),
-        (c["iow_m"], C("nxtbdirst").eq("Busy-iowm-s")),
-        (_any(c, "idone_iows_one", "idone_iowm", "ddata_iowm"),
-         C("nxtbdirst").eq("Busy-iow-m")),
-        (Or(tuple(c[n] for n in _READ_GRANTS)), C("nxtbdirst").eq("Busy-r-c")),
-        (Or(tuple(c[n] for n in _READEX_GRANTS)), C("nxtbdirst").eq("Busy-x-c")),
-        (Or(tuple(c[n] for n in _UPGRADE_GRANTS)), C("nxtbdirst").eq("Busy-u-c")),
-        (Or(tuple(c[n] for n in _DEALLOCS)), C("nxtbdirst").eq(S.DIR_I)),
-        default=C("nxtbdirst").is_null(),
-    ))
-    cs.set("nxtbdirpv", cases(
-        (_any(c, "rd_si", "rd_m", "x_si", "x_m", "ior_si", "ior_m",
-              "iow_si", "iow_m"),
-         C("nxtbdirpv").eq(S.BPV_LOAD)),
-        (_any(c, "up_gone", "x_si_self_gone"), C("nxtbdirpv").eq(S.BPV_LOADX)),
-        (_any(c, "rd_i", "x_i", "x_si_self_one", "up_one", "wb_m",
-              "ior_i", "iow_i"),
-         C("nxtbdirpv").eq(S.BPV_CLR)),
-        (_any(c, "idone_xssd_gone", "idone_xssd_one", "idone_xss_gone",
-              "idone_xss_one", "idone_us_gone", "idone_us_one", "idone_xms",
-              "idone_iows_gone", "idone_iows_one", "idone_iowm",
-              "ddata_iowm"),
-         C("nxtbdirpv").eq(S.BPV_DEC)),
-        # Grants keep the saved sharer set (Busy-r-c needs it for the inc
-        # at acknowledgment time); deallocations clear the entry.
-        (Or(tuple(c[n] for n in _DEALLOCS)), C("nxtbdirpv").eq(S.BPV_CLR)),
-        default=C("nxtbdirpv").is_null(),
-    ))
-
-    # -- strobes and markers -------------------------------------------------------
-    cs.set("dirwr", when(
-        Or((C("nxtdirst").not_null(), C("nxtdirpv").not_null())),
-        C("dirwr").eq("yes"), C("dirwr").is_null(),
-    ))
-    cs.set("bdirwr", when(
-        Or((C("nxtbdirst").not_null(), C("nxtbdirpv").not_null())),
-        C("bdirwr").eq("yes"), C("bdirwr").is_null(),
-    ))
-    cs.set("cmpl", when(
-        C("locmsg").isin(("compl", "cdata")),
-        C("cmpl").eq("yes"), C("cmpl").is_null(),
-    ))
-    cs.set("nxtowner", when(
-        C("nxtdirpv").eq(S.PV_REPL), C("nxtowner").eq("local"), C("nxtowner").is_null(),
-    ))
-    return cs
+    """All 31 column constraints of D."""
+    return _family.directory_constraints(MESI)

@@ -1,89 +1,28 @@
-"""The I/O controller table IO.
-
-Bridges device-initiated uncached reads/writes onto the coherence fabric
-(``ior``/``iow`` requests to the home directory) and delivers completions
-back to the device.  Like the node controller, it absorbs retries rather
-than re-emitting synchronously.
-"""
+"""The I/O controller table IO: the MESI instantiation of the
+family-parameterized builder (see :mod:`repro.protocols.family.io`)."""
 
 from __future__ import annotations
 
 from ...core.constraints import ConstraintSet
-from ...core.expr import C, cases, when
-from ...core.schema import Column, Role, TableSchema
+from ...core.schema import TableSchema
+from ..family import io as _family
+from ..family.spec import MESI
 
-__all__ = ["io_schema", "io_constraints", "IO_TABLE_NAME"]
+__all__ = ["io_schema", "io_constraints", "IO_TABLE_NAME",
+           "DEV_REQUESTS", "HOME_RESPONSES", "IO_INPUTS"]
 
-IO_TABLE_NAME = "IO"
+IO_TABLE_NAME = _family.IO_TABLE_NAME
 
-_ENDPOINTS = ("local", "home", "remote", "dev")
-
-DEV_REQUESTS = ("io_read", "io_write", "dev_intr")
-HOME_RESPONSES = ("cdata", "compl", "retry")
-IO_INPUTS = DEV_REQUESTS + HOME_RESPONSES
+DEV_REQUESTS = _family.dev_requests(MESI)
+HOME_RESPONSES = _family.HOME_RESPONSES
+IO_INPUTS = _family.io_inputs(MESI)
 
 
 def io_schema() -> TableSchema:
     """The I/O controller table schema (device + network inputs)."""
-    cols = [
-        Column("inmsg", IO_INPUTS, Role.INPUT, nullable=False),
-        Column("inmsgsrc", _ENDPOINTS, Role.INPUT, nullable=False),
-        Column("inmsgdst", _ENDPOINTS, Role.INPUT, nullable=False),
-        Column("iost", ("idle", "rd_pend", "wr_pend"), Role.INPUT,
-               doc="I/O transaction state; dontcare for interrupts"),
-        Column("netmsg", ("ior", "iow"), Role.OUTPUT,
-               doc="coherence request to the home directory"),
-        Column("netmsgsrc", _ENDPOINTS, Role.OUTPUT),
-        Column("netmsgdst", _ENDPOINTS, Role.OUTPUT),
-        Column("devmsg", ("io_data", "io_compl", "intr_ack"), Role.OUTPUT,
-               doc="message back to the device"),
-        Column("nxtiost", ("idle", "rd_pend", "wr_pend"), Role.OUTPUT),
-        Column("reissue", ("yes",), Role.OUTPUT,
-               doc="retry absorbed; re-issue later"),
-    ]
-    return TableSchema(IO_TABLE_NAME, cols)
+    return _family.io_schema(MESI)
 
 
 def io_constraints() -> ConstraintSet:
-    """Column constraints of IO (see the module docstring)."""
-    cs = ConstraintSet(io_schema())
-    inmsg = C("inmsg")
-    cs.set("inmsgsrc", cases(
-        (inmsg.isin(DEV_REQUESTS), C("inmsgsrc").eq("dev")),
-        default=C("inmsgsrc").eq("home"),
-    ))
-    cs.set("inmsgdst", C("inmsgdst").eq("local"))
-    cs.set("iost", cases(
-        (inmsg.isin(("io_read", "io_write")), C("iost").eq("idle")),
-        (inmsg.eq("cdata"), C("iost").eq("rd_pend")),
-        (inmsg.eq("compl"), C("iost").eq("wr_pend")),
-        (inmsg.eq("retry"), C("iost").isin(("rd_pend", "wr_pend"))),
-        default=C("iost").is_null(),  # interrupts: dontcare
-    ))
-    cs.set("netmsg", cases(
-        (inmsg.eq("io_read"), C("netmsg").eq("ior")),
-        (inmsg.eq("io_write"), C("netmsg").eq("iow")),
-        default=C("netmsg").is_null(),
-    ))
-    cs.set("netmsgsrc", when(
-        C("netmsg").not_null(), C("netmsgsrc").eq("local"), C("netmsgsrc").is_null(),
-    ))
-    cs.set("netmsgdst", when(
-        C("netmsg").not_null(), C("netmsgdst").eq("home"), C("netmsgdst").is_null(),
-    ))
-    cs.set("devmsg", cases(
-        (inmsg.eq("cdata"), C("devmsg").eq("io_data")),
-        (inmsg.eq("compl"), C("devmsg").eq("io_compl")),
-        (inmsg.eq("dev_intr"), C("devmsg").eq("intr_ack")),
-        default=C("devmsg").is_null(),
-    ))
-    cs.set("nxtiost", cases(
-        (inmsg.eq("io_read"), C("nxtiost").eq("rd_pend")),
-        (inmsg.eq("io_write"), C("nxtiost").eq("wr_pend")),
-        (inmsg.isin(("cdata", "compl")), C("nxtiost").eq("idle")),
-        default=C("nxtiost").is_null(),
-    ))
-    cs.set("reissue", when(
-        inmsg.eq("retry"), C("reissue").eq("yes"), C("reissue").is_null(),
-    ))
-    return cs
+    """Column constraints of IO (see the family module docstring)."""
+    return _family.io_constraints(MESI)

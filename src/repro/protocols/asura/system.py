@@ -2,230 +2,39 @@
 
 "A total of 8 controller database tables were automatically generated,
 updated and maintained throughout the development cycle" (paper section
-6).  :class:`AsuraSystem` generates all eight tables from their column
-constraints into one central database, wires up the invariant checker and
-the deadlock analyzer, and is the single entry point used by the
-examples, the simulator, and the benchmarks.
+6).  :class:`AsuraSystem` is the MESI-pinned member of the protocol
+family (:mod:`repro.protocols.family`): it generates all eight tables
+from their column constraints into one central database, wires up the
+invariant checker and the deadlock analyzer, and remains the single
+entry point used by the examples, the simulator, and the benchmarks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional
 
-from ...telemetry import get_tracer, span
-from ...core.constraints import ConstraintSet
 from ...core.database import ProtocolDatabase
-from ...core.deadlock import (
-    ChannelAssignment,
-    ControllerMessageSpec,
-    DeadlockAnalysis,
-    DeadlockAnalyzer,
-    MessageTriple,
-)
-from ...core.generator import GenerationResult, TableGenerator
-from ...core.invariants import InvariantChecker
-from ...core.quad import ALL_PLACEMENTS, Placement
-from ...core.report import CheckResult, Report
-from ...core.table import ControllerTable
-from . import (
-    cache,
-    channels,
-    directory,
-    invariants as asura_invariants,
-    iocontroller,
-    memory,
-    netif,
-    node,
-    pengine,
-    rac,
-)
-from .. import states as S
+from ..family.spec import MESI
+from ..family.system import FamilySystem, controller_builders
 
 __all__ = ["AsuraSystem", "build_system", "CONTROLLER_BUILDERS"]
 
-#: name -> constraint-set builder for each of the 8 controllers.
-CONTROLLER_BUILDERS = {
-    "D": directory.directory_constraints,
-    "M": memory.memory_constraints,
-    "C": cache.cache_constraints,
-    "N": node.node_constraints,
-    "RAC": rac.rac_constraints,
-    "IO": iocontroller.io_constraints,
-    "NI": netif.netif_constraints,
-    "PE": pengine.pengine_constraints,
-}
+#: name -> constraint-set builder for each of the 8 controllers (the
+#: historical zero-argument MESI builders).
+CONTROLLER_BUILDERS = controller_builders(MESI)
 
 
-class AsuraSystem:
-    """The generated protocol: 8 controller tables in one database."""
+class AsuraSystem(FamilySystem):
+    """The generated MESI protocol: 8 controller tables in one database."""
 
     def __init__(self, db: Optional[ProtocolDatabase] = None) -> None:
-        self.db = db or ProtocolDatabase()
-        self.constraint_sets: dict[str, ConstraintSet] = {}
-        self.generation_results: dict[str, GenerationResult] = {}
-        self.tables: dict[str, ControllerTable] = {}
-        with span("system.build", controllers=len(CONTROLLER_BUILDERS)) as sp:
-            for name, builder in CONTROLLER_BUILDERS.items():
-                cs = builder()
-                self.constraint_sets[name] = cs
-                result = TableGenerator(self.db, cs, table_name=name).generate_incremental()
-                self.generation_results[name] = result
-                self.tables[name] = result.table
-        self.generation_seconds = sp.seconds
-        self._create_helper_tables()
-        self.channel_assignments = channels.channel_assignments()
+        super().__init__(MESI, db)
 
     @classmethod
     def from_database(cls, db: ProtocolDatabase) -> "AsuraSystem":
-        """Attach to a database that already holds the 8 generated
-        controller tables — a ``--db`` file or a ``deserialize()``'d
-        snapshot — without regenerating anything.
-
-        Raises :class:`~repro.core.schema.SchemaError` when the database
-        lacks a controller table or its columns, so callers get a clean
-        diagnostic for a wrong or corrupt file.  This is the fast path the
-        mutation-campaign workers use: each worker clones the generated
-        system from a snapshot in milliseconds instead of re-solving the
-        constraints."""
-        self = cls.__new__(cls)
-        self.db = db
-        self.constraint_sets = {}
-        self.generation_results = {}
-        self.tables = {}
-        with span("system.attach", controllers=len(CONTROLLER_BUILDERS)):
-            for name, builder in CONTROLLER_BUILDERS.items():
-                cs = builder()
-                self.constraint_sets[name] = cs
-                self.tables[name] = ControllerTable(db, cs.schema, name)
-            self.generation_seconds = 0.0
-            if not db.table_exists(asura_invariants.BUSY_STATE_HELPER_TABLE):
-                self._create_helper_tables()
-            self.channel_assignments = channels.channel_assignments()
-        return self
-
-    def _create_helper_tables(self) -> None:
-        self.db.create_table_from_rows(
-            asura_invariants.BUSY_STATE_HELPER_TABLE,
-            ("name",),
-            [{"name": n} for n in S.BUSY_NAMES],
-        )
-
-    # -- accessors ------------------------------------------------------------
-    @property
-    def directory(self) -> ControllerTable:
-        return self.tables["D"]
-
-    def table(self, name: str) -> ControllerTable:
-        return self.tables[name]
-
-    # -- static checks ----------------------------------------------------------
-    def invariant_checker(self, batch: bool = True) -> InvariantChecker:
-        checker = InvariantChecker(self.db, batch=batch)
-        checker.extend(asura_invariants.build_invariants())
-        return checker
-
-    def check_invariants(self, batch: bool = True) -> Report:
-        """Run the full invariant suite plus per-table determinism checks
-        (no two rows of any controller match the same concrete input)."""
-        report = self.invariant_checker(batch=batch).check_all(
-            "ASURA protocol invariants")
-        tracer = get_tracer()
-        for name, table in self.tables.items():
-            with span("invariant.determinism", table=name) as sp:
-                overlaps = table.find_overlapping_rows()
-            if tracer.enabled:
-                tracer.incr("invariant.checks")
-                tracer.incr("invariant.passed" if not overlaps
-                            else "invariant.failed")
-                if overlaps:
-                    tracer.incr("invariant.violations", len(overlaps))
-            report.add(CheckResult(
-                name=f"{name}-deterministic",
-                passed=not overlaps,
-                description=f"no two rows of {name} match the same input",
-                details=overlaps[:5],
-                seconds=sp.seconds,
-            ))
-        return report
-
-    # -- deadlock analysis ----------------------------------------------------------
-    def deadlock_specs(self) -> list[ControllerMessageSpec]:
-        """Message-column specs for the controllers that exchange
-        network messages (the others are on-chip only)."""
-        return [
-            ControllerMessageSpec(
-                controller=self.tables["D"],
-                input_triple=MessageTriple("inmsg", "inmsgsrc", "inmsgdst"),
-                output_triples=(
-                    MessageTriple("locmsg", "locmsgsrc", "locmsgdst"),
-                    MessageTriple("remmsg", "remmsgsrc", "remmsgdst"),
-                    MessageTriple("memmsg", "memmsgsrc", "memmsgdst"),
-                ),
-            ),
-            ControllerMessageSpec(
-                controller=self.tables["M"],
-                input_triple=MessageTriple("inmsg", "inmsgsrc", "inmsgdst"),
-                output_triples=(
-                    MessageTriple("outmsg", "outmsgsrc", "outmsgdst"),
-                ),
-            ),
-            ControllerMessageSpec(
-                controller=self.tables["N"],
-                input_triple=MessageTriple("inmsg", "inmsgsrc", "inmsgdst"),
-                output_triples=(
-                    MessageTriple("netmsg", "netmsgsrc", "netmsgdst"),
-                ),
-            ),
-            ControllerMessageSpec(
-                controller=self.tables["IO"],
-                input_triple=MessageTriple("inmsg", "inmsgsrc", "inmsgdst"),
-                output_triples=(
-                    MessageTriple("netmsg", "netmsgsrc", "netmsgdst"),
-                ),
-            ),
-        ]
-
-    def analyze_deadlocks(
-        self,
-        assignment: str = "v5",
-        placements: Sequence[Placement] = ALL_PLACEMENTS,
-        ignore_messages: bool = True,
-        closure: bool = False,
-        engine: str = "sql",
-        workers: Optional[int] = None,
-        table_name: Optional[str] = None,
-    ) -> DeadlockAnalysis:
-        """Run the section 4.1 analysis for one channel assignment
-        (``v4``, ``v5`` or ``v5d``).  ``engine`` picks the set-based SQL
-        pipeline (default) or the row-at-a-time Python oracle; ``workers``
-        fans placements across snapshot threads when > 1."""
-        channels_ = self.channel_assignments[assignment]
-        analyzer = DeadlockAnalyzer(
-            self.db, self.deadlock_specs(), channels_,
-            engine=engine, workers=workers,
-        )
-        return analyzer.analyze(
-            placements=placements,
-            ignore_messages=ignore_messages,
-            closure=closure,
-            table_name=table_name,
-        )
-
-    # -- statistics --------------------------------------------------------------------
-    def stats(self) -> dict:
-        """Protocol-wide statistics (the section 3/6 size claims)."""
-        per_table = {n: t.stats() for n, t in self.tables.items()}
-        return {
-            "controllers": len(self.tables),
-            "total_rows": sum(s.n_rows for s in per_table.values()),
-            "total_columns": sum(s.n_columns for s in per_table.values()),
-            "busy_states": len(S.BUSY_NAMES),
-            "directory_rows": per_table["D"].n_rows,
-            "directory_columns": per_table["D"].n_columns,
-            "generation_seconds": self.generation_seconds,
-            "per_table": per_table,
-        }
+        """Attach to a database that already holds the 8 generated MESI
+        controller tables (see :meth:`FamilySystem.from_database`)."""
+        return super().from_database(db, MESI)
 
 
 def build_system(db: Optional[ProtocolDatabase] = None) -> AsuraSystem:

@@ -1,0 +1,75 @@
+"""Parameterized protocol-family generator: MESI / MOESI / MESIF and
+axis variants (virtual-channel count, busy-state count) from one set of
+constraint builders.
+
+The public surface:
+
+* :data:`SPECS` / :func:`get_spec` — the member registry;
+* :func:`build_variant` — generate a member's full 8-table system;
+* :func:`attach_variant` — attach to an existing database, recovering
+  the member from its ``__family_variant`` marker (absent = MESI).
+
+``build_variant("mesi")`` returns the historical ``AsuraSystem`` so the
+baseline type (and every ``isinstance`` check downstream) is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...core.database import ProtocolDatabase
+from .spec import (
+    MESI,
+    MESIF,
+    MOESI,
+    SPECS,
+    FamilySpec,
+    get_spec,
+)
+from .system import (
+    FamilySystem,
+    VARIANT_META_TABLE,
+    read_variant_marker,
+    write_variant_marker,
+)
+
+__all__ = [
+    "FamilySpec",
+    "FamilySystem",
+    "MESI",
+    "MOESI",
+    "MESIF",
+    "SPECS",
+    "VARIANT_META_TABLE",
+    "attach_variant",
+    "build_variant",
+    "get_spec",
+    "read_variant_marker",
+    "write_variant_marker",
+]
+
+
+def build_variant(variant: str = "mesi",
+                  db: Optional[ProtocolDatabase] = None) -> FamilySystem:
+    """Generate the full protocol for one family member."""
+    spec = get_spec(variant)
+    if spec.key == MESI.key:
+        # The baseline keeps its historical type.
+        from ..asura.system import AsuraSystem
+
+        return AsuraSystem(db)
+    return FamilySystem(spec, db)
+
+
+def attach_variant(db: ProtocolDatabase,
+                   variant: Optional[str] = None) -> FamilySystem:
+    """Attach to a database holding generated tables; the member is
+    recovered from the variant marker unless named explicitly."""
+    if variant is None:
+        variant = read_variant_marker(db)
+    spec = get_spec(variant)
+    if spec.key == MESI.key:
+        from ..asura.system import AsuraSystem
+
+        return AsuraSystem.from_database(db)
+    return FamilySystem.from_database(db, spec)

@@ -1,0 +1,116 @@
+"""The cache controller table C, parameterized over the protocol family.
+
+The classic MESI transition table (Papamarcos & Patel, the paper's
+reference [7]) generalized with the :class:`~.spec.FamilySpec` state
+sets: MOESI's Owned state is a dirty line that survives a snoop read and
+upgrades in place; MESIF's Forward state is a clean designated responder
+that evicts silently.  Instantiated with the MESI spec this reproduces
+the historical table byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from ...core.constraints import ConstraintSet
+from ...core.expr import C, TRUE, cases, when
+from ...core.schema import Column, Role, TableSchema
+from .spec import FamilySpec
+
+__all__ = ["cache_schema", "cache_constraints", "CACHE_TABLE_NAME"]
+
+CACHE_TABLE_NAME = "C"
+
+
+def cache_schema(spec: FamilySpec) -> TableSchema:
+    """The cache controller table schema (op x cache state)."""
+    cols = [
+        Column("op", ("ld", "st", "evict", "fill", "inval", "down", "promote"),
+               Role.INPUT, nullable=False,
+               doc=("processor op (ld/st/evict) or node command "
+                    "(fill/inval/down/promote)")),
+        Column("cachest", spec.cache_states, Role.INPUT, nullable=False,
+               doc=f"{spec.title} state of the line"),
+        Column("fillmode", ("shared", "excl"), Role.INPUT,
+               doc="for fill only: install shared (S) or exclusive (E)"),
+        Column("nxtst", spec.cache_states, Role.OUTPUT,
+               doc="next cache state (NULL = unchanged)"),
+        Column("procresp", ("ld_resp", "st_resp"), Role.OUTPUT,
+               doc="response to the processor on a hit"),
+        Column("nodemsg", ("miss_rd", "miss_wr", "wb_victim", "flush_victim"),
+               Role.OUTPUT, doc="request to the node controller on a miss/evict"),
+        Column("dataout", ("clean", "dirty"), Role.OUTPUT,
+               doc="data supplied with an eviction, invalidate, or downgrade"),
+    ]
+    return TableSchema(CACHE_TABLE_NAME, cols)
+
+
+def _downgrade_branches(spec: FamilySpec) -> list:
+    """``down`` transitions grouped by landing state, preserving the
+    cache-state ordering (a single branch when all owners land in the
+    same state — the MESI/MESIF shape)."""
+    by_target: dict[str, list] = {}
+    for src, tgt in spec.downgrade_to:
+        by_target.setdefault(tgt, []).append(src)
+    op = C("op")
+    return [
+        (op.eq("down") & C("cachest").isin(tuple(srcs)),
+         C("nxtst").eq(tgt))
+        for tgt, srcs in by_target.items()
+    ]
+
+
+def cache_constraints(spec: FamilySpec) -> ConstraintSet:
+    """Column constraints of C — the family-parameterized transition rules."""
+    cs = ConstraintSet(cache_schema(spec))
+    op, st = C("op"), C("cachest")
+
+    # Legal input combinations: fills install into an empty frame and are
+    # the only op carrying a fill mode; evicting an invalid frame is
+    # meaningless.
+    cs.set("cachest", cases(
+        (op.eq("fill"), st.eq("I")),
+        (op.eq("evict"), st.ne("I")),
+        # An upgrade completion promotes a shared (or silently exclusive)
+        # line to M; promoting an invalid line is a no-op (the upgrade was
+        # squashed by a snoop that overtook the completion).
+        (op.eq("promote"), st.isin(spec.promote_states)),
+        default=TRUE,
+    ))
+    cs.set("fillmode", when(
+        op.eq("fill"), C("fillmode").not_null(), C("fillmode").is_null(),
+    ))
+
+    cs.set("nxtst", cases(
+        # Store hit on an exclusive line silently upgrades E -> M.
+        (op.eq("st") & st.eq("E"), C("nxtst").eq("M")),
+        (op.eq("evict"), C("nxtst").eq("I")),
+        (op.eq("fill") & C("fillmode").eq("shared"), C("nxtst").eq("S")),
+        (op.eq("fill") & C("fillmode").eq("excl"), C("nxtst").eq("E")),
+        (op.eq("inval"), C("nxtst").eq("I")),
+        *_downgrade_branches(spec),
+        (op.eq("promote") & st.isin(spec.upgrade_states + ("E",)),
+         C("nxtst").eq("M")),
+        default=C("nxtst").is_null(),
+    ))
+    cs.set("procresp", cases(
+        (op.eq("ld") & st.ne("I"), C("procresp").eq("ld_resp")),
+        (op.eq("st") & st.isin(("M", "E")), C("procresp").eq("st_resp")),
+        default=C("procresp").is_null(),
+    ))
+    cs.set("nodemsg", cases(
+        (op.eq("ld") & st.eq("I"), C("nodemsg").eq("miss_rd")),
+        (op.eq("st") & st.isin(spec.upgrade_states + ("I",)),
+         C("nodemsg").eq("miss_wr")),
+        (op.eq("evict") & st.isin(spec.dirty_states),
+         C("nodemsg").eq("wb_victim")),
+        (op.eq("evict") & st.isin(spec.clean_evict_states),
+         C("nodemsg").eq("flush_victim")),
+        default=C("nodemsg").is_null(),
+    ))
+    cs.set("dataout", cases(
+        (op.isin(("evict", "inval", "down")) & st.isin(spec.dirty_states),
+         C("dataout").eq("dirty")),
+        (op.isin(("evict", "down")) & st.isin(spec.clean_evict_states),
+         C("dataout").eq("clean")),
+        default=C("dataout").is_null(),
+    ))
+    return cs

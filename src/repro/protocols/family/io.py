@@ -1,0 +1,117 @@
+"""The I/O controller table IO, parameterized over the protocol family.
+
+With coherent DMA (every member except ``mesi-noio``) this is the full
+bridge: device reads/writes become ``ior``/``iow`` requests to the home
+directory, with retries absorbed.  Without it the controller only
+delivers interrupts — the table collapses to a single transition while
+keeping the full output domains, so downstream schema consumers (the
+simulator, the audits, the mutation fault classes) see the same shape.
+"""
+
+from __future__ import annotations
+
+from ...core.constraints import ConstraintSet
+from ...core.expr import C, cases, when
+from ...core.schema import Column, Role, TableSchema
+from .spec import FamilySpec
+
+__all__ = ["io_schema", "io_constraints", "IO_TABLE_NAME",
+           "dev_requests", "io_inputs"]
+
+IO_TABLE_NAME = "IO"
+
+_ENDPOINTS = ("local", "home", "remote", "dev")
+
+HOME_RESPONSES = ("cdata", "compl", "retry")
+
+
+def dev_requests(spec: FamilySpec) -> tuple:
+    """Device-originated inputs: DMA reads/writes only with coherent I/O."""
+    if spec.coherent_io:
+        return ("io_read", "io_write", "dev_intr")
+    return ("dev_intr",)
+
+
+def io_inputs(spec: FamilySpec) -> tuple:
+    """The IO controller's full input-message domain for one member."""
+    if spec.coherent_io:
+        return dev_requests(spec) + HOME_RESPONSES
+    # No DMA: the directory never answers, only interrupts arrive.
+    return dev_requests(spec)
+
+
+def io_schema(spec: FamilySpec) -> TableSchema:
+    """The I/O controller table schema (device + network inputs)."""
+    cols = [
+        Column("inmsg", io_inputs(spec), Role.INPUT, nullable=False),
+        Column("inmsgsrc", _ENDPOINTS, Role.INPUT, nullable=False),
+        Column("inmsgdst", _ENDPOINTS, Role.INPUT, nullable=False),
+        Column("iost", ("idle", "rd_pend", "wr_pend"), Role.INPUT,
+               doc="I/O transaction state; dontcare for interrupts"),
+        Column("netmsg", ("ior", "iow"), Role.OUTPUT,
+               doc="coherence request to the home directory"),
+        Column("netmsgsrc", _ENDPOINTS, Role.OUTPUT),
+        Column("netmsgdst", _ENDPOINTS, Role.OUTPUT),
+        Column("devmsg", ("io_data", "io_compl", "intr_ack"), Role.OUTPUT,
+               doc="message back to the device"),
+        Column("nxtiost", ("idle", "rd_pend", "wr_pend"), Role.OUTPUT),
+        Column("reissue", ("yes",), Role.OUTPUT,
+               doc="retry absorbed; re-issue later"),
+    ]
+    return TableSchema(IO_TABLE_NAME, cols)
+
+
+def io_constraints(spec: FamilySpec) -> ConstraintSet:
+    """Column constraints of IO (see the module docstring)."""
+    cs = ConstraintSet(io_schema(spec))
+    inmsg = C("inmsg")
+    cs.set("inmsgsrc", cases(
+        (inmsg.isin(dev_requests(spec)), C("inmsgsrc").eq("dev")),
+        default=C("inmsgsrc").eq("home"),
+    ))
+    cs.set("inmsgdst", C("inmsgdst").eq("local"))
+    if spec.coherent_io:
+        cs.set("iost", cases(
+            (inmsg.isin(("io_read", "io_write")), C("iost").eq("idle")),
+            (inmsg.eq("cdata"), C("iost").eq("rd_pend")),
+            (inmsg.eq("compl"), C("iost").eq("wr_pend")),
+            (inmsg.eq("retry"), C("iost").isin(("rd_pend", "wr_pend"))),
+            default=C("iost").is_null(),  # interrupts: dontcare
+        ))
+        cs.set("netmsg", cases(
+            (inmsg.eq("io_read"), C("netmsg").eq("ior")),
+            (inmsg.eq("io_write"), C("netmsg").eq("iow")),
+            default=C("netmsg").is_null(),
+        ))
+        cs.set("netmsgsrc", when(
+            C("netmsg").not_null(), C("netmsgsrc").eq("local"),
+            C("netmsgsrc").is_null(),
+        ))
+        cs.set("netmsgdst", when(
+            C("netmsg").not_null(), C("netmsgdst").eq("home"),
+            C("netmsgdst").is_null(),
+        ))
+        cs.set("devmsg", cases(
+            (inmsg.eq("cdata"), C("devmsg").eq("io_data")),
+            (inmsg.eq("compl"), C("devmsg").eq("io_compl")),
+            (inmsg.eq("dev_intr"), C("devmsg").eq("intr_ack")),
+            default=C("devmsg").is_null(),
+        ))
+        cs.set("nxtiost", cases(
+            (inmsg.eq("io_read"), C("nxtiost").eq("rd_pend")),
+            (inmsg.eq("io_write"), C("nxtiost").eq("wr_pend")),
+            (inmsg.isin(("cdata", "compl")), C("nxtiost").eq("idle")),
+            default=C("nxtiost").is_null(),
+        ))
+        cs.set("reissue", when(
+            inmsg.eq("retry"), C("reissue").eq("yes"), C("reissue").is_null(),
+        ))
+    else:
+        cs.set("iost", C("iost").is_null())
+        cs.set("netmsg", C("netmsg").is_null())
+        cs.set("netmsgsrc", C("netmsgsrc").is_null())
+        cs.set("netmsgdst", C("netmsgdst").is_null())
+        cs.set("devmsg", C("devmsg").eq("intr_ack"))
+        cs.set("nxtiost", C("nxtiost").is_null())
+        cs.set("reissue", C("reissue").is_null())
+    return cs

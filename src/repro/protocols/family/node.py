@@ -1,0 +1,224 @@
+"""The node controller table N, parameterized over the protocol family.
+
+Both sides of Figure 2, generalized: as the *local* node it turns cache
+misses into directory requests and applies completions back to the
+cache; as a *remote* node it answers directory snoops.  Family deltas:
+
+* a dirty forwarder (MOESI's ``O``) answers ``sinv`` with ``ddata`` and
+  evicts via the dedicated ``owb`` request — the directory must
+  distinguish an owned writeback (line demoted to SI, requester still
+  tracked) from MESI's *stale* ``wb`` arriving with the same directory
+  state;
+* a clean forwarder (MESIF's ``F``) answers snoops like a sharer and
+  evicts with a bare ``flush`` notification;
+* stores upgrade in place from any ``upgrade_states`` member, not just S.
+
+The two deadlock-freedom details checked by invariants are unchanged:
+retries are **absorbed** (re-issued from the pending register, never
+synchronously re-emitted) and snoops are **always answered**, even when
+the line has already left the cache (the Figure 4 race).
+"""
+
+from __future__ import annotations
+
+from ...core.constraints import ConstraintSet
+from ...core.expr import C, Or, TRUE, cases, when
+from ...core.schema import Column, Role, TableSchema
+from .spec import FamilySpec
+
+__all__ = [
+    "node_schema",
+    "node_constraints",
+    "NODE_TABLE_NAME",
+    "CACHE_REQUESTS",
+    "HOME_RESPONSES",
+    "SNOOPS",
+    "PEND",
+    "SNOOP_REPLIES",
+    "net_outputs",
+]
+
+NODE_TABLE_NAME = "N"
+
+_ENDPOINTS = ("local", "home", "remote", "cache")
+
+#: Requests the cache controller hands to the node.
+CACHE_REQUESTS = ("miss_rd", "miss_wr", "wb_victim", "flush_victim")
+#: Responses the home directory sends back to this node as requester.
+#: ``nack`` answers a stale writeback/flush whose transaction was already
+#: cancelled locally — it is absorbed as a no-op.
+HOME_RESPONSES = ("cdata", "data", "compl", "retry", "nack")
+#: Snoops the home directory sends to this node as a sharer/owner.
+SNOOPS = ("sinv", "sread")
+
+NODE_INPUTS = CACHE_REQUESTS + HOME_RESPONSES + SNOOPS
+
+#: Pending-transaction register values. ``wrd`` = write data received,
+#: completion still outstanding (the early-data-forward path of D).
+PEND = ("none", "rd", "wr", "wrd", "wbp", "flp")
+
+SNOOP_REPLIES = ("idone", "ddata", "sdone")
+
+
+def net_outputs(spec: FamilySpec) -> tuple:
+    """The network-message output domain (requests + snoop replies)."""
+    return spec.node_requests + SNOOP_REPLIES + ("compl",)
+
+
+def node_schema(spec: FamilySpec) -> TableSchema:
+    """The node controller table schema (network/cache inputs, registers)."""
+    cols = [
+        Column("inmsg", NODE_INPUTS, Role.INPUT, nullable=False),
+        Column("inmsgsrc", _ENDPOINTS, Role.INPUT, nullable=False),
+        Column("inmsgdst", _ENDPOINTS, Role.INPUT, nullable=False),
+        Column("pend", PEND, Role.INPUT,
+               doc="pending-transaction register; dontcare for snoops"),
+        Column("linest", spec.cache_states, Role.INPUT,
+               doc="cache state of the line; dontcare for home responses"),
+        Column("netmsg", net_outputs(spec), Role.OUTPUT,
+               doc="message onto the network"),
+        Column("netmsgsrc", _ENDPOINTS, Role.OUTPUT),
+        Column("netmsgdst", _ENDPOINTS, Role.OUTPUT),
+        Column("netmsgres", ("netq",), Role.OUTPUT),
+        Column("cachemsg", ("fill", "inval", "down", "promote"), Role.OUTPUT,
+               doc="command back into the cache controller"),
+        Column("fillmode", ("shared", "excl"), Role.OUTPUT),
+        Column("nxtpend", PEND, Role.OUTPUT,
+               doc="next pending register value (NULL = unchanged)"),
+        Column("reissue", ("yes",), Role.OUTPUT,
+               doc="re-issue the pending request later (retry absorbed)"),
+        Column("dataout", ("clean", "dirty"), Role.OUTPUT,
+               doc="data attached to a snoop reply"),
+    ]
+    return TableSchema(NODE_TABLE_NAME, cols)
+
+
+def node_constraints(spec: FamilySpec) -> ConstraintSet:
+    """Column constraints of N (see the module docstring)."""
+    cs = ConstraintSet(node_schema(spec))
+    inmsg = C("inmsg")
+    from_cache = inmsg.isin(CACHE_REQUESTS)
+    snoop = inmsg.isin(SNOOPS)
+
+    # -- input legality ---------------------------------------------------------
+    cs.set("inmsgsrc", cases(
+        (from_cache, C("inmsgsrc").eq("cache")),
+        default=C("inmsgsrc").eq("home"),
+    ))
+    cs.set("inmsgdst", cases(
+        (snoop, C("inmsgdst").eq("remote")),
+        default=C("inmsgdst").eq("local"),
+    ))
+    cs.set("pend", cases(
+        # One outstanding transaction per node: cache requests only with a
+        # free pending register.
+        (from_cache, C("pend").eq("none")),
+        (inmsg.eq("cdata"), C("pend").isin(("rd", "wr"))),
+        (inmsg.eq("data"), C("pend").eq("wr")),
+        # "none": a completion for a flush that was meanwhile cancelled by
+        # a victim-buffer snoop — absorbed as a no-op.
+        (inmsg.eq("compl"), C("pend").isin(("wr", "wrd", "wbp", "flp", "none"))),
+        # "none": a stale retry/nack for a transaction cancelled in the
+        # meantime (snoop hit the victim buffer) is absorbed as a no-op.
+        (inmsg.eq("retry"), C("pend").isin(("rd", "wr", "wbp", "flp", "none"))),
+        (inmsg.eq("nack"), C("pend").isin(("rd", "wr", "wbp", "flp", "none"))),
+        default=C("pend").is_null(),  # snoops: dontcare
+    ))
+    cs.set("linest", cases(
+        (inmsg.eq("miss_rd"), C("linest").eq("I")),
+        (inmsg.eq("miss_wr"), C("linest").isin(spec.upgrade_states + ("I",))),
+        (inmsg.eq("wb_victim"), C("linest").isin(spec.dirty_states)),
+        (inmsg.eq("flush_victim"), C("linest").isin(spec.clean_evict_states)),
+        (snoop, C("linest").not_null()),
+        default=C("linest").is_null(),  # home responses: dontcare
+    ))
+
+    # -- network output -----------------------------------------------------------
+    owb_branches = []
+    if spec.owned_wb:
+        # Evicting the dirty-shared forwarder: the dedicated owned-
+        # writeback request.  A plain wb from a tracked sharer would be
+        # indistinguishable from MESI's stale-writeback race at the
+        # directory, so the message name carries the distinction.
+        owb_branches.append(
+            (inmsg.eq("wb_victim") & C("linest").eq(spec.forward_state),
+             C("netmsg").eq("owb"))
+        )
+    cs.set("netmsg", cases(
+        (inmsg.eq("miss_rd"), C("netmsg").eq("read")),
+        (inmsg.eq("miss_wr") & C("linest").isin(spec.upgrade_states),
+         C("netmsg").eq("upgrade")),
+        (inmsg.eq("miss_wr") & C("linest").eq("I"), C("netmsg").eq("readex")),
+        *owb_branches,
+        (inmsg.eq("wb_victim"), C("netmsg").eq("wb")),
+        (inmsg.eq("flush_victim"), C("netmsg").eq("flush")),
+        # Snoops are always answered, whatever state the line is in.
+        (inmsg.eq("sinv") & C("linest").isin(spec.dirty_states),
+         C("netmsg").eq("ddata")),
+        (inmsg.eq("sinv"), C("netmsg").eq("idone")),
+        (inmsg.eq("sread"), C("netmsg").eq("sdone")),
+        # Fills and upgrade grants are acknowledged so the directory can
+        # retire its busy entry ("D receiving a compl response").
+        (inmsg.eq("cdata"), C("netmsg").eq("compl")),
+        (inmsg.eq("compl") & C("pend").isin(("wr", "wrd")),
+         C("netmsg").eq("compl")),
+        default=C("netmsg").is_null(),
+    ))
+    cs.set("netmsgsrc", cases(
+        (C("netmsg").isin(SNOOP_REPLIES), C("netmsgsrc").eq("remote")),
+        (C("netmsg").not_null(), C("netmsgsrc").eq("local")),
+        default=C("netmsgsrc").is_null(),
+    ))
+    cs.set("netmsgdst", when(
+        C("netmsg").not_null(), C("netmsgdst").eq("home"), C("netmsgdst").is_null(),
+    ))
+    cs.set("netmsgres", when(
+        C("netmsg").not_null(), C("netmsgres").eq("netq"), C("netmsgres").is_null(),
+    ))
+
+    # -- cache-side output ------------------------------------------------------------
+    cs.set("cachemsg", cases(
+        (inmsg.eq("cdata"), C("cachemsg").eq("fill")),
+        # An early data forward (data before compl) is only *buffered* —
+        # installing it before the remaining sharers' invalidates are
+        # collected would break single-writer/multiple-reader.  The fill
+        # happens when the completion arrives.
+        (inmsg.eq("compl") & C("pend").eq("wrd"), C("cachemsg").eq("fill")),
+        # Upgrade completion: the line is still shared in the cache and
+        # must be promoted to M.
+        (inmsg.eq("compl") & C("pend").eq("wr"), C("cachemsg").eq("promote")),
+        (inmsg.eq("sinv") & C("linest").ne("I"), C("cachemsg").eq("inval")),
+        (inmsg.eq("sread") & C("linest").isin(("M", "E")), C("cachemsg").eq("down")),
+        default=C("cachemsg").is_null(),
+    ))
+    cs.set("fillmode", cases(
+        (inmsg.eq("cdata") & C("pend").eq("rd"), C("fillmode").eq("shared")),
+        (inmsg.eq("cdata") & C("pend").eq("wr"), C("fillmode").eq("excl")),
+        (inmsg.eq("compl") & C("pend").eq("wrd"), C("fillmode").eq("excl")),
+        default=C("fillmode").is_null(),
+    ))
+
+    # -- pending register ----------------------------------------------------------------
+    cs.set("nxtpend", cases(
+        (inmsg.eq("miss_rd"), C("nxtpend").eq("rd")),
+        (inmsg.eq("miss_wr"), C("nxtpend").eq("wr")),
+        (inmsg.eq("wb_victim"), C("nxtpend").eq("wbp")),
+        (inmsg.eq("flush_victim"), C("nxtpend").eq("flp")),
+        (inmsg.eq("cdata"), C("nxtpend").eq("none")),
+        (inmsg.eq("data"), C("nxtpend").eq("wrd")),
+        (inmsg.eq("compl"), C("nxtpend").eq("none")),
+        default=C("nxtpend").is_null(),
+    ))
+    cs.set("reissue", when(
+        inmsg.isin(("retry", "nack")) & C("pend").ne("none"),
+        C("reissue").eq("yes"), C("reissue").is_null(),
+    ))
+    cs.set("dataout", cases(
+        (C("netmsg").eq("ddata"), C("dataout").eq("dirty")),
+        (inmsg.eq("sread") & C("linest").isin(spec.dirty_states),
+         C("dataout").eq("dirty")),
+        (inmsg.eq("sread") & C("linest").isin(spec.clean_evict_states),
+         C("dataout").eq("clean")),
+        default=C("dataout").is_null(),
+    ))
+    return cs

@@ -1,0 +1,283 @@
+"""Assembly of a full 8-controller protocol for one family member.
+
+:class:`FamilySystem` is the spec-parameterized generalization of the
+historical ``AsuraSystem`` (which is now its MESI-pinned subclass):
+generate all eight controller tables from their column constraints into
+one central database, wire up the invariant checker and the deadlock
+analyzer.  Four of the controllers — memory, RAC, network interface,
+protocol engine — are variant-independent and reuse the original
+builders unchanged; the cache, node, directory and I/O controllers are
+generated from the family-parameterized constraints.
+
+A non-MESI database is stamped with a one-row ``__family_variant``
+marker table so :func:`attach` (and the CLI's ``--db`` loading, the
+mutation-campaign workers, and the explorer) can recover the right spec
+from the file alone.  MESI databases carry no marker — their on-disk
+bytes are identical to what the pre-family code produced.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ...telemetry import get_tracer, span
+from ...core.constraints import ConstraintSet
+from ...core.database import ProtocolDatabase
+from ...core.deadlock import (
+    ChannelAssignment,
+    ControllerMessageSpec,
+    DeadlockAnalysis,
+    DeadlockAnalyzer,
+    MessageTriple,
+)
+from ...core.generator import GenerationResult, TableGenerator
+from ...core.invariants import InvariantChecker
+from ...core.quad import ALL_PLACEMENTS, Placement
+from ...core.report import CheckResult, Report
+from ...core.table import ControllerTable
+from . import cache, channels, directory, invariants as family_invariants, io
+from . import node
+from . import spec as F
+from .spec import MESI, FamilySpec, get_spec
+
+__all__ = [
+    "FamilySystem",
+    "controller_builders",
+    "VARIANT_META_TABLE",
+    "read_variant_marker",
+    "write_variant_marker",
+]
+
+#: One-row marker table naming the family member a database holds.
+#: Absent for MESI so the baseline database bytes never change.
+VARIANT_META_TABLE = "__family_variant"
+
+
+def controller_builders(spec: FamilySpec) -> dict[str, Callable[[], ConstraintSet]]:
+    """name -> constraint-set builder for each of the 8 controllers."""
+    # Imported lazily: the asura package's __init__ pulls in the
+    # MESI-pinned system, which imports this module — a module-level
+    # import here would be circular.  By the time a system is *built*
+    # both packages are fully initialized.
+    from ..asura import memory, netif, pengine, rac
+
+    return {
+        "D": lambda: directory.directory_constraints(spec),
+        "M": memory.memory_constraints,
+        "C": lambda: cache.cache_constraints(spec),
+        "N": lambda: node.node_constraints(spec),
+        "RAC": rac.rac_constraints,
+        "IO": lambda: io.io_constraints(spec),
+        "NI": netif.netif_constraints,
+        "PE": pengine.pengine_constraints,
+    }
+
+
+def write_variant_marker(db: ProtocolDatabase, spec: FamilySpec) -> None:
+    """Stamp a non-MESI database with its variant key (MESI: no-op)."""
+    if spec.key == MESI.key:
+        return
+    db.create_table_from_rows(VARIANT_META_TABLE, ("key",), [{"key": spec.key}])
+
+
+def read_variant_marker(db: ProtocolDatabase) -> str:
+    """The variant key a database was generated for (``mesi`` when
+    unmarked — every pre-family database)."""
+    if not db.table_exists(VARIANT_META_TABLE):
+        return MESI.key
+    rows = db.query(f'SELECT key FROM "{VARIANT_META_TABLE}"')
+    return rows[0]["key"] if rows else MESI.key
+
+
+class FamilySystem:
+    """A generated protocol-family member: 8 controller tables in one
+    database plus the member's channel assignments and invariants."""
+
+    def __init__(self, spec: FamilySpec | str = MESI,
+                 db: Optional[ProtocolDatabase] = None) -> None:
+        if isinstance(spec, str):
+            spec = get_spec(spec)
+        self.spec = spec
+        self.db = db or ProtocolDatabase()
+        self.constraint_sets: dict[str, ConstraintSet] = {}
+        self.generation_results: dict[str, GenerationResult] = {}
+        self.tables: dict[str, ControllerTable] = {}
+        builders = controller_builders(spec)
+        with span("system.build", controllers=len(builders),
+                  variant=spec.key) as sp:
+            for name, builder in builders.items():
+                cs = builder()
+                self.constraint_sets[name] = cs
+                result = TableGenerator(self.db, cs, table_name=name).generate_incremental()
+                self.generation_results[name] = result
+                self.tables[name] = result.table
+        self.generation_seconds = sp.seconds
+        self._create_helper_tables()
+        write_variant_marker(self.db, spec)
+        self.channel_assignments = channels.channel_assignments(spec)
+
+    @classmethod
+    def from_database(cls, db: ProtocolDatabase,
+                      spec: Optional[FamilySpec | str] = None) -> "FamilySystem":
+        """Attach to a database that already holds the 8 generated
+        controller tables — a ``--db`` file or a ``deserialize()``'d
+        snapshot — without regenerating anything.
+
+        When ``spec`` is omitted it is recovered from the database's
+        variant marker (absent marker = the MESI baseline).  Raises
+        :class:`~repro.core.schema.SchemaError` when the database lacks a
+        controller table or its columns, so callers get a clean
+        diagnostic for a wrong or corrupt file.  This is the fast path
+        the mutation-campaign workers use: each worker clones the
+        generated system from a snapshot in milliseconds instead of
+        re-solving the constraints."""
+        if spec is None:
+            spec = read_variant_marker(db)
+        if isinstance(spec, str):
+            spec = get_spec(spec)
+        self = cls.__new__(cls)
+        self.spec = spec
+        self.db = db
+        self.constraint_sets = {}
+        self.generation_results = {}
+        self.tables = {}
+        builders = controller_builders(spec)
+        with span("system.attach", controllers=len(builders),
+                  variant=spec.key):
+            for name, builder in builders.items():
+                cs = builder()
+                self.constraint_sets[name] = cs
+                self.tables[name] = ControllerTable(db, cs.schema, name)
+            self.generation_seconds = 0.0
+            if not db.table_exists(family_invariants.BUSY_STATE_HELPER_TABLE):
+                self._create_helper_tables()
+            self.channel_assignments = channels.channel_assignments(spec)
+        return self
+
+    def _create_helper_tables(self) -> None:
+        self.db.create_table_from_rows(
+            family_invariants.BUSY_STATE_HELPER_TABLE,
+            ("name",),
+            [{"name": n} for n in F.busy_names(self.spec)],
+        )
+
+    # -- accessors ------------------------------------------------------------
+    @property
+    def directory(self) -> ControllerTable:
+        return self.tables["D"]
+
+    def table(self, name: str) -> ControllerTable:
+        return self.tables[name]
+
+    # -- static checks ----------------------------------------------------------
+    def invariant_checker(self, batch: bool = True) -> InvariantChecker:
+        checker = InvariantChecker(self.db, batch=batch)
+        checker.extend(family_invariants.build_invariants(self.spec))
+        return checker
+
+    def check_invariants(self, batch: bool = True) -> Report:
+        """Run the full invariant suite plus per-table determinism checks
+        (no two rows of any controller match the same concrete input)."""
+        report = self.invariant_checker(batch=batch).check_all(
+            f"{self.spec.title} protocol invariants")
+        tracer = get_tracer()
+        for name, table in self.tables.items():
+            with span("invariant.determinism", table=name) as sp:
+                overlaps = table.find_overlapping_rows()
+            if tracer.enabled:
+                tracer.incr("invariant.checks")
+                tracer.incr("invariant.passed" if not overlaps
+                            else "invariant.failed")
+                if overlaps:
+                    tracer.incr("invariant.violations", len(overlaps))
+            report.add(CheckResult(
+                name=f"{name}-deterministic",
+                passed=not overlaps,
+                description=f"no two rows of {name} match the same input",
+                details=overlaps[:5],
+                seconds=sp.seconds,
+            ))
+        return report
+
+    # -- deadlock analysis ----------------------------------------------------------
+    def deadlock_specs(self) -> list[ControllerMessageSpec]:
+        """Message-column specs for the controllers that exchange
+        network messages (the others are on-chip only)."""
+        return [
+            ControllerMessageSpec(
+                controller=self.tables["D"],
+                input_triple=MessageTriple("inmsg", "inmsgsrc", "inmsgdst"),
+                output_triples=(
+                    MessageTriple("locmsg", "locmsgsrc", "locmsgdst"),
+                    MessageTriple("remmsg", "remmsgsrc", "remmsgdst"),
+                    MessageTriple("memmsg", "memmsgsrc", "memmsgdst"),
+                ),
+            ),
+            ControllerMessageSpec(
+                controller=self.tables["M"],
+                input_triple=MessageTriple("inmsg", "inmsgsrc", "inmsgdst"),
+                output_triples=(
+                    MessageTriple("outmsg", "outmsgsrc", "outmsgdst"),
+                ),
+            ),
+            ControllerMessageSpec(
+                controller=self.tables["N"],
+                input_triple=MessageTriple("inmsg", "inmsgsrc", "inmsgdst"),
+                output_triples=(
+                    MessageTriple("netmsg", "netmsgsrc", "netmsgdst"),
+                ),
+            ),
+            ControllerMessageSpec(
+                controller=self.tables["IO"],
+                input_triple=MessageTriple("inmsg", "inmsgsrc", "inmsgdst"),
+                output_triples=(
+                    MessageTriple("netmsg", "netmsgsrc", "netmsgdst"),
+                ),
+            ),
+        ]
+
+    def analyze_deadlocks(
+        self,
+        assignment: str = "v5",
+        placements: Sequence[Placement] = ALL_PLACEMENTS,
+        ignore_messages: bool = True,
+        closure: bool = False,
+        engine: str = "sql",
+        workers: Optional[int] = None,
+        table_name: Optional[str] = None,
+    ) -> DeadlockAnalysis:
+        """Run the section 4.1 analysis for one channel assignment
+        (``v4``, ``v5`` or ``v5d``).  ``engine`` picks the set-based SQL
+        pipeline (default) or the row-at-a-time Python oracle; ``workers``
+        fans placements across snapshot threads when > 1."""
+        channels_ = self.channel_assignments[assignment]
+        analyzer = DeadlockAnalyzer(
+            self.db, self.deadlock_specs(), channels_,
+            engine=engine, workers=workers,
+        )
+        return analyzer.analyze(
+            placements=placements,
+            ignore_messages=ignore_messages,
+            closure=closure,
+            table_name=table_name,
+        )
+
+    # -- statistics --------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Protocol-wide statistics (the section 3/6 size claims)."""
+        per_table = {n: t.stats() for n, t in self.tables.items()}
+        out = {
+            "controllers": len(self.tables),
+            "total_rows": sum(s.n_rows for s in per_table.values()),
+            "total_columns": sum(s.n_columns for s in per_table.values()),
+            "busy_states": len(F.busy_names(self.spec)),
+            "directory_rows": per_table["D"].n_rows,
+            "directory_columns": per_table["D"].n_columns,
+            "generation_seconds": self.generation_seconds,
+            "per_table": per_table,
+        }
+        if self.spec.key != MESI.key:
+            # Stamped only off-baseline so the MESI stats payload (and the
+            # benchmark JSON built from it) stays byte-identical.
+            out["variant"] = self.spec.key
+        return out

@@ -52,6 +52,9 @@ CATALOG: tuple[Message, ...] = (
     _m("readex", Kind.REQUEST, "node_dir", "read a line exclusive (Figure 2)"),
     _m("upgrade", Kind.REQUEST, "node_dir", "S -> M ownership upgrade"),
     _m("wb", Kind.REQUEST, "node_dir", "write a modified line back to memory"),
+    _m("owb", Kind.REQUEST, "node_dir",
+       "write an Owned (dirty-shared) line back to memory — MOESI family "
+       "members only; never generated for the MESI baseline"),
     _m("flush", Kind.REQUEST, "node_dir", "notify eviction of a shared line"),
     _m("ior", Kind.REQUEST, "node_dir", "uncached I/O read"),
     _m("iow", Kind.REQUEST, "node_dir", "uncached I/O write"),

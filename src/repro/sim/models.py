@@ -111,7 +111,7 @@ class DirectoryModel:
         b = self.busy.get(addr)
         bdirst = b.state if b else S.DIR_I
         bpv = set(b.pv) if b else set()
-        is_req = env.msg in M.DIR_REQUEST_INPUTS
+        is_req = M.is_request(env.msg)
         try:
             rowid, row = self.table.lookup_id(
                 inmsg=env.msg,

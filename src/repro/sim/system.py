@@ -410,14 +410,23 @@ class Simulator:
     # -- coherence ---------------------------------------------------------------------------
     def check_coherence(self) -> None:
         """Single-writer/multiple-reader: never two owners of a line, and
-        never an owner coexisting with shared copies."""
+        never an owner coexisting with shared copies.
+
+        Family-aware: a forwarder state (MOESI ``O``, MESIF ``F``) counts
+        as a shared copy — it may coexist with ``S`` holders but never
+        with an exclusive owner, and a line has at most one forwarder.
+        """
+        spec = getattr(self.system, "spec", None)
+        fwd = spec.forward_state if spec is not None else None
         holders: dict[str, list[tuple[str, str]]] = {}
         for nid, node in self.nodes.items():
             for addr, st in node.cache.items():
                 holders.setdefault(addr, []).append((nid, st))
         for addr, hs in holders.items():
             owners = [nid for nid, st in hs if st in ("M", "E")]
-            sharers = [nid for nid, st in hs if st == "S"]
+            sharers = [nid for nid, st in hs
+                       if st == "S" or (fwd is not None and st == fwd)]
+            forwarders = [nid for nid, st in hs if st == fwd]
             if len(owners) > 1:
                 raise CoherenceError(
                     f"line {addr}: multiple owners {owners} at step {self.now}"
@@ -426,6 +435,11 @@ class Simulator:
                 raise CoherenceError(
                     f"line {addr}: owner {owners[0]} coexists with sharers "
                     f"{sharers} at step {self.now}"
+                )
+            if len(forwarders) > 1:
+                raise CoherenceError(
+                    f"line {addr}: multiple forwarders ({fwd}) "
+                    f"{forwarders} at step {self.now}"
                 )
 
     def check_directory_agreement(self) -> None:

@@ -133,8 +133,12 @@ print("\\n".join(sorted(explorer.states)))
             capture_output=True, text=True, env=env, check=True, timeout=300)
         return out.stdout.split()
 
-    @pytest.mark.parametrize("nodes", [2, 3])
+    @pytest.mark.parametrize("nodes", [2, 3, 5])
     def test_digest_sets_agree_across_hash_seeds(self, nodes):
+        # 3 and 5 nodes exercise the non-quad grouping path through
+        # ``node_groups(state, group_of=...)``: quad 0 holds more than
+        # two interchangeable nodes, so a digest that leaked dict or
+        # hash order would differ between these two subprocesses.
         a = self._digests("0", nodes)
         b = self._digests("424242", nodes)
         assert a and a == b
@@ -145,3 +149,38 @@ print("\\n".join(sorted(explorer.states)))
                       if len(explorer.trace_to(d)) <= 4)
         there = self._digests("7", 3)
         assert here == sorted(there)
+
+
+class TestGroupOfParameter:
+    """``node_groups`` takes the grouping function as a parameter so
+    non-quad topologies (and asymmetric ones) control which nodes count
+    as interchangeable, instead of inheriting the hardcoded quad rule."""
+
+    def test_default_grouping_is_by_quad(self):
+        state = _reached_states()[0]
+        by_quad: dict = {}
+        for nid, *_ in state[2]:
+            by_quad.setdefault(nid.split(":")[1].split(".")[0],
+                               []).append(nid)
+        assert node_groups(state) == \
+            [sorted(g) for _, g in sorted(by_quad.items())]
+
+    def test_custom_grouping_restricts_the_orbit(self):
+        # Grouping every node into its own singleton class makes every
+        # orbit trivial: canonicalization must return the state itself.
+        state = _reached_states()[0]
+        singleton = lambda nid: nid
+        assert node_groups(state, group_of=singleton) == \
+            sorted([nid] for nid, *_ in state[2])
+        assert canonicalize(state, group_of=singleton) == state
+
+    def test_custom_grouping_threads_into_canonicalize(self):
+        # One big class can only *merge* orbits relative to the quad
+        # grouping — canonical forms stay canonical or coarsen, and the
+        # result is stable (idempotent) under the same grouping.
+        one_class = lambda nid: "all"
+        for state in _reached_states()[:25]:
+            canonical = canonicalize(state, group_of=one_class)
+            assert canonicalize(canonical, group_of=one_class) == canonical
+            assert sorted(len(g) for g in node_groups(state, one_class)) \
+                == [len(state[2])]

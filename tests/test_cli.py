@@ -413,3 +413,79 @@ class TestMutateOracleFlags:
                 [1, 4, 4, 12, 20]
         finally:
             db.close()
+
+
+class TestVariantFlag:
+    def test_variant_accepted_on_every_system_subcommand(self):
+        for cmd in ("stats", "check", "deadlock", "simulate", "mutate",
+                    "explore"):
+            args = build_parser().parse_args([cmd, "--variant", "moesi"])
+            assert args.variant == "moesi"
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check", "--variant", "dragon"])
+
+    def test_check_moesi(self, capsys):
+        assert main(["check", "--variant", "moesi"]) == 0
+        out = capsys.readouterr().out
+        assert "MOESI protocol invariants" in out and "0 failing" in out
+
+    def test_variant_save_then_attach_recovers_member(self, tmp_path,
+                                                      capsys):
+        path = str(tmp_path / "moesi.db")
+        assert main(["check", "--variant", "moesi", "--save-db", path,
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        # No --variant on attach: the marker table names the member.
+        assert main(["stats", "--db", path]) == 0
+        assert " 344 rows" in capsys.readouterr().out  # MOESI's D
+
+    def test_conflicting_variant_on_attach_exits_2(self, tmp_path,
+                                                   capsys):
+        path = str(tmp_path / "moesi.db")
+        assert main(["check", "--variant", "moesi", "--save-db", path,
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--db", path, "--variant", "mesif"]) == 2
+        err = capsys.readouterr().err
+        assert "conflicts with the 'moesi' member" in err
+
+
+class TestFamilyCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["family"])
+        assert not args.all and args.nodes == 2 and args.count == 12
+        assert args.explore_depth == 6 and args.oracle_depth == 5
+
+    def test_skip_campaign_pipeline_is_clean(self, capsys):
+        assert main(["family", "--variant", "mesif",
+                     "--skip-campaign"]) == 0
+        out = capsys.readouterr().out
+        assert "deadlock v4: 5 cycle(s)" in out
+        assert "deadlock v5d: free" in out
+        assert "simulate fig2: quiescent" in out
+        assert "all 1 member(s) clean" in out
+
+    def test_vc6_differential_shows_v5_free(self, capsys):
+        assert main(["family", "--variant", "mesi-vc6",
+                     "--skip-campaign"]) == 0
+        out = capsys.readouterr().out
+        assert "deadlock v5: free" in out
+        assert "deadlock v4: 4 cycle(s)" in out
+
+    def test_matrix_out_then_self_baseline_passes(self, tmp_path, capsys):
+        matrix = str(tmp_path / "fam.json")
+        assert main(["family", "--count", "4", "--explore-depth", "5",
+                     "--oracle-depth", "4", "--matrix-out", matrix]) == 0
+        capsys.readouterr()
+        bench = json.load(open(matrix))
+        assert bench["schema"] == "repro.family.bench/v1"
+        assert bench["members"]["mesi"]["campaign"]["totals"]["count"] == 4
+        assert main(["family", "--count", "4", "--explore-depth", "5",
+                     "--oracle-depth", "4", "--baseline", matrix]) == 0
+        assert "no detection regressions" in capsys.readouterr().out
+
+    def test_db_flag_rejected(self, capsys):
+        assert main(["family", "--db", "x.db"]) == 2
+        assert "--db/--save-db do not apply" in capsys.readouterr().err
