@@ -359,17 +359,56 @@ class ProtocolDatabase:
         )
         return cursor
 
+    _EXECUTEMANY_SAVEPOINT = "repro_executemany"
+
+    def _executemany_attempt(self, sql: str, chunk: Sequence) -> sqlite3.Cursor:
+        """One retryable ``executemany`` attempt.
+
+        A transient error can land mid-batch with a prefix of the chunk
+        already applied inside the open transaction; rolling that prefix
+        back — to a savepoint when a transaction was already open,
+        otherwise the implicit transaction the batch itself began —
+        makes a retry insert the chunk exactly once instead of
+        double-applying the survived prefix."""
+        if self._conn.in_transaction:
+            self._conn.execute(f"SAVEPOINT {self._EXECUTEMANY_SAVEPOINT}")
+            try:
+                cursor = self._conn.executemany(sql, chunk)
+            except sqlite3.Error:
+                try:
+                    self._conn.execute(
+                        f"ROLLBACK TO {self._EXECUTEMANY_SAVEPOINT}")
+                    self._conn.execute(
+                        f"RELEASE {self._EXECUTEMANY_SAVEPOINT}")
+                except sqlite3.Error:
+                    pass  # surface the original failure, not the cleanup's
+                raise
+            self._conn.execute(f"RELEASE {self._EXECUTEMANY_SAVEPOINT}")
+            return cursor
+        try:
+            return self._conn.executemany(sql, chunk)
+        except sqlite3.Error:
+            if self._conn.in_transaction:
+                try:
+                    self._conn.execute("ROLLBACK")
+                except sqlite3.Error:
+                    pass
+            raise
+
     def executemany(self, sql: str, rows: Iterable[Sequence]) -> None:
         if self._closed:
             raise DatabaseError(
                 f"database is closed; cannot execute:\n{sql}")
         self._note_statement(sql)
+        # Materialize before the first attempt: ``rows`` may be a
+        # one-shot iterator that a failed attempt would have partially
+        # consumed, which is what used to make retrying unsafe here.
+        if not isinstance(rows, (list, tuple)):
+            rows = list(rows)
         tracer = get_tracer()
         if not tracer.enabled:
             try:
-                # No retry here: ``rows`` may be a one-shot iterator that
-                # a failed first attempt would have partially consumed.
-                self._conn.executemany(sql, rows)
+                self._retried(lambda: self._executemany_attempt(sql, rows))
             except sqlite3.Error as e:
                 raise DatabaseError(
                     f"{type(e).__name__}: {e}\nSQL was:\n{sql}"
@@ -377,7 +416,8 @@ class ProtocolDatabase:
             return
         t0 = time.perf_counter()
         try:
-            cursor = self._conn.executemany(sql, rows)
+            cursor = self._retried(
+                lambda: self._executemany_attempt(sql, rows))
         except sqlite3.Error as e:
             tracer.record_sql(
                 sql,

@@ -22,6 +22,8 @@ import os
 import time
 from typing import Any, Optional
 
+from .atomic import atomic_write_text
+
 __all__ = [
     "JOURNAL_SCHEMA",
     "JournalError",
@@ -97,6 +99,44 @@ class CheckpointJournal:
         self._append({"type": "unit", "id": unit_id, "data": data,
                       "ts": time.time()})
 
+    def compact(self) -> int:
+        """Atomically rewrite the journal keeping only live records.
+
+        A journal that re-records units (a service queue journaling
+        every job state change, a resumed campaign) grows without bound;
+        compaction rewrites it down to the header plus the *latest*
+        record per unit id — exactly what :func:`load_journal` would
+        have surfaced anyway — and reopens the append handle on the new
+        file.  The rewrite is a fully-written, fsync'd sibling temp file
+        swapped in with ``os.replace``, so a crash at any instant leaves
+        either the old complete journal or the new complete journal on
+        disk, never a prefix and never a lost record.  Returns the
+        number of superseded records dropped."""
+        self._fh.flush()
+        if self._fsync:
+            os.fsync(self._fh.fileno())
+        raw_header, latest, order, total_records = _scan_live_records(
+            self.path)
+        if raw_header is None:
+            raise JournalError(
+                f"cannot compact journal {self.path!r}: no header record")
+        lines = [json.dumps(raw_header, sort_keys=True, default=str)]
+        lines.extend(json.dumps(latest[unit_id], sort_keys=True, default=str)
+                     for unit_id in order)
+        # Close before the swap: the old handle points at the old inode,
+        # and an append there after the replace would be silently lost.
+        self._fh.close()
+        self._fh = None
+        try:
+            atomic_write_text(self.path, "\n".join(lines) + "\n")
+        finally:
+            # Reopen even if the swap failed: either file is a complete,
+            # consistent journal, and the caller's handle must keep
+            # working (crash-during-compaction is survivable, a dead
+            # handle afterwards is not).
+            self._fh = open(self.path, "a", encoding="utf-8")
+        return total_records - len(order)
+
     def close(self) -> None:
         """Close the underlying file (idempotent)."""
         if self._fh is not None:
@@ -110,25 +150,33 @@ class CheckpointJournal:
         self.close()
 
 
-def _scan_journal(
+def _scan_raw(
     path: str,
-) -> tuple[Optional[dict[str, Any]], dict[Any, Any], int]:
-    """Parse a journal, returning ``(header, units, durable_end)``.
+) -> tuple[Optional[dict[str, Any]], dict[Any, dict[str, Any]],
+           list[Any], int, int]:
+    """Parse a journal, returning ``(header_record, latest, order,
+    total_units, durable_end)``.
 
+    ``header_record`` is the raw header line (``type``/``schema`` keys
+    included); ``latest`` maps each unit id to its *latest* raw record;
+    ``order`` lists unit ids by first appearance; ``total_units`` counts
+    every durable unit record including superseded duplicates.
     ``durable_end`` is the byte offset just past the last durable record
     — well-formed JSON terminated by a newline.  A final line that is
     malformed *or* missing its newline is the tear a kill mid-append
     leaves behind: its record never became durable, so it is excluded
-    from ``units`` and from ``durable_end`` (a resume re-runs that
-    unit).  Malformed lines anywhere before the tail mean real
-    corruption and raise :class:`JournalError`."""
+    everywhere (a resume re-runs that unit).  Malformed lines anywhere
+    before the tail mean real corruption and raise
+    :class:`JournalError`."""
     try:
         with open(path, "rb") as fh:
             raw = fh.read()
     except OSError as exc:
         raise JournalError(f"cannot read journal {path!r}: {exc}") from exc
-    header: Optional[dict[str, Any]] = None
-    units: dict[Any, Any] = {}
+    header_record: Optional[dict[str, Any]] = None
+    latest: dict[Any, dict[str, Any]] = {}
+    order: list[Any] = []
+    total_units = 0
     durable_end = 0
     offset = 0
     lineno = 0
@@ -160,13 +208,41 @@ def _scan_journal(
                 raise JournalError(
                     f"journal {path!r} has schema "
                     f"{record.get('schema')!r}, expected {JOURNAL_SCHEMA!r}")
-            header = {k: v for k, v in record.items()
-                      if k not in ("type", "schema")}
+            header_record = record
         elif kind == "unit":
-            units[record.get("id")] = record.get("data")
+            unit_id = record.get("id")
+            if unit_id not in latest:
+                order.append(unit_id)
+            latest[unit_id] = record
+            total_units += 1
         durable_end = end
         offset = end
+    return header_record, latest, order, total_units, durable_end
+
+
+def _scan_journal(
+    path: str,
+) -> tuple[Optional[dict[str, Any]], dict[Any, Any], int]:
+    """Parse a journal, returning ``(header, units, durable_end)`` —
+    the :func:`_scan_raw` view with the header's bookkeeping keys
+    stripped and each unit reduced to its latest ``data``."""
+    header_record, latest, order, _, durable_end = _scan_raw(path)
+    header = None
+    if header_record is not None:
+        header = {k: v for k, v in header_record.items()
+                  if k not in ("type", "schema")}
+    units = {unit_id: latest[unit_id].get("data") for unit_id in order}
     return header, units, durable_end
+
+
+def _scan_live_records(
+    path: str,
+) -> tuple[Optional[dict[str, Any]], dict[Any, dict[str, Any]],
+           list[Any], int]:
+    """The compaction view: ``(raw_header_record, latest_raw_records,
+    order, total_unit_records)``."""
+    header_record, latest, order, total_units, _ = _scan_raw(path)
+    return header_record, latest, order, total_units
 
 
 def load_journal(path: str) -> tuple[dict[str, Any], dict[Any, Any]]:

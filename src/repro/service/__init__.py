@@ -1,0 +1,60 @@
+"""The always-on verification service.
+
+Turns the repo's crash-safe batch runtime into a long-lived service:
+clients submit verification jobs (mutation campaigns, bounded
+explorations, invariant checks, family pipelines) over HTTP to a
+durable journal-backed queue (:mod:`~repro.service.queue`); a fleet of
+lease-holding workers (:mod:`~repro.service.worker`) claims, executes
+(:mod:`~repro.service.runner`), and heartbeats; every failure mode —
+worker SIGKILL, worker hang, server SIGKILL, transient sqlite errors,
+a full spool disk — lands in a documented degraded-but-correct outcome
+chaos-tested by :mod:`~repro.service.harness` (``repro chaos``).
+
+The load-bearing idea: **failover is resume**.  Jobs checkpoint through
+the same :class:`~repro.runtime.journal.CheckpointJournal` machinery as
+``repro mutate --journal``, so a re-leased job continues from the dead
+worker's last durable unit and its recovered detection matrix is
+byte-identical to an uninterrupted run's.  See ``docs/SERVICE.md``.
+"""
+
+from .chaos import ChaosError, chaos_active, parse_chaos
+from .client import (
+    BackpressureError,
+    LeaseLostError,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailableError,
+)
+from .harness import SCENARIOS, ScenarioResult, run_scenarios
+from .jobs import (
+    JOB_KINDS,
+    JOB_STATES,
+    TERMINAL_STATES,
+    Job,
+    JobValidationError,
+    Lease,
+    validate_params,
+)
+from .queue import (
+    QUEUE_JOURNAL_KIND,
+    JobQueue,
+    LeaseError,
+    QueueFullError,
+    UnknownJobError,
+)
+from .runner import run_job
+from .server import VerificationServer, serve
+from .worker import Worker
+
+__all__ = [
+    "JOB_KINDS", "JOB_STATES", "TERMINAL_STATES",
+    "Job", "Lease", "JobValidationError", "validate_params",
+    "JobQueue", "QueueFullError", "LeaseError", "UnknownJobError",
+    "QUEUE_JOURNAL_KIND",
+    "ServiceClient", "ServiceError", "BackpressureError",
+    "LeaseLostError", "ServiceUnavailableError",
+    "VerificationServer", "serve",
+    "Worker", "run_job",
+    "ChaosError", "chaos_active", "parse_chaos",
+    "SCENARIOS", "ScenarioResult", "run_scenarios",
+]

@@ -1,0 +1,194 @@
+"""Fault injection for the verification service: chaos that ships.
+
+A job may carry a ``chaos`` parameter — a small spec string that arms
+one injector inside the worker that runs it:
+
+``crash:K``
+    ``os._exit(137)`` the instant the K-th unit-of-progress event is
+    emitted — a worker SIGKILL from the job's own point of view.  The
+    lease expires, the job is re-leased, and the next attempt resumes
+    from the journal the dead worker left behind.
+``hang:K``
+    Block forever at the K-th unit-of-progress event.  The job stops
+    emitting events, the worker's progress watchdog ``os._exit(142)``\\ s
+    the whole process, and failover proceeds exactly as for a crash.
+``sqlite:N``
+    The next ``N`` database operations each fail once with a
+    *transient* ``sqlite3.OperationalError("database is locked")``
+    underneath the retry layer, then succeed when retried.  The run
+    degrades (``repro_db_retries`` counts up) but completes correctly
+    on the same attempt — no failover involved.
+``diskfull:K``
+    The K-th checkpoint-journal append raises ``OSError(ENOSPC)`` — the
+    spool disk filling up mid-run.  The attempt fails cleanly, the queue
+    requeues the job, and the retry succeeds.
+
+Injectors arm only on a job's *first* attempt (:func:`chaos_active`
+no-ops for later ones): chaos exists to prove the failover path, and a
+fault that re-fired on every attempt would just exhaust ``max_attempts``
+instead of demonstrating recovery.  The documented fault → outcome table
+lives in ``docs/SERVICE.md``; the end-to-end scenario suite is
+``repro chaos`` (:func:`repro.service.harness.run_scenarios`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import errno
+import os
+import sqlite3
+import time
+from typing import Iterator, Optional
+
+__all__ = ["ChaosError", "ChaosSink", "chaos_active", "parse_chaos"]
+
+#: telemetry event types that count as one unit of job progress —
+#: the campaign's per-mutant event and the explorer's per-depth event.
+PROGRESS_EVENTS = frozenset({"campaign.unit", "explore.depth"})
+
+#: exit codes the chaos injectors kill the worker with; the supervisor
+#: and harness recognise them in restart logs.
+CRASH_EXIT = 137
+HANG_EXIT = 142
+
+
+class ChaosError(ValueError):
+    """An unparseable chaos spec (caught at job validation time)."""
+
+
+def parse_chaos(spec: Optional[str]) -> Optional[tuple[str, int]]:
+    """``"crash:3"`` → ``("crash", 3)``; ``None``/empty stays ``None``."""
+    if not spec:
+        return None
+    mode, sep, arg = spec.partition(":")
+    if not sep or mode not in ("crash", "hang", "sqlite", "diskfull"):
+        raise ChaosError(
+            f"bad chaos spec {spec!r} (expected crash:K, hang:K, "
+            f"sqlite:N, or diskfull:K)")
+    try:
+        n = int(arg)
+    except ValueError:
+        raise ChaosError(f"bad chaos spec {spec!r}: {arg!r} is not an int")
+    if n < 1:
+        raise ChaosError(f"bad chaos spec {spec!r}: count must be >= 1")
+    return mode, n
+
+
+class ChaosSink:
+    """A telemetry sink that kills or hangs the worker at the K-th
+    unit-of-progress event.  Attached by :func:`chaos_active`; inert for
+    the ``sqlite``/``diskfull`` modes."""
+
+    def __init__(self, mode: str, at: int) -> None:
+        self.mode = mode
+        self.at = at
+        self.seen = 0
+
+    def write(self, event: dict) -> None:
+        if event.get("type") not in PROGRESS_EVENTS:
+            return
+        self.seen += 1
+        if self.seen < self.at:
+            return
+        if self.mode == "crash":
+            # Bypass every finally/atexit — indistinguishable from
+            # SIGKILL to the rest of the system.
+            os._exit(CRASH_EXIT)
+        if self.mode == "hang":
+            # Stop making progress without dying; the worker's own
+            # watchdog is what must notice and pull the trigger.
+            while True:
+                time.sleep(3600)
+
+    def close(self) -> None:
+        pass
+
+
+@contextlib.contextmanager
+def _sqlite_faults(n: int) -> Iterator[None]:
+    """The next ``n`` retried database operations each fail once,
+    transiently.
+
+    Patches :meth:`ProtocolDatabase._retried` to wrap each operation so
+    its *first* call raises ``database is locked`` while the fault
+    budget lasts — one failure per operation, *underneath* the retry
+    layer, so the production :class:`~repro.runtime.retry.RetryPolicy`
+    is what recovers (burying one op under more consecutive failures
+    than the policy's attempt budget would rightly escalate to FATAL)."""
+    from ..core.database import ProtocolDatabase
+
+    budget = [n]
+    original = ProtocolDatabase._retried
+
+    def chaotic_retried(self, op):
+        fired = [False]
+
+        def flaky():
+            if budget[0] > 0 and not fired[0]:
+                fired[0] = True
+                budget[0] -= 1
+                raise sqlite3.OperationalError(
+                    "database is locked (chaos injection)")
+            return op()
+        return original(self, flaky)
+
+    ProtocolDatabase._retried = chaotic_retried
+    try:
+        yield
+    finally:
+        ProtocolDatabase._retried = original
+
+
+@contextlib.contextmanager
+def _diskfull_fault(at: int) -> Iterator[None]:
+    """The ``at``-th checkpoint-journal append raises ``ENOSPC`` once.
+
+    Patches :meth:`CheckpointJournal._append`; the failed append never
+    reaches the file, so the journal stays well-formed and the retried
+    attempt resumes from the last durable record."""
+    from ..runtime.journal import CheckpointJournal
+
+    state = {"seen": 0, "fired": False}
+    original = CheckpointJournal._append
+
+    def failing_append(self, record):
+        state["seen"] += 1
+        if not state["fired"] and state["seen"] >= at:
+            state["fired"] = True
+            raise OSError(errno.ENOSPC, "No space left on device "
+                          "(chaos injection)")
+        return original(self, record)
+
+    CheckpointJournal._append = failing_append
+    try:
+        yield
+    finally:
+        CheckpointJournal._append = original
+
+
+@contextlib.contextmanager
+def chaos_active(spec: Optional[str], attempt: int = 1,
+                 tracer=None) -> Iterator[None]:
+    """Arm the injector named by ``spec`` for the duration of a job
+    attempt — but only the *first* attempt; retries of a chaos job run
+    clean so the failover they exist to demonstrate can land."""
+    parsed = parse_chaos(spec)
+    if parsed is None or attempt > 1:
+        yield
+        return
+    mode, n = parsed
+    if mode == "sqlite":
+        with _sqlite_faults(n):
+            yield
+    elif mode == "diskfull":
+        with _diskfull_fault(n):
+            yield
+    else:
+        sink = ChaosSink(mode, n)
+        if tracer is not None:
+            tracer.sinks.append(sink)
+        try:
+            yield
+        finally:
+            if tracer is not None and sink in tracer.sinks:
+                tracer.sinks.remove(sink)

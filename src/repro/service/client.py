@@ -1,0 +1,213 @@
+"""Stdlib HTTP client for the verification service.
+
+Used by ``repro submit`` / ``repro jobs``, by the worker fleet (claim /
+renew / complete), and by the chaos harness.  Plain ``urllib`` with a
+small transient-retry loop: a connection refused or reset is exactly
+what a client sees while the server is being killed and restarted, and
+the service's whole point is that such a blip is survivable — so the
+client retries those with backoff instead of surfacing them.  HTTP
+error *statuses* are never retried here (409 means the lease is gone no
+matter how often you ask; 429 carries a Retry-After for the caller to
+honour).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Optional
+
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "BackpressureError",
+    "LeaseLostError",
+    "ServiceUnavailableError",
+]
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class BackpressureError(ServiceError):
+    """429 — the queue is full; retry after :attr:`retry_after` seconds."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(429, message)
+        self.retry_after = retry_after
+
+
+class LeaseLostError(ServiceError):
+    """409 — the lease this worker held was re-granted or the job left
+    the leased state; abandon the attempt."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(409, message)
+
+
+class ServiceUnavailableError(ServiceError):
+    """The server could not be reached at all (after retries)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(0, message)
+
+
+class ServiceClient:
+    """Client for one service endpoint (``http://host:port``).
+
+    ``connect_retries`` bounds how long a connection-level failure is
+    retried (with capped exponential backoff) before surfacing as
+    :class:`ServiceUnavailableError` — the window a server restart has
+    to come back within."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0,
+                 connect_retries: int = 8,
+                 backoff: float = 0.25) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.connect_retries = connect_retries
+        self.backoff = backoff
+
+    # -- transport ------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> tuple[int, dict[str, str],
+                                                       bytes]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        last_exc: Optional[Exception] = None
+        for attempt in range(self.connect_retries + 1):
+            req = urllib.request.Request(
+                self.base_url + path, data=data, headers=headers,
+                method=method)
+            try:
+                with urllib.request.urlopen(
+                        req, timeout=self.timeout) as resp:
+                    return (resp.status,
+                            {k.lower(): v for k, v in resp.headers.items()},
+                            resp.read())
+            except urllib.error.HTTPError as exc:
+                # A status line got through: the server is alive and
+                # said no.  Never retried at this layer.
+                payload = exc.read()
+                return (exc.code,
+                        {k.lower(): v for k, v in exc.headers.items()},
+                        payload)
+            except (urllib.error.URLError, ConnectionError,
+                    TimeoutError, OSError) as exc:
+                last_exc = exc
+                if attempt < self.connect_retries:
+                    time.sleep(min(self.backoff * (2 ** attempt), 2.0))
+        raise ServiceUnavailableError(
+            f"cannot reach {self.base_url}: {last_exc}")
+
+    def _json(self, method: str, path: str,
+              body: Optional[dict] = None) -> Any:
+        status, headers, payload = self._request(method, path, body)
+        if status == 204:
+            return None
+        try:
+            doc = json.loads(payload.decode("utf-8")) if payload else {}
+        except json.JSONDecodeError:
+            doc = {"error": payload.decode("utf-8", "replace")[:200]}
+        if status == 429:
+            raise BackpressureError(
+                doc.get("error", "queue is full"),
+                retry_after=float(headers.get("retry-after", "1")))
+        if status == 409:
+            raise LeaseLostError(doc.get("error", "lease lost"))
+        if status >= 400:
+            raise ServiceError(status, doc.get("error", f"status {status}"))
+        return doc
+
+    # -- client-facing API ----------------------------------------------------
+    def submit(self, kind: str, params: Optional[dict] = None,
+               key: Optional[str] = None,
+               max_attempts: Optional[int] = None) -> dict:
+        body: dict = {"kind": kind, "params": params or {}}
+        if key is not None:
+            body["key"] = key
+        if max_attempts is not None:
+            body["max_attempts"] = max_attempts
+        return self._json("POST", "/jobs", body)
+
+    def job(self, job_id: str) -> dict:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def jobs(self, state: Optional[str] = None) -> list[dict]:
+        path = "/jobs" + (f"?state={state}" if state else "")
+        return self._json("GET", path)["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        """Live progress of a job (from its journal and event stream)."""
+        return self._json("GET", f"/jobs/{job_id}/status")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._json("POST", f"/jobs/{job_id}/cancel")
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.5) -> dict:
+        """Poll until the job reaches a terminal state (or raise
+        ``TimeoutError``); returns the final job document."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.job(job_id)
+            if doc["state"] in ("done", "failed", "cancelled"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {doc['state']} after {timeout}s")
+            time.sleep(poll)
+
+    # -- worker-facing API ----------------------------------------------------
+    def claim(self, worker: str) -> Optional[dict]:
+        """Claim the next queued job; ``None`` when the queue is idle or
+        the server is draining."""
+        return self._json("POST", "/lease/claim", {"worker": worker})
+
+    def renew(self, job_id: str, token: str) -> float:
+        doc = self._json("POST", "/lease/renew",
+                         {"job_id": job_id, "token": token})
+        return float(doc["deadline"])
+
+    def complete(self, job_id: str, token: str,
+                 result: Optional[dict] = None) -> bool:
+        doc = self._json("POST", "/lease/complete",
+                         {"job_id": job_id, "token": token,
+                          "result": result})
+        return bool(doc["won"])
+
+    def fail(self, job_id: str, token: str, error: str) -> bool:
+        doc = self._json("POST", "/lease/fail",
+                         {"job_id": job_id, "token": token, "error": error})
+        return bool(doc["won"])
+
+    # -- operational API -------------------------------------------------------
+    def health(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def ready(self) -> bool:
+        status, _, _ = self._request("GET", "/readyz")
+        return status == 200
+
+    def stats(self) -> dict:
+        return self._json("GET", "/stats")
+
+    def metrics_text(self) -> str:
+        _, _, payload = self._request("GET", "/metrics")
+        return payload.decode("utf-8")
+
+    def drain(self) -> dict:
+        """Ask the server to stop granting claims and finish in-flight
+        work (what SIGTERM does, reachable over HTTP for the tests)."""
+        return self._json("POST", "/drain")

@@ -1,0 +1,331 @@
+"""The chaos scenario suite: ``repro chaos``.
+
+Each scenario stands up a real service (a ``repro serve`` subprocess
+with its own spool, worker fleet, and short leases), submits a real
+mutation campaign, injects exactly one fault, and asserts the
+*documented* degraded-but-correct outcome — including, for every
+scenario that finishes the campaign, that the recovered detection
+matrix is **byte-identical** to an uninterrupted baseline run's.
+
+Scenarios (the fault → outcome table in ``docs/SERVICE.md``):
+
+================  ==========================================================
+``worker-crash``  worker ``os._exit(137)`` mid-campaign → lease expires,
+                  job re-leased, resumed from its journal, matrix identical
+``worker-hang``   worker stops making progress → its watchdog kills it,
+                  then exactly the crash path
+``server-kill``   SIGKILL the whole service process group mid-campaign →
+                  restart replays the queue journal, expires the orphan
+                  lease, job resumes, matrix identical
+``sqlite``        transient ``database is locked`` errors under the retry
+                  layer → run degrades (``repro_db_retries`` > 0) but
+                  completes on the first attempt
+``diskfull``      ``ENOSPC`` on a journal append → the attempt fails
+                  cleanly, the job requeues and succeeds on attempt 2
+================  ==========================================================
+
+The suite kills by process *group* so a scenario can never leak worker
+processes into the caller's session.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..runtime import atomic_write_json
+from .client import ServiceClient, ServiceUnavailableError
+
+__all__ = ["ScenarioResult", "SCENARIOS", "run_scenarios"]
+
+#: the campaign every scenario runs: small enough to finish in seconds,
+#: big enough that a fault at unit 3 leaves real work on both sides.
+CAMPAIGN = {"seed": 0, "count": 6, "sim_ops": 10}
+
+
+@dataclass
+class ScenarioResult:
+    name: str
+    passed: bool
+    detail: str
+    seconds: float
+
+
+class ScenarioFailure(AssertionError):
+    """A scenario observed something other than its documented outcome."""
+
+
+class _Service:
+    """One ``repro serve`` subprocess in its own process group."""
+
+    def __init__(self, spool: str, lease_ttl: float, workers: int = 1,
+                 port: int = 0) -> None:
+        self.spool = spool
+        self.lease_ttl = lease_ttl
+        self.workers = workers
+        self.port_file = os.path.join(spool, "port")
+        cmd = [sys.executable, "-m", "repro", "serve",
+               "--spool", spool, "--port", str(port),
+               "--workers", str(workers),
+               "--lease-ttl", str(lease_ttl),
+               "--stall-timeout", "2", "--poll", "0.2",
+               "--sweep-interval", "0.2",
+               "--port-file", self.port_file]
+        if os.path.exists(self.port_file):
+            os.unlink(self.port_file)
+        self.proc = subprocess.Popen(cmd, start_new_session=True,
+                                     stderr=subprocess.DEVNULL)
+        self.port = self._await_port()
+        self.client = ServiceClient(f"http://127.0.0.1:{self.port}",
+                                    connect_retries=12)
+
+    def _await_port(self, timeout: float = 30.0) -> int:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.proc.poll() is not None:
+                raise ScenarioFailure(
+                    f"serve exited with code {self.proc.returncode} "
+                    f"before binding")
+            try:
+                with open(self.port_file, encoding="utf-8") as fh:
+                    text = fh.read().strip()
+                if text:
+                    return int(text)
+            except OSError:
+                pass
+            time.sleep(0.05)
+        raise ScenarioFailure("serve never wrote its port file")
+
+    def kill_group(self) -> None:
+        """SIGKILL the server *and* every worker it spawned."""
+        try:
+            os.killpg(self.proc.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+        self.proc.wait()
+
+    def shutdown(self) -> None:
+        """Graceful-ish teardown for scenario cleanup."""
+        if self.proc.poll() is None:
+            try:
+                self.proc.terminate()
+                self.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                pass
+        self.kill_group()
+
+
+def _baseline_matrix(spool_root: str) -> str:
+    """Run the scenario campaign once, directly and uninterrupted, and
+    return the path of its matrix JSON — the byte-for-byte reference."""
+    path = os.path.join(spool_root, "baseline.json")
+    if os.path.exists(path):
+        return path
+    from ..faults import run_campaign
+    result = run_campaign(seed=CAMPAIGN["seed"], count=CAMPAIGN["count"],
+                          sim_ops=CAMPAIGN["sim_ops"], workers=1)
+    atomic_write_json(path, result.to_dict())
+    return path
+
+
+def _assert_matrix_identical(baseline_path: str, result_path: str) -> None:
+    with open(baseline_path, "rb") as fh:
+        baseline = fh.read()
+    with open(result_path, "rb") as fh:
+        recovered = fh.read()
+    if baseline != recovered:
+        raise ScenarioFailure(
+            f"recovered matrix {result_path} differs from uninterrupted "
+            f"baseline {baseline_path}")
+
+
+def _submit_campaign(client: ServiceClient, chaos: Optional[str] = None,
+                     key: Optional[str] = None) -> dict:
+    params = dict(CAMPAIGN)
+    if chaos:
+        params["chaos"] = chaos
+    return client.submit("campaign", params, key=key)
+
+
+def _await_done(client: ServiceClient, job_id: str,
+                timeout: float = 300.0) -> dict:
+    job = client.wait(job_id, timeout=timeout)
+    if job["state"] != "done":
+        raise ScenarioFailure(
+            f"job {job_id} ended {job['state']!r} "
+            f"(error: {job.get('error')})")
+    return job
+
+
+def _result_path(job: dict) -> str:
+    path = os.path.join(job["workdir"], "result.json")
+    if not os.path.exists(path):
+        raise ScenarioFailure(f"job produced no matrix at {path}")
+    return path
+
+
+# -- scenarios ----------------------------------------------------------------
+
+def _scenario_worker_crash(spool: str, baseline: str,
+                           lease_ttl: float) -> str:
+    svc = _Service(spool, lease_ttl)
+    try:
+        job = _submit_campaign(svc.client, chaos="crash:3")
+        final = _await_done(svc.client, job["job_id"])
+        if final["expiries"] < 1:
+            raise ScenarioFailure(
+                f"expected >=1 lease expiry after the crash, saw "
+                f"{final['expiries']}")
+        if final["attempts"] < 2:
+            raise ScenarioFailure("job was never re-leased")
+        _assert_matrix_identical(baseline, _result_path(final))
+        return (f"worker died at unit 3, job re-leased "
+                f"(attempt {final['attempts']}, "
+                f"{final['expiries']} expiry), matrix byte-identical")
+    finally:
+        svc.shutdown()
+
+
+def _scenario_worker_hang(spool: str, baseline: str,
+                          lease_ttl: float) -> str:
+    svc = _Service(spool, lease_ttl)
+    try:
+        job = _submit_campaign(svc.client, chaos="hang:3")
+        final = _await_done(svc.client, job["job_id"])
+        if final["expiries"] < 1:
+            raise ScenarioFailure(
+                "expected the hung worker's lease to expire")
+        _assert_matrix_identical(baseline, _result_path(final))
+        return (f"hung worker watchdogged, job re-leased "
+                f"(attempt {final['attempts']}), matrix byte-identical")
+    finally:
+        svc.shutdown()
+
+
+def _scenario_server_kill(spool: str, baseline: str,
+                          lease_ttl: float) -> str:
+    svc = _Service(spool, lease_ttl)
+    port = svc.port
+    try:
+        job = _submit_campaign(svc.client)
+        journal = os.path.join(job["workdir"], "campaign.jsonl")
+        # Let the campaign make durable progress, then pull the plug on
+        # the whole group — server and workers — mid-flight.
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            try:
+                with open(journal, encoding="utf-8") as fh:
+                    if sum(1 for line in fh if '"type": "unit"' in line
+                           or '"type":"unit"' in line) >= 2:
+                        break
+            except OSError:
+                pass
+            time.sleep(0.05)
+        else:
+            raise ScenarioFailure("campaign never made journal progress")
+        svc.kill_group()
+        # Same spool, same port: the restarted server must replay the
+        # queue journal (tolerating any half-written tail), expire the
+        # orphan lease, and let a fresh worker resume the job.
+        svc2 = _Service(spool, lease_ttl, port=port)
+        try:
+            final = _await_done(svc2.client, job["job_id"])
+            if final["expiries"] < 1:
+                raise ScenarioFailure(
+                    "expected the dead fleet's lease to be reclaimed")
+            _assert_matrix_identical(baseline, _result_path(final))
+            stats = svc2.client.stats()
+            return (f"server+fleet SIGKILLed after >=2 units; restart "
+                    f"replayed {stats['jobs']} job(s), reclaimed the "
+                    f"orphan lease, resumed; matrix byte-identical")
+        finally:
+            svc2.shutdown()
+    finally:
+        svc.shutdown()
+
+
+def _scenario_sqlite(spool: str, baseline: str, lease_ttl: float) -> str:
+    svc = _Service(spool, lease_ttl)
+    try:
+        job = _submit_campaign(svc.client, chaos="sqlite:3")
+        final = _await_done(svc.client, job["job_id"])
+        if final["attempts"] != 1:
+            raise ScenarioFailure(
+                f"transient sqlite errors should not cost the attempt "
+                f"(took {final['attempts']})")
+        _assert_matrix_identical(baseline, _result_path(final))
+        return ("3 transient sqlite errors absorbed by the retry layer "
+                "on attempt 1, matrix byte-identical")
+    finally:
+        svc.shutdown()
+
+
+def _scenario_diskfull(spool: str, baseline: str, lease_ttl: float) -> str:
+    svc = _Service(spool, lease_ttl)
+    try:
+        job = _submit_campaign(svc.client, chaos="diskfull:2")
+        final = _await_done(svc.client, job["job_id"])
+        if final["attempts"] < 2:
+            raise ScenarioFailure(
+                f"ENOSPC should fail attempt 1 and requeue; job finished "
+                f"on attempt {final['attempts']}")
+        if not (final.get("error") or "").startswith("OSError"):
+            # the attempt-1 diagnostic is preserved on the job
+            raise ScenarioFailure(
+                f"expected the ENOSPC diagnostic on the job, saw "
+                f"{final.get('error')!r}")
+        _assert_matrix_identical(baseline, _result_path(final))
+        return (f"ENOSPC failed attempt 1 ({final['error']}), attempt 2 "
+                f"resumed from the journal, matrix byte-identical")
+    finally:
+        svc.shutdown()
+
+
+SCENARIOS: dict[str, Callable[[str, str, float], str]] = {
+    "worker-crash": _scenario_worker_crash,
+    "worker-hang": _scenario_worker_hang,
+    "server-kill": _scenario_server_kill,
+    "sqlite": _scenario_sqlite,
+    "diskfull": _scenario_diskfull,
+}
+
+
+def run_scenarios(spool_root: str, names: Optional[list] = None,
+                  lease_ttl: float = 3.0,
+                  log: Callable[[str], None] = print) -> list[ScenarioResult]:
+    """Run the named scenarios (default: all) under ``spool_root``,
+    one fresh spool each; returns their results."""
+    os.makedirs(spool_root, exist_ok=True)
+    names = list(names or SCENARIOS)
+    unknown = sorted(set(names) - set(SCENARIOS))
+    if unknown:
+        raise ValueError(f"unknown scenario(s): {', '.join(unknown)} "
+                         f"(have: {', '.join(SCENARIOS)})")
+    log(f"chaos: building the uninterrupted baseline matrix "
+        f"(seed={CAMPAIGN['seed']} count={CAMPAIGN['count']}) …")
+    baseline = _baseline_matrix(spool_root)
+    results: list[ScenarioResult] = []
+    for name in names:
+        spool = os.path.join(spool_root, name)
+        shutil.rmtree(spool, ignore_errors=True)
+        os.makedirs(spool)
+        log(f"chaos: [{name}] running …")
+        t0 = time.monotonic()
+        try:
+            detail = SCENARIOS[name](spool, baseline, lease_ttl)
+            passed = True
+        except (ScenarioFailure, ServiceUnavailableError,
+                TimeoutError) as exc:
+            detail = f"{type(exc).__name__}: {exc}"
+            passed = False
+        seconds = time.monotonic() - t0
+        results.append(ScenarioResult(name, passed, detail, seconds))
+        log(f"chaos: [{name}] {'PASS' if passed else 'FAIL'} "
+            f"({seconds:.1f}s) — {detail}")
+    return results

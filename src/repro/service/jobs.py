@@ -1,0 +1,208 @@
+"""Job model and lifecycle state machine of the verification service.
+
+A *job* is one unit of verification work a client submitted: a mutation
+campaign, a bounded exploration, an invariant check, or a family
+pipeline stage.  Its lifecycle is a small, strictly validated state
+machine (documented with a failure-mode table in ``docs/SERVICE.md``)::
+
+    queued ──claim──▶ leased ──complete──▶ done
+      ▲                 │ │
+      │   fail/expire   │ └──fail (attempts exhausted)──▶ failed
+      └─────────────────┘
+    queued/leased ──cancel──▶ cancelled
+
+Every transition is journaled by the :class:`~repro.service.queue.JobQueue`
+as a full job snapshot, so replaying the queue journal reconstructs the
+exact state — leases, attempts, duplicate-result counters — the service
+held when it died.
+
+Job parameters are validated against a per-kind whitelist at submission
+time: the service runs jobs in its own workers, so an unknown parameter
+is rejected with a 400 at the front door rather than crashing a worker
+an hour later.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = [
+    "JOB_KINDS",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "Job",
+    "JobValidationError",
+    "validate_params",
+]
+
+#: work the service knows how to run (see :mod:`repro.service.runner`).
+JOB_KINDS = ("campaign", "explore", "check", "family")
+
+#: every state a job can be in.
+JOB_STATES = ("queued", "leased", "done", "failed", "cancelled")
+
+#: states a job never leaves.
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+#: per-kind parameter whitelist with defaults.  ``None`` defaults mean
+#: "runner decides"; every submitted key must appear here for its kind.
+_PARAM_SPECS: dict[str, dict[str, Any]] = {
+    "campaign": {
+        "seed": 0, "count": 8, "classes": None, "assignment": "v5d",
+        "variant": None, "sim_ops": 40, "oracle": None, "oracle_depth": 8,
+        "oracle_nodes": 2, "chaos": None,
+    },
+    "explore": {
+        "nodes": 2, "depth": 8, "lines": 1, "assignment": "v5d",
+        "variant": None, "workers": 1, "kernel": "compiled", "chaos": None,
+    },
+    "check": {
+        "variant": None, "chaos": None,
+    },
+    "family": {
+        "variant": None, "nodes": 2, "assignment": "v5d", "chaos": None,
+    },
+}
+
+_INT_PARAMS = frozenset({
+    "seed", "count", "sim_ops", "oracle_depth", "oracle_nodes",
+    "nodes", "depth", "lines", "workers",
+})
+
+
+class JobValidationError(ValueError):
+    """A submission the service refuses: unknown kind, unknown or
+    ill-typed parameter.  The message is the client-facing diagnostic."""
+
+
+def validate_params(kind: str, params: Optional[dict]) -> dict:
+    """Normalized parameters for ``kind``: defaults filled in, unknown
+    keys and un-JSON-able values rejected."""
+    if kind not in JOB_KINDS:
+        raise JobValidationError(
+            f"unknown job kind {kind!r}; choose from {', '.join(JOB_KINDS)}")
+    spec = _PARAM_SPECS[kind]
+    params = dict(params or {})
+    unknown = sorted(set(params) - set(spec))
+    if unknown:
+        raise JobValidationError(
+            f"unknown parameter(s) for kind {kind!r}: "
+            f"{', '.join(unknown)} (allowed: {', '.join(sorted(spec))})")
+    merged = dict(spec)
+    merged.update(params)
+    for key in _INT_PARAMS & set(merged):
+        value = merged[key]
+        if value is not None and not isinstance(value, int):
+            raise JobValidationError(
+                f"parameter {key!r} must be an integer, got {value!r}")
+    for key, value in merged.items():
+        if value is not None and not isinstance(
+                value, (str, int, float, bool)):
+            raise JobValidationError(
+                f"parameter {key!r} must be a scalar, got "
+                f"{type(value).__name__}")
+    if merged.get("chaos") is not None:
+        from .chaos import ChaosError, parse_chaos
+        try:
+            parse_chaos(merged["chaos"])
+        except ChaosError as exc:
+            raise JobValidationError(str(exc)) from exc
+    return merged
+
+
+@dataclass
+class Lease:
+    """One worker's claim on a job: the bearer ``token`` authorizes
+    heartbeats and result submission until ``deadline`` (inclusive —
+    a heartbeat arriving *exactly* at the deadline still renews)."""
+
+    worker: str
+    token: str
+    deadline: float
+    granted_at: float
+
+    def to_dict(self) -> dict:
+        return {"worker": self.worker, "token": self.token,
+                "deadline": self.deadline, "granted_at": self.granted_at}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Lease":
+        return cls(worker=d["worker"], token=d["token"],
+                   deadline=float(d["deadline"]),
+                   granted_at=float(d["granted_at"]))
+
+
+@dataclass
+class Job:
+    """One submitted unit of verification work and its full history."""
+
+    job_id: str
+    kind: str
+    params: dict
+    #: client-supplied idempotency key; resubmitting the same key
+    #: returns the existing job instead of queuing a duplicate.
+    key: Optional[str] = None
+    state: str = "queued"
+    #: execution attempts started so far (claim increments).
+    attempts: int = 0
+    max_attempts: int = 3
+    lease: Optional[Lease] = None
+    #: summary the winning worker reported on completion.
+    result: Optional[dict] = None
+    #: terminal diagnostic for ``failed``; last attempt error otherwise.
+    error: Optional[str] = None
+    #: results discarded because an earlier attempt's durable result won.
+    duplicates: int = 0
+    #: lease expiries the job survived (worker death / hang failovers).
+    expiries: int = 0
+    #: per-job artifact directory under the service spool.
+    workdir: Optional[str] = None
+    submitted_at: float = field(default_factory=time.time)
+    updated_at: float = field(default_factory=time.time)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self) -> dict:
+        """JSON snapshot — what the queue journals and the API serves."""
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "params": dict(self.params),
+            "key": self.key,
+            "state": self.state,
+            "attempts": self.attempts,
+            "max_attempts": self.max_attempts,
+            "lease": self.lease.to_dict() if self.lease else None,
+            "result": self.result,
+            "error": self.error,
+            "duplicates": self.duplicates,
+            "expiries": self.expiries,
+            "workdir": self.workdir,
+            "submitted_at": self.submitted_at,
+            "updated_at": self.updated_at,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Job":
+        lease = d.get("lease")
+        return cls(
+            job_id=d["job_id"],
+            kind=d["kind"],
+            params=dict(d.get("params") or {}),
+            key=d.get("key"),
+            state=d.get("state", "queued"),
+            attempts=int(d.get("attempts", 0)),
+            max_attempts=int(d.get("max_attempts", 3)),
+            lease=Lease.from_dict(lease) if lease else None,
+            result=d.get("result"),
+            error=d.get("error"),
+            duplicates=int(d.get("duplicates", 0)),
+            expiries=int(d.get("expiries", 0)),
+            workdir=d.get("workdir"),
+            submitted_at=float(d.get("submitted_at", 0.0)),
+            updated_at=float(d.get("updated_at", 0.0)),
+        )

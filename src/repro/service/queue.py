@@ -1,0 +1,369 @@
+"""The durable job queue: fsync'd journal-backed state, expiring leases.
+
+The queue *is* its journal.  Every state transition re-records the full
+job snapshot through a :class:`~repro.runtime.journal.CheckpointJournal`
+(append-only, fsync'd, torn-tail-tolerant), so a server killed at any
+instant restarts by replaying the journal: the latest durable record per
+job id is exactly the state the dead server had made durable.  A job
+whose transition was mid-append when the kill landed replays as its
+previous state — the transition simply never happened, which is always
+safe because every transition here is idempotent or re-derivable
+(a lease that was being granted expires as an orphan; a completion that
+was being recorded is re-reported by the worker, whose token is still
+valid).
+
+Leases make worker failover a queue-local decision: a claim grants a
+bearer token with a deadline; heartbeats extend it; the sweeper
+(:meth:`JobQueue.expire_leases`) requeues any job whose deadline passed
+without renewal.  A worker that was SIGKILLed simply stops renewing; a
+worker that hung stops making progress, its own watchdog kills it, and
+the lease expires the same way.  When the original worker *does* come
+back after its lease was re-granted, its token no longer matches: the
+late result is discarded and counted (``duplicates``) — the first
+durable result wins.
+
+Journal growth is bounded by compaction: once the journal holds more
+superseded records than ``compact_after``, it is atomically rewritten
+down to live records (:meth:`CheckpointJournal.compact`).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import uuid
+from typing import Callable, Optional
+
+from ..runtime import CheckpointJournal, load_journal
+from ..telemetry import get_tracer
+from .jobs import Job, Lease, validate_params
+
+__all__ = [
+    "QUEUE_JOURNAL_KIND",
+    "JobQueue",
+    "QueueFullError",
+    "LeaseError",
+    "UnknownJobError",
+]
+
+#: ``kind`` stamped into queue journal headers — what ``repro watch``
+#: dispatches on.
+QUEUE_JOURNAL_KIND = "service-queue"
+
+
+class QueueFullError(RuntimeError):
+    """The bounded queue refused a submission; the server translates
+    this into 429 + Retry-After backpressure."""
+
+
+class LeaseError(RuntimeError):
+    """A lease operation with a stale token, an expired deadline, or on
+    a job not currently leased."""
+
+
+class UnknownJobError(KeyError):
+    """No job with the requested id."""
+
+
+class JobQueue:
+    """Durable, bounded, lease-based job queue (thread-safe).
+
+    ``capacity`` bounds *active* (non-terminal) jobs — terminal history
+    does not consume submission headroom.  ``lease_ttl`` is the seconds
+    a claim or heartbeat buys; ``clock`` is injectable for the lease
+    edge-case tests.  All mutating methods journal the new job snapshot
+    before returning, so anything this class said "yes" to is durable.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        capacity: int = 64,
+        lease_ttl: float = 30.0,
+        max_attempts: int = 3,
+        clock: Callable[[], float] = time.time,
+        compact_after: int = 512,
+        workdir_root: Optional[str] = None,
+    ) -> None:
+        self.path = path
+        self.capacity = capacity
+        self.lease_ttl = lease_ttl
+        self.max_attempts = max_attempts
+        self.clock = clock
+        self.compact_after = compact_after
+        self.workdir_root = workdir_root
+        self._lock = threading.RLock()
+        self._jobs: dict[str, Job] = {}
+        self._by_key: dict[str, str] = {}
+        self._appends_since_compact = 0
+        self.replayed = 0
+        if os.path.exists(path) and os.path.getsize(path) > 0:
+            _, units = load_journal(path)
+            for job_id, data in units.items():
+                job = Job.from_dict(data)
+                self._jobs[job.job_id] = job
+                if job.key:
+                    self._by_key[job.key] = job.job_id
+            self.replayed = len(self._jobs)
+        self._journal = CheckpointJournal.open(
+            path, {"kind": QUEUE_JOURNAL_KIND})
+
+    # -- internal -------------------------------------------------------------
+    def _record(self, job: Job) -> None:
+        job.updated_at = self.clock()
+        self._journal.record(job.job_id, job.to_dict())
+        self._appends_since_compact += 1
+
+    def _active_count(self) -> int:
+        return sum(1 for j in self._jobs.values() if not j.terminal)
+
+    def _queued_jobs(self) -> list[Job]:
+        return sorted(
+            (j for j in self._jobs.values() if j.state == "queued"),
+            key=lambda j: (j.submitted_at, j.job_id))
+
+    # -- client operations ----------------------------------------------------
+    def submit(self, kind: str, params: Optional[dict] = None,
+               key: Optional[str] = None,
+               max_attempts: Optional[int] = None,
+               workdir: Optional[str] = None) -> tuple[Job, bool]:
+        """Queue a job; returns ``(job, created)``.
+
+        With an idempotency ``key`` already on file the existing job is
+        returned unchanged (``created=False``) — a client retrying a
+        submission whose response it lost cannot double-queue work.
+        Raises :class:`QueueFullError` when ``capacity`` active jobs
+        already exist and :class:`~repro.service.jobs.JobValidationError`
+        on a bad kind/params."""
+        params = validate_params(kind, params)
+        with self._lock:
+            if key is not None and key in self._by_key:
+                return self._jobs[self._by_key[key]], False
+            if self._active_count() >= self.capacity:
+                get_tracer().incr("service.queue.rejected")
+                raise QueueFullError(
+                    f"queue is full ({self.capacity} active jobs)")
+            job_id = uuid.uuid4().hex[:12]
+            if workdir is None and self.workdir_root is not None:
+                workdir = os.path.join(self.workdir_root, job_id)
+            job = Job(
+                job_id=job_id,
+                kind=kind,
+                params=params,
+                key=key,
+                max_attempts=(max_attempts if max_attempts is not None
+                              else self.max_attempts),
+                workdir=workdir,
+                submitted_at=self.clock(),
+            )
+            self._jobs[job.job_id] = job
+            if key is not None:
+                self._by_key[key] = job.job_id
+            self._record(job)
+            get_tracer().incr("service.queue.submitted")
+            return job, True
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise UnknownJobError(job_id)
+            return job
+
+    def jobs(self, state: Optional[str] = None) -> list[Job]:
+        """All jobs, newest submission first, optionally state-filtered."""
+        with self._lock:
+            out = [j for j in self._jobs.values()
+                   if state is None or j.state == state]
+        return sorted(out, key=lambda j: (-j.submitted_at, j.job_id))
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued or leased job (idempotent on terminal jobs).
+
+        A leased job is cancelled immediately: the worker's next
+        heartbeat fails with :class:`LeaseError` and it abandons the
+        attempt."""
+        with self._lock:
+            job = self.get(job_id)
+            if job.terminal:
+                return job
+            job.state = "cancelled"
+            job.lease = None
+            self._record(job)
+            get_tracer().incr("service.queue.cancelled")
+            return job
+
+    # -- worker operations ----------------------------------------------------
+    def claim(self, worker: str) -> Optional[Job]:
+        """Lease the oldest queued job to ``worker``; ``None`` when the
+        queue has nothing runnable."""
+        with self._lock:
+            queued = self._queued_jobs()
+            if not queued:
+                return None
+            job = queued[0]
+            now = self.clock()
+            job.state = "leased"
+            job.attempts += 1
+            job.lease = Lease(worker=worker, token=uuid.uuid4().hex,
+                              deadline=now + self.lease_ttl,
+                              granted_at=now)
+            self._record(job)
+            get_tracer().incr("service.queue.claimed")
+            return job
+
+    def _leased_with_token(self, job_id: str, token: str) -> Job:
+        job = self.get(job_id)
+        if job.state != "leased" or job.lease is None:
+            raise LeaseError(
+                f"job {job_id} is {job.state}, not leased")
+        if job.lease.token != token:
+            raise LeaseError(
+                f"stale lease token for job {job_id}: the lease was "
+                f"re-granted (holder is now {job.lease.worker!r})")
+        return job
+
+    def renew(self, job_id: str, token: str) -> float:
+        """Heartbeat: extend the lease, returning the new deadline.
+
+        The deadline is *inclusive*: a heartbeat arriving exactly at the
+        deadline still renews.  One arriving after it fails with
+        :class:`LeaseError` even if the sweeper has not run yet — the
+        grant is gone the instant the clock passes the deadline, not
+        when someone notices."""
+        with self._lock:
+            job = self._leased_with_token(job_id, token)
+            now = self.clock()
+            overdue = now - job.lease.deadline
+            if overdue > 0:
+                self._expire(job, now)
+                raise LeaseError(
+                    f"lease on job {job_id} expired {overdue:.3f}s "
+                    f"before the heartbeat")
+            job.lease.deadline = now + self.lease_ttl
+            self._record(job)
+            return job.lease.deadline
+
+    def complete(self, job_id: str, token: str,
+                 result: Optional[dict] = None) -> bool:
+        """Report a finished job.  Returns ``True`` when this result
+        won; ``False`` when the lease was re-granted or the job already
+        finished — the late result is discarded and counted, because the
+        first *durable* result is the one every reader may already have
+        seen."""
+        with self._lock:
+            job = self.get(job_id)
+            try:
+                job = self._leased_with_token(job_id, token)
+            except LeaseError:
+                job.duplicates += 1
+                self._record(job)
+                get_tracer().incr("service.queue.duplicate_results")
+                return False
+            job.state = "done"
+            job.lease = None
+            job.result = result
+            # job.error is deliberately kept: a job that failed an
+            # attempt before succeeding carries that diagnostic as
+            # history (the state says "done"; the error says what the
+            # road there looked like).
+            self._record(job)
+            get_tracer().incr("service.queue.completed")
+            return True
+
+    def fail(self, job_id: str, token: str, error: str) -> bool:
+        """Report a failed attempt.  The job requeues until its
+        ``max_attempts`` are spent, then lands in ``failed``.  Returns
+        ``False`` (discarded, counted) on a stale token, like
+        :meth:`complete`."""
+        with self._lock:
+            job = self.get(job_id)
+            try:
+                job = self._leased_with_token(job_id, token)
+            except LeaseError:
+                job.duplicates += 1
+                self._record(job)
+                get_tracer().incr("service.queue.duplicate_results")
+                return False
+            job.lease = None
+            job.error = error
+            if job.attempts >= job.max_attempts:
+                job.state = "failed"
+                get_tracer().incr("service.queue.failed")
+            else:
+                job.state = "queued"
+                get_tracer().incr("service.queue.requeued")
+            self._record(job)
+            return True
+
+    # -- maintenance ----------------------------------------------------------
+    def _expire(self, job: Job, now: float) -> None:
+        """Reclaim one overdue lease (caller holds the lock)."""
+        job.lease = None
+        job.expiries += 1
+        if job.attempts >= job.max_attempts:
+            job.state = "failed"
+            job.error = (f"lease expired after attempt {job.attempts}/"
+                         f"{job.max_attempts} (worker died or hung)")
+            get_tracer().incr("service.queue.failed")
+        else:
+            job.state = "queued"
+            get_tracer().incr("service.queue.requeued")
+        self._record(job)
+        get_tracer().incr("service.queue.lease_expired")
+
+    def expire_leases(self, now: Optional[float] = None) -> list[Job]:
+        """The sweeper: requeue (or fail out) every job whose lease
+        deadline has passed.  Run periodically by the server and once at
+        startup, which is what reclaims orphan leases after a server or
+        worker death."""
+        expired = []
+        with self._lock:
+            now = self.clock() if now is None else now
+            for job in self._jobs.values():
+                if job.state == "leased" and job.lease is not None \
+                        and now > job.lease.deadline:
+                    self._expire(job, now)
+                    expired.append(job)
+        return expired
+
+    def stats(self) -> dict:
+        """Queue-level counts for ``/metrics`` and ``repro jobs``."""
+        with self._lock:
+            by_state = {state: 0 for state in
+                        ("queued", "leased", "done", "failed", "cancelled")}
+            duplicates = expiries = 0
+            for job in self._jobs.values():
+                by_state[job.state] = by_state.get(job.state, 0) + 1
+                duplicates += job.duplicates
+                expiries += job.expiries
+            return {
+                "jobs": len(self._jobs),
+                "active": self._active_count(),
+                "capacity": self.capacity,
+                "by_state": by_state,
+                "duplicates": duplicates,
+                "expiries": expiries,
+            }
+
+    def compact_if_needed(self) -> int:
+        """Compact the journal once enough superseded records pile up;
+        returns the number of records dropped (0 = not compacted)."""
+        with self._lock:
+            live = len(self._jobs)
+            if self._appends_since_compact - live < self.compact_after:
+                return 0
+            dropped = self._journal.compact()
+            self._appends_since_compact = live
+            get_tracer().incr("service.queue.compactions")
+            return dropped
+
+    def close(self) -> None:
+        self._journal.close()
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,167 @@
+"""Job execution: what a worker actually does with a claimed job.
+
+Each job runs inside a per-job working directory under the service
+spool (``spool/<job_id>/``) holding
+
+* ``campaign.jsonl`` / ``explore.jsonl`` — the run's own
+  :class:`~repro.runtime.journal.CheckpointJournal`.  This is what makes
+  failover *be* resume: a re-leased job finds the dead worker's journal
+  in the same workdir and continues after the last durable unit, so the
+  recovered detection matrix is byte-identical to an uninterrupted
+  run's (matrices exclude timing by design).
+* ``events.jsonl`` — the job's live telemetry stream, which feeds the
+  worker's progress-driven watchdog, the server's per-job status
+  endpoint, and ``repro watch``.
+* ``result.json`` — the full result document, written atomically in
+  exactly the ``--matrix-out`` format so CI can diff a failed-over run
+  against an uninterrupted baseline byte for byte.
+
+The job summary returned to the queue is deliberately small (counts and
+artifact paths, not the mutant list): it is journaled with every
+subsequent state change of the job.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Optional
+
+from .. import telemetry
+from ..runtime import atomic_write_json
+from .chaos import chaos_active
+
+__all__ = ["run_job", "JOURNAL_NAMES"]
+
+#: per-kind checkpoint journal filename inside the job workdir.
+JOURNAL_NAMES = {"campaign": "campaign.jsonl", "explore": "explore.jsonl"}
+
+
+def _campaign(params: dict, workdir: str) -> dict:
+    from ..faults import run_campaign
+
+    journal = os.path.join(workdir, JOURNAL_NAMES["campaign"])
+    resume = journal if (os.path.exists(journal)
+                         and os.path.getsize(journal) > 0) else None
+    classes = params.get("classes")
+    if isinstance(classes, str):
+        classes = tuple(c.strip() for c in classes.split(",") if c.strip())
+    result = run_campaign(
+        seed=params["seed"], count=params["count"], classes=classes,
+        assignment=params["assignment"], variant=params.get("variant"),
+        sim_ops=params["sim_ops"], workers=1,
+        journal_path=journal, resume_from=resume,
+        oracle=params.get("oracle"), oracle_depth=params["oracle_depth"],
+        oracle_nodes=params["oracle_nodes"])
+    doc = result.to_dict()
+    atomic_write_json(os.path.join(workdir, "result.json"), doc)
+    totals = result.totals()
+    return {
+        "totals": totals,
+        "resumed": result.resumed,
+        "matrix_path": os.path.join(workdir, "result.json"),
+        "journal_path": journal,
+    }
+
+
+def _explore(params: dict, workdir: str) -> dict:
+    from ..explore import ExploreConfig, ReachabilityExplorer
+    from ..protocols.family import build_variant
+
+    journal = os.path.join(workdir, JOURNAL_NAMES["explore"])
+    resume = journal if (os.path.exists(journal)
+                         and os.path.getsize(journal) > 0) else None
+    system = build_variant(params.get("variant") or "mesi")
+    config = ExploreConfig(
+        nodes=params["nodes"], depth=params["depth"],
+        lines=params["lines"], assignment=params["assignment"],
+        workers=params["workers"], kernel=params["kernel"],
+        variant=params.get("variant"),
+        journal_path=journal, resume_from=resume)
+    explorer = ReachabilityExplorer(system, config)
+    try:
+        result = explorer.run()
+    finally:
+        explorer.close()
+        system.db.close()
+    doc = result.to_dict()
+    atomic_write_json(os.path.join(workdir, "result.json"), doc)
+    return {
+        "ok": result.ok,
+        "states": result.states,
+        "transitions": result.transitions,
+        "violations": len(result.violations),
+        "deadlocks": len(result.deadlocks),
+        "result_path": os.path.join(workdir, "result.json"),
+        "journal_path": journal,
+    }
+
+
+def _check(params: dict, workdir: str) -> dict:
+    from ..protocols.family import build_variant
+
+    system = build_variant(params.get("variant") or "mesi")
+    try:
+        report = system.check_invariants()
+    finally:
+        system.db.close()
+    doc = {"passed": report.passed, "checks": len(report.results),
+           "failed": [r.name for r in report.results if not r.passed]}
+    atomic_write_json(os.path.join(workdir, "result.json"), doc)
+    return doc
+
+
+def _family(params: dict, workdir: str) -> dict:
+    from ..protocols.family import build_variant
+    from ..sim import figure2_scenario
+
+    variant = params.get("variant") or "mesi"
+    assignment = params["assignment"]
+    system = build_variant(variant)
+    try:
+        report = system.check_invariants()
+        cycles = system.analyze_deadlocks(assignment).cycles()
+        sim = figure2_scenario(system, assignment=assignment).run()
+    finally:
+        system.db.close()
+    doc = {
+        "variant": variant,
+        "invariants": {"passed": report.passed,
+                       "checks": len(report.results)},
+        "deadlock": {assignment: {"free": not cycles,
+                                  "cycles": len(cycles)}},
+        "simulation": {"fig2": {"status": sim.status, "steps": sim.steps}},
+        "clean": bool(report.passed and not cycles
+                      and sim.status == "quiescent"),
+    }
+    atomic_write_json(os.path.join(workdir, "result.json"), doc)
+    return doc
+
+
+_RUNNERS: dict[str, Callable[[dict, str], dict]] = {
+    "campaign": _campaign,
+    "explore": _explore,
+    "check": _check,
+    "family": _family,
+}
+
+
+def run_job(kind: str, params: dict, workdir: str, attempt: int = 1,
+            progress_sink: Optional[Any] = None) -> dict:
+    """Execute one claimed job attempt and return its summary dict.
+
+    Configures job-scoped telemetry streaming to
+    ``<workdir>/events.jsonl`` (rewritten per attempt — the stream shows
+    the attempt currently running), installs the job's
+    chaos injectors when ``params["chaos"]`` is set and this is the
+    first attempt, and always tears telemetry back down.  Exceptions
+    propagate to the worker, which reports the attempt failed."""
+    os.makedirs(workdir, exist_ok=True)
+    events = os.path.join(workdir, "events.jsonl")
+    sinks = [progress_sink] if progress_sink is not None else []
+    tracer = telemetry.configure(trace_path=events, sinks=sinks)
+    try:
+        with chaos_active(params.get("chaos"), attempt=attempt,
+                          tracer=tracer):
+            return _RUNNERS[kind](params, workdir)
+    finally:
+        telemetry.shutdown()

@@ -1,0 +1,450 @@
+"""The always-on front end: asyncio HTTP server over the durable queue.
+
+Dependency-free HTTP/1.1 (``asyncio.start_server`` + a hand-rolled
+request parser, ``Connection: close`` on every response — the clients
+are scripts and workers, not browsers), fronting one
+:class:`~repro.service.queue.JobQueue`:
+
+* **Submission** — ``POST /jobs`` validates, journals, and answers with
+  the job document; an idempotency ``key`` makes retried submissions
+  return the original job (200) instead of queuing twice (201).  A full
+  queue answers ``429`` with ``Retry-After`` — backpressure, not an
+  error page.
+* **Leases** — ``/lease/claim|renew|complete|fail`` are the worker
+  protocol; stale tokens come back ``409``.
+* **Observation** — ``/healthz`` (process up), ``/readyz`` (taking
+  work; ``503`` while draining), ``/metrics`` (OpenMetrics via the
+  telemetry exporter, queue gauges refreshed per scrape),
+  ``GET /jobs[?state=]``, ``GET /jobs/<id>``, and
+  ``GET /jobs/<id>/status`` — the live per-job view, read from the
+  job's own checkpoint journal and telemetry event stream with the same
+  torn-tail-tolerant readers ``repro watch`` uses.
+* **Lifecycle** — the sweeper task expires orphaned leases (requeueing
+  the work), compacts the queue journal when it grows shaggy, and
+  restarts supervised workers that died; SIGTERM (or ``POST /drain``)
+  stops claims, lets leased jobs finish, then exits.  On startup the
+  queue journal is replayed; a half-written tail record (the append a
+  ``kill -9`` interrupted) is truncated by the journal layer and the
+  affected job simply resumes from its previous durable state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from typing import Any, Optional
+
+from ..runtime.watch import watch_once
+from ..telemetry import (
+    NullTracer,
+    Tracer,
+    get_tracer,
+    render_openmetrics,
+    set_tracer,
+)
+from .jobs import JOB_STATES, JobValidationError
+from .queue import (
+    JobQueue,
+    LeaseError,
+    QueueFullError,
+    UnknownJobError,
+)
+from .runner import JOURNAL_NAMES
+
+__all__ = ["VerificationServer", "serve"]
+
+#: what a 429 tells clients to wait before resubmitting.
+RETRY_AFTER_SECONDS = 2
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str,
+                 headers: Optional[dict] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = headers or {}
+
+
+_REASONS = {200: "OK", 201: "Created", 202: "Accepted", 204: "No Content",
+            400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+            409: "Conflict", 413: "Payload Too Large",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+_MAX_BODY = 1 << 20
+
+
+class VerificationServer:
+    """One service instance: queue + HTTP front end + sweeper +
+    (optionally) a supervised worker fleet."""
+
+    def __init__(self, queue: JobQueue, host: str = "127.0.0.1",
+                 port: int = 0, sweep_interval: float = 1.0,
+                 workers: int = 0, worker_args: Optional[list] = None,
+                 log=None) -> None:
+        self.queue = queue
+        self.host = host
+        self.port = port
+        self.sweep_interval = sweep_interval
+        self.worker_count = workers
+        self.worker_args = list(worker_args or ())
+        self.log = log or (lambda msg: print(msg, file=sys.stderr,
+                                             flush=True))
+        self.draining = False
+        self.started_at = time.time()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._sweeper: Optional[asyncio.Task] = None
+        self._stop = asyncio.Event()
+        self._workers: list[subprocess.Popen] = []
+        self._worker_restarts = 0
+
+    # -- lifecycle -------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener, reclaim orphan leases, start the sweeper
+        and the worker fleet."""
+        if isinstance(get_tracer(), NullTracer):
+            # /metrics needs a recording tracer or every queue counter
+            # stays a silent no-op.  No sinks: nothing to flush, the
+            # registry is read at scrape time.
+            set_tracer(Tracer(sinks=[], slow_sql_seconds=None))
+        expired = self.queue.expire_leases()
+        if expired:
+            self.log(f"serve: reclaimed {len(expired)} orphaned lease(s) "
+                     f"from a previous life")
+        if self.queue.replayed:
+            self.log(f"serve: replayed {self.queue.replayed} job(s) from "
+                     f"the queue journal")
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._sweeper = asyncio.create_task(self._sweep_loop())
+        for _ in range(self.worker_count):
+            self._spawn_worker()
+        self.log(f"serve: listening on http://{self.host}:{self.port} "
+                 f"({self.worker_count} worker(s))")
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def _spawn_worker(self) -> None:
+        spool = self.queue.workdir_root or "."
+        cmd = [sys.executable, "-m", "repro", "worker",
+               "--url", self.url, "--spool", spool, *self.worker_args]
+        self._workers.append(subprocess.Popen(cmd))
+
+    async def _sweep_loop(self) -> None:
+        """Expire leases, compact the journal, resurrect dead workers."""
+        while not self._stop.is_set():
+            try:
+                for job in self.queue.expire_leases():
+                    self.log(f"serve: lease on job {job.job_id} expired; "
+                             f"job is now {job.state} "
+                             f"(attempt {job.attempts}/{job.max_attempts})")
+                dropped = self.queue.compact_if_needed()
+                if dropped:
+                    self.log(f"serve: compacted queue journal "
+                             f"(-{dropped} superseded records)")
+                if not self.draining:
+                    for i, proc in enumerate(self._workers):
+                        code = proc.poll()
+                        if code is not None:
+                            self.log(f"serve: worker pid {proc.pid} exited "
+                                     f"with code {code}; restarting")
+                            self._worker_restarts += 1
+                            spool = self.queue.workdir_root or "."
+                            cmd = [sys.executable, "-m", "repro", "worker",
+                                   "--url", self.url, "--spool", spool,
+                                   *self.worker_args]
+                            self._workers[i] = subprocess.Popen(cmd)
+            except Exception as exc:  # the sweeper must never die
+                self.log(f"serve: sweeper error: "
+                         f"{type(exc).__name__}: {exc}")
+            try:
+                await asyncio.wait_for(self._stop.wait(),
+                                       self.sweep_interval)
+            except asyncio.TimeoutError:
+                pass
+
+    def begin_drain(self) -> None:
+        """Stop granting claims; :meth:`run_until_stopped` exits once
+        nothing is leased."""
+        if not self.draining:
+            self.draining = True
+            self.log("serve: draining (no new claims; waiting for leased "
+                     "jobs to finish)")
+
+    async def run_until_stopped(self) -> None:
+        """Serve until SIGTERM/SIGINT starts a drain and the last leased
+        job finishes."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.begin_drain)
+            except NotImplementedError:
+                pass
+        while True:
+            if self.draining:
+                if self.queue.stats()["by_state"]["leased"] == 0:
+                    break
+            await asyncio.sleep(0.2)
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Tear everything down (idempotent)."""
+        self._stop.set()
+        if self._sweeper is not None:
+            await asyncio.wait({self._sweeper})
+            self._sweeper = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for proc in self._workers:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self._workers:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+        self._workers = []
+        self.queue.close()
+        self.log("serve: stopped")
+
+    # -- HTTP plumbing ---------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            status, headers, payload = await self._respond(reader)
+        except Exception as exc:
+            status, headers, payload = 500, {}, json.dumps(
+                {"error": f"{type(exc).__name__}: {exc}"}).encode()
+        try:
+            reason = _REASONS.get(status, "Unknown")
+            head = [f"HTTP/1.1 {status} {reason}",
+                    f"Content-Length: {len(payload)}",
+                    "Content-Type: "
+                    + headers.pop("Content-Type", "application/json"),
+                    "Connection: close"]
+            head.extend(f"{k}: {v}" for k, v in headers.items())
+            writer.write(("\r\n".join(head) + "\r\n\r\n").encode()
+                         + payload)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _respond(self, reader) -> tuple[int, dict, bytes]:
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), 30)
+        except asyncio.TimeoutError:
+            return 400, {}, b'{"error": "request timeout"}'
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return 400, {}, b'{"error": "bad request line"}'
+        method, target = parts[0], parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body: Optional[dict] = None
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY:
+            return 413, {}, b'{"error": "body too large"}'
+        if length:
+            raw = await reader.readexactly(length)
+            try:
+                body = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                return 400, {}, b'{"error": "body is not valid JSON"}'
+        path, _, query = target.partition("?")
+        try:
+            result = self._route(method, path, query, body)
+        except _HttpError as exc:
+            return (exc.status, exc.headers,
+                    json.dumps({"error": exc.message}).encode())
+        if result is None:
+            return 204, {}, b""
+        status, doc = result
+        if isinstance(doc, bytes):
+            return status, {"Content-Type":
+                            "application/openmetrics-text; version=1.0.0; "
+                            "charset=utf-8"}, doc
+        return status, {}, json.dumps(doc, sort_keys=True).encode()
+
+    # -- routing ---------------------------------------------------------------
+    def _route(self, method: str, path: str, query: str,
+               body: Optional[dict]) -> Optional[tuple[int, Any]]:
+        body = body or {}
+        if path == "/healthz" and method == "GET":
+            return 200, {"status": "ok",
+                         "uptime_seconds": round(
+                             time.time() - self.started_at, 3)}
+        if path == "/readyz" and method == "GET":
+            if self.draining:
+                raise _HttpError(503, "draining")
+            return 200, {"status": "ready"}
+        if path == "/metrics" and method == "GET":
+            return 200, self._metrics()
+        if path == "/stats" and method == "GET":
+            stats = self.queue.stats()
+            stats["draining"] = self.draining
+            stats["worker_restarts"] = self._worker_restarts
+            stats["workers"] = sum(1 for p in self._workers
+                                   if p.poll() is None)
+            return 200, stats
+        if path == "/drain" and method == "POST":
+            self.begin_drain()
+            return 202, {"status": "draining"}
+        if path == "/jobs" and method == "POST":
+            return self._submit(body)
+        if path == "/jobs" and method == "GET":
+            state = None
+            for pair in query.split("&"):
+                k, _, v = pair.partition("=")
+                if k == "state":
+                    state = v
+            if state is not None and state not in JOB_STATES:
+                raise _HttpError(400, f"unknown state {state!r}")
+            return 200, {"jobs": [j.to_dict()
+                                  for j in self.queue.jobs(state)]}
+        if path.startswith("/jobs/"):
+            return self._job_route(method, path)
+        if path.startswith("/lease/") and method == "POST":
+            return self._lease_route(path, body)
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    def _submit(self, body: dict) -> tuple[int, Any]:
+        if self.draining:
+            raise _HttpError(503, "draining; not accepting submissions")
+        try:
+            job, created = self.queue.submit(
+                kind=body.get("kind", ""),
+                params=body.get("params"),
+                key=body.get("key"),
+                max_attempts=body.get("max_attempts"))
+        except JobValidationError as exc:
+            raise _HttpError(400, str(exc))
+        except QueueFullError as exc:
+            raise _HttpError(429, str(exc),
+                             {"Retry-After": str(RETRY_AFTER_SECONDS)})
+        return (201 if created else 200), job.to_dict()
+
+    def _job_route(self, method: str, path: str) -> tuple[int, Any]:
+        parts = path.split("/")  # ['', 'jobs', '<id>', maybe more]
+        job_id = parts[2] if len(parts) > 2 else ""
+        tail = parts[3] if len(parts) > 3 else ""
+        try:
+            job = self.queue.get(job_id)
+        except UnknownJobError:
+            raise _HttpError(404, f"no job {job_id!r}")
+        if not tail and method == "GET":
+            return 200, job.to_dict()
+        if tail == "cancel" and method == "POST":
+            return 200, self.queue.cancel(job_id).to_dict()
+        if tail == "status" and method == "GET":
+            return 200, self._job_status(job)
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    def _job_status(self, job) -> dict:
+        """The job document plus live progress from its artifacts."""
+        doc = job.to_dict()
+        doc["progress"] = None
+        journal_name = JOURNAL_NAMES.get(job.kind)
+        if job.workdir and journal_name:
+            journal = os.path.join(job.workdir, journal_name)
+            events = os.path.join(job.workdir, "events.jsonl")
+            if os.path.exists(journal):
+                try:
+                    doc["progress"] = watch_once(
+                        journal,
+                        events if os.path.exists(events) else None)
+                except (OSError, ValueError) as exc:
+                    doc["progress_error"] = str(exc)
+        return doc
+
+    def _metrics(self) -> bytes:
+        """OpenMetrics: the tracer's counters plus queue gauges
+        refreshed at scrape time."""
+        tracer = get_tracer()
+        stats = self.queue.stats()
+        for state, n in stats["by_state"].items():
+            tracer.gauge(f"service.jobs.{state}", n)
+        tracer.gauge("service.queue.capacity", stats["capacity"])
+        tracer.gauge("service.queue.active", stats["active"])
+        tracer.gauge("service.workers.alive",
+                     sum(1 for p in self._workers if p.poll() is None))
+        tracer.gauge("service.workers.restarts", self._worker_restarts)
+        tracer.gauge("service.draining", int(self.draining))
+        return render_openmetrics(tracer).encode("utf-8")
+
+    def _lease_route(self, path: str, body: dict) -> Optional[tuple[int,
+                                                                    Any]]:
+        op = path[len("/lease/"):]
+        if op == "claim":
+            if self.draining:
+                return None  # 204: drain looks like an idle queue
+            job = self.queue.claim(str(body.get("worker", "anonymous")))
+            if job is None:
+                return None
+            return 200, job.to_dict()
+        job_id = str(body.get("job_id", ""))
+        token = str(body.get("token", ""))
+        try:
+            if op == "renew":
+                return 200, {"deadline": self.queue.renew(job_id, token)}
+            if op == "complete":
+                return 200, {"won": self.queue.complete(
+                    job_id, token, body.get("result"))}
+            if op == "fail":
+                return 200, {"won": self.queue.fail(
+                    job_id, token, str(body.get("error", "unknown")))}
+        except UnknownJobError:
+            raise _HttpError(404, f"no job {job_id!r}")
+        except LeaseError as exc:
+            raise _HttpError(409, str(exc))
+        raise _HttpError(404, f"no lease operation {op!r}")
+
+
+async def serve(spool: str, host: str = "127.0.0.1", port: int = 0,
+                capacity: int = 64, lease_ttl: float = 30.0,
+                workers: int = 2, sweep_interval: float = 1.0,
+                worker_args: Optional[list] = None,
+                queue_kwargs: Optional[dict] = None,
+                port_file: Optional[str] = None) -> int:
+    """Run a service instance until drained (the ``repro serve`` body).
+
+    ``spool`` is the service home: the queue journal lives at
+    ``<spool>/queue.jsonl`` and each job's workdir at
+    ``<spool>/<job_id>``.  ``port_file`` (written once bound) is how a
+    parent that asked for ``port=0`` learns the real port."""
+    from ..runtime import atomic_write_text
+
+    os.makedirs(spool, exist_ok=True)
+    queue = JobQueue(os.path.join(spool, "queue.jsonl"),
+                     capacity=capacity, lease_ttl=lease_ttl,
+                     workdir_root=spool, **(queue_kwargs or {}))
+    server = VerificationServer(queue, host=host, port=port,
+                                sweep_interval=sweep_interval,
+                                workers=workers, worker_args=worker_args)
+    await server.start()
+    if port_file:
+        atomic_write_text(port_file, f"{server.port}\n")
+    await server.run_until_stopped()
+    return 0

@@ -1,0 +1,179 @@
+"""The lease-holding worker: claims jobs, runs them, heartbeats, dies.
+
+Workers are *crash-only*: every abnormal condition ends in ``os._exit``
+and the supervisor (or systemd, or the chaos harness) starts a fresh
+process.  There is no in-worker recovery path to get wrong, and a
+worker that was SIGKILLed outright is indistinguishable from one that
+exited deliberately — both leave a lease that stops renewing, which is
+the one failover mechanism the whole fleet relies on:
+
+* the job **hangs** → no telemetry events → the progress watchdog
+  fires ``os._exit(142)`` → the lease expires → the job is re-leased;
+* the worker is **SIGKILLed** → heartbeats stop mid-run → the lease
+  expires → the job is re-leased;
+* the **lease is lost** (cancelled job, or re-granted after a stall
+  the watchdog missed) → the heartbeat's renew comes back 409 →
+  ``os._exit(143)`` rather than keep computing a result nobody wants.
+
+The job itself runs in the worker's main thread; the heartbeat thread
+is a daemon so it can never keep a finished worker alive.  A server
+outage is *not* fatal: heartbeats tolerate unreachability (the client
+already retries connections) and keep working — if the outage outlives
+the lease, the late result loses to the re-run's and is counted as a
+duplicate, which is the documented degraded-but-correct outcome.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from typing import Optional
+
+from .chaos import HANG_EXIT
+from .client import (
+    LeaseLostError,
+    ServiceClient,
+    ServiceUnavailableError,
+)
+from .runner import run_job
+
+__all__ = ["Worker", "ProgressSink", "LEASE_LOST_EXIT"]
+
+#: exit code when a renew says the lease is gone.
+LEASE_LOST_EXIT = 143
+
+
+class ProgressSink:
+    """A telemetry sink that only remembers when the job last did
+    anything — the signal the watchdog and the heartbeat key off."""
+
+    def __init__(self) -> None:
+        self.events = 0
+        self.last_activity = time.monotonic()
+
+    def write(self, event: dict) -> None:
+        self.events += 1
+        self.last_activity = time.monotonic()
+
+    def close(self) -> None:
+        pass
+
+
+class _Heartbeat(threading.Thread):
+    """Renews one job's lease while the job makes progress; pulls the
+    plug on the whole process when it stops."""
+
+    def __init__(self, client: ServiceClient, job_id: str, token: str,
+                 deadline: float, progress: ProgressSink,
+                 stall_timeout: float) -> None:
+        super().__init__(name=f"heartbeat-{job_id}", daemon=True)
+        self.client = client
+        self.job_id = job_id
+        self.token = token
+        self.deadline = deadline
+        self.progress = progress
+        self.stall_timeout = stall_timeout
+        self.done = threading.Event()
+
+    def _interval(self) -> float:
+        # Renew at a third of the remaining lease so two heartbeats can
+        # be lost to an outage before the lease is at risk.
+        return max(0.1, (self.deadline - time.time()) / 3.0)
+
+    def run(self) -> None:
+        while not self.done.wait(self._interval()):
+            stalled = time.monotonic() - self.progress.last_activity
+            if stalled > self.stall_timeout:
+                # The job stopped emitting events: hung, not slow.
+                # Dying releases nothing locally but lets the lease
+                # expire, which is what re-runs the job elsewhere.
+                os._exit(HANG_EXIT)
+            try:
+                self.deadline = self.client.renew(self.job_id, self.token)
+            except LeaseLostError:
+                if self.done.is_set():
+                    return  # raced against normal completion
+                os._exit(LEASE_LOST_EXIT)
+            except ServiceUnavailableError:
+                # Server restarting; keep working.  The client already
+                # burned its connection retries, so just try again on
+                # the next beat.
+                continue
+
+
+class Worker:
+    """One claim-execute-report loop against a service endpoint."""
+
+    def __init__(self, base_url: str, spool: str,
+                 worker_id: Optional[str] = None,
+                 poll_interval: float = 0.5,
+                 stall_timeout: float = 30.0) -> None:
+        self.client = ServiceClient(base_url)
+        self.spool = spool
+        self.worker_id = worker_id or (
+            f"{socket.gethostname()}-{os.getpid()}")
+        self.poll_interval = poll_interval
+        self.stall_timeout = stall_timeout
+        self.jobs_run = 0
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        """Finish the current job, then exit the loop (SIGTERM drain)."""
+        self._stop.set()
+
+    def run_one(self) -> bool:
+        """Claim and fully process one job; ``False`` when the queue had
+        nothing for us."""
+        job = self.client.claim(self.worker_id)
+        if job is None:
+            return False
+        job_id = job["job_id"]
+        token = job["lease"]["token"]
+        workdir = job["workdir"] or os.path.join(self.spool, job_id)
+        progress = ProgressSink()
+        heartbeat = _Heartbeat(self.client, job_id, token,
+                               job["lease"]["deadline"], progress,
+                               self.stall_timeout)
+        heartbeat.start()
+        try:
+            summary = run_job(job["kind"], job["params"], workdir,
+                              attempt=int(job.get("attempts", 1)),
+                              progress_sink=progress)
+        except Exception as exc:
+            heartbeat.done.set()
+            heartbeat.join(timeout=5.0)
+            error = f"{type(exc).__name__}: {exc}".splitlines()[0]
+            try:
+                self.client.fail(job_id, token, error)
+            except (LeaseLostError, ServiceUnavailableError):
+                pass  # the lease's expiry will requeue it anyway
+        else:
+            # Stop heartbeating *before* reporting: a renew in flight
+            # after the job went terminal would read as a lost lease.
+            heartbeat.done.set()
+            heartbeat.join(timeout=5.0)
+            try:
+                self.client.complete(job_id, token, summary)
+            except LeaseLostError:
+                # Re-leased while we raced to the finish line; the
+                # other attempt's durable result wins, ours is the
+                # counted duplicate.
+                pass
+        self.jobs_run += 1
+        return True
+
+    def run_forever(self) -> int:
+        """Claim jobs until :meth:`stop` (or a drained server tells an
+        idle worker nothing more is coming)."""
+        while not self._stop.is_set():
+            try:
+                if not self.run_one():
+                    self._stop.wait(self.poll_interval)
+            except ServiceUnavailableError:
+                # Server gone; poll until it returns.  Orphaned leases
+                # are its problem, staying alive to serve the restarted
+                # server is ours.
+                self._stop.wait(self.poll_interval)
+        return 0

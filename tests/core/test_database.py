@@ -481,3 +481,88 @@ class TestTransientRetry:
             monkeypatch.setattr(db, "_conn", flaky)
             db.execute("SELECT 1")
         assert tracer.registry.counter("db.retries") == 1
+
+
+class _MidBatchFlakyConnection:
+    """Delegates to a real connection; the first ``failures`` calls to
+    ``executemany`` apply a *prefix* of the batch and then raise a
+    transient lock error — what an interrupted bulk insert actually
+    looks like from inside an open transaction."""
+
+    def __init__(self, real, fail_after, failures=1):
+        self._real = real
+        self.fail_after = fail_after
+        self.remaining = failures
+        self.attempts = 0
+
+    def executemany(self, sql, rows):
+        self.attempts += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            for row in list(rows)[: self.fail_after]:
+                self._real.execute(sql, row)
+            raise sqlite3.OperationalError("database is locked")
+        return self._real.executemany(sql, rows)
+
+    def __getattr__(self, name):
+        return getattr(self._real, name)
+
+
+class TestExecutemanyRetry:
+    """Satellite of the service PR: a transient error landing mid-batch
+    must not double-apply the surviving prefix on retry, and one-shot
+    row iterators must not be half-eaten by the failed attempt."""
+
+    @pytest.fixture(autouse=True)
+    def _fast_retries(self, db, monkeypatch):
+        from repro.runtime import RetryPolicy
+
+        monkeypatch.setattr(
+            db, "_retry_policy",
+            RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0))
+
+    def test_midbatch_transient_inserts_exactly_once(self, db, monkeypatch):
+        db.create_table("d", ("a",))
+        flaky = _MidBatchFlakyConnection(db.connection, fail_after=3)
+        monkeypatch.setattr(db, "_conn", flaky)
+        db.executemany(
+            "INSERT INTO d (a) VALUES (?)",
+            [(str(i),) for i in range(6)])
+        assert flaky.attempts == 2
+        values = [r["a"] for r in db.rows("d", order_by=("a",))]
+        assert values == [str(i) for i in range(6)]  # prefix not doubled
+
+    def test_midbatch_transient_inside_open_transaction(self, db,
+                                                        monkeypatch):
+        db.create_table("d", ("a",))
+        db.execute("INSERT INTO d (a) VALUES ('seed')")
+        assert db.connection.in_transaction  # savepoint path, not rollback
+        flaky = _MidBatchFlakyConnection(db.connection, fail_after=2)
+        monkeypatch.setattr(db, "_conn", flaky)
+        db.executemany(
+            "INSERT INTO d (a) VALUES (?)", [("x",), ("y",), ("z",)])
+        db.connection.commit()
+        values = sorted(r["a"] for r in db.rows("d"))
+        assert values == ["seed", "x", "y", "z"]
+
+    def test_one_shot_iterator_survives_failed_attempt(self, db,
+                                                       monkeypatch):
+        db.create_table("d", ("a",))
+        flaky = _MidBatchFlakyConnection(
+            db.connection, fail_after=2, failures=1)
+        monkeypatch.setattr(db, "_conn", flaky)
+        rows = ((str(i),) for i in range(5))  # consumable exactly once
+        db.executemany("INSERT INTO d (a) VALUES (?)", rows)
+        assert sorted(r["a"] for r in db.rows("d")) == [
+            "0", "1", "2", "3", "4"]
+
+    def test_exhausted_midbatch_retries_leave_no_partial_rows(
+            self, db, monkeypatch):
+        db.create_table("d", ("a",))
+        flaky = _MidBatchFlakyConnection(
+            db.connection, fail_after=2, failures=99)
+        monkeypatch.setattr(db, "_conn", flaky)
+        with pytest.raises(DatabaseError, match="database is locked"):
+            db.executemany(
+                "INSERT INTO d (a) VALUES (?)", [("x",), ("y",), ("z",)])
+        assert db.row_count("d") == 0

@@ -1,0 +1,85 @@
+"""Unit tests for chaos spec parsing and the survivable injectors.
+
+The lethal modes (``crash``/``hang``) are exercised end-to-end by the
+``repro chaos`` scenario harness, where dying is the point; here we test
+what can be tested in-process — parsing, arming rules, and the two
+injectors a run is supposed to *survive*.
+"""
+
+import pytest
+
+from repro.core.database import ProtocolDatabase
+from repro.runtime import CheckpointJournal, RetryPolicy, load_journal
+from repro.service import ChaosError, chaos_active, parse_chaos
+from repro.service.chaos import PROGRESS_EVENTS, ChaosSink
+from repro import telemetry
+
+
+class TestParse:
+    def test_valid_specs(self):
+        assert parse_chaos("crash:3") == ("crash", 3)
+        assert parse_chaos("hang:1") == ("hang", 1)
+        assert parse_chaos("sqlite:5") == ("sqlite", 5)
+        assert parse_chaos("diskfull:2") == ("diskfull", 2)
+
+    def test_none_and_empty_pass_through(self):
+        assert parse_chaos(None) is None
+        assert parse_chaos("") is None
+
+    @pytest.mark.parametrize("spec", [
+        "crash", "meteor:1", "crash:zero", "crash:0", "crash:-1"])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ChaosError):
+            parse_chaos(spec)
+
+
+class TestArming:
+    def test_retries_run_clean(self):
+        """Chaos arms only on attempt 1 — later attempts exist to prove
+        the failover landed, not to die again."""
+        with chaos_active("sqlite:5", attempt=2):
+            with ProtocolDatabase() as db:
+                assert db.scalar("SELECT 1") == 1  # no injection happened
+
+    def test_progress_counting_ignores_other_events(self):
+        sink = ChaosSink("crash", at=99)
+        sink.write({"type": "sql", "sql": "SELECT 1"})
+        sink.write({"type": "campaign.unit", "unit": 0})
+        sink.write({"type": "explore.depth", "depth": 1})
+        assert sink.seen == 2
+        assert PROGRESS_EVENTS == {"campaign.unit", "explore.depth"}
+
+
+class TestSqliteInjector:
+    def test_each_faulted_op_fails_once_then_succeeds(self):
+        fast = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        tracer = telemetry.Tracer()
+        with telemetry.use_tracer(tracer):
+            with chaos_active("sqlite:2", attempt=1):
+                with ProtocolDatabase(retry_policy=fast) as db:
+                    db.create_table_from_rows(
+                        "d", ("a",), [{"a": "1"}, {"a": "2"}])
+                    assert db.row_count("d") == 2
+        # The production retry layer absorbed every injected fault:
+        # each faulted op cost exactly one retry, none escalated.
+        assert tracer.registry.counter("db.retries") == 2
+
+    def test_injection_unwinds_after_the_context(self):
+        with chaos_active("sqlite:1", attempt=1):
+            pass  # armed but never triggered
+        with ProtocolDatabase() as db:
+            assert db.scalar("SELECT 1") == 1
+
+
+class TestDiskfullInjector:
+    def test_kth_append_raises_enospc_once(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with chaos_active("diskfull:2", attempt=1):
+            with CheckpointJournal.open(path, {"kind": "t"}) as j:
+                # Append 1 was the header; append 2 is this record.
+                with pytest.raises(OSError, match="No space left"):
+                    j.record(0, {"state": "a"})
+                j.record(0, {"state": "b"})  # the disk "drained"
+        header, units = load_journal(path)
+        assert header == {"kind": "t"}  # journal stayed well-formed
+        assert units == {0: {"state": "b"}}

@@ -1,0 +1,69 @@
+"""Unit tests for job validation and the job/lease snapshot model."""
+
+import pytest
+
+from repro.service import (
+    JOB_KINDS,
+    Job,
+    JobValidationError,
+    Lease,
+    validate_params,
+)
+
+
+class TestValidateParams:
+    def test_defaults_filled_in(self):
+        params = validate_params("campaign", {"count": 3})
+        assert params["count"] == 3
+        assert params["seed"] == 0
+        assert params["assignment"] == "v5d"
+        assert params["chaos"] is None
+
+    def test_every_kind_validates_empty_params(self):
+        for kind in JOB_KINDS:
+            assert isinstance(validate_params(kind, None), dict)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(JobValidationError, match="unknown job kind"):
+            validate_params("frobnicate", {})
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(JobValidationError, match="unknown parameter"):
+            validate_params("check", {"depth": 4})
+
+    def test_integer_parameter_type_enforced(self):
+        with pytest.raises(JobValidationError, match="must be an integer"):
+            validate_params("campaign", {"count": "three"})
+
+    def test_non_scalar_parameter_rejected(self):
+        with pytest.raises(JobValidationError, match="must be a scalar"):
+            validate_params("campaign", {"classes": ["a", "b"]})
+
+    def test_chaos_spec_validated_at_submission(self):
+        assert validate_params(
+            "campaign", {"chaos": "crash:3"})["chaos"] == "crash:3"
+        with pytest.raises(JobValidationError, match="bad chaos spec"):
+            validate_params("campaign", {"chaos": "meteor:1"})
+        with pytest.raises(JobValidationError, match="bad chaos spec"):
+            validate_params("campaign", {"chaos": "crash:0"})
+
+
+class TestSnapshots:
+    def test_job_round_trips_through_dict(self):
+        job = Job(job_id="abc123", kind="campaign",
+                  params={"seed": 1}, key="k1", state="leased",
+                  attempts=2, duplicates=1, expiries=1,
+                  lease=Lease(worker="w1", token="t1",
+                              deadline=123.5, granted_at=120.0),
+                  workdir="/tmp/spool/abc123")
+        restored = Job.from_dict(job.to_dict())
+        assert restored == job
+
+    def test_terminal_property_tracks_state(self):
+        job = Job(job_id="x", kind="check", params={})
+        assert not job.terminal
+        for state in ("done", "failed", "cancelled"):
+            job.state = state
+            assert job.terminal
+        job.state = "leased"
+        assert not job.terminal

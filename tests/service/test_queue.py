@@ -1,0 +1,253 @@
+"""Durable queue semantics: leases, failover, journal replay.
+
+The lease edge cases here are the contract the whole failover story
+rests on: an *inclusive* deadline (a heartbeat landing exactly on it
+still renews), first-durable-result-wins when a slow worker finishes
+after its lease was re-granted, and a replay that shrugs off the
+half-written record a dying server left at the journal tail.
+"""
+
+import pytest
+
+from repro.service import (
+    JobQueue,
+    LeaseError,
+    QueueFullError,
+    UnknownJobError,
+)
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def queue(tmp_path, clock):
+    q = JobQueue(str(tmp_path / "queue.jsonl"), capacity=4,
+                 lease_ttl=10.0, max_attempts=3, clock=clock)
+    yield q
+    q.close()
+
+
+class TestSubmission:
+    def test_submit_and_get(self, queue):
+        job, created = queue.submit("check")
+        assert created
+        assert queue.get(job.job_id).state == "queued"
+
+    def test_idempotency_key_returns_existing_job(self, queue):
+        first, created1 = queue.submit("check", key="k1")
+        second, created2 = queue.submit("check", key="k1")
+        assert created1 and not created2
+        assert second.job_id == first.job_id
+        assert len(queue.jobs()) == 1
+
+    def test_backpressure_when_capacity_reached(self, queue):
+        for _ in range(4):
+            queue.submit("check")
+        with pytest.raises(QueueFullError):
+            queue.submit("check")
+
+    def test_terminal_jobs_free_capacity(self, queue):
+        for _ in range(4):
+            queue.submit("check")
+        job = queue.claim("w1")
+        queue.complete(job.job_id, job.lease.token, {"ok": True})
+        queue.submit("check")  # headroom restored
+
+    def test_unknown_job_raises(self, queue):
+        with pytest.raises(UnknownJobError):
+            queue.get("nope")
+
+
+class TestLeases:
+    def test_claim_is_fifo_by_submission(self, queue, clock):
+        a, _ = queue.submit("check")
+        clock.advance(1)
+        b, _ = queue.submit("check")
+        assert queue.claim("w1").job_id == a.job_id
+        assert queue.claim("w2").job_id == b.job_id
+        assert queue.claim("w3") is None
+
+    def test_heartbeat_exactly_at_deadline_still_renews(self, queue, clock):
+        queue.submit("check")
+        job = queue.claim("w1")
+        clock.advance(10.0)
+        assert clock() == job.lease.deadline  # precisely at, not before
+        new_deadline = queue.renew(job.job_id, job.lease.token)
+        assert new_deadline == clock() + 10.0
+        assert queue.get(job.job_id).state == "leased"
+        assert queue.get(job.job_id).expiries == 0
+
+    def test_heartbeat_after_deadline_fails_and_requeues(self, queue, clock):
+        queue.submit("check")
+        job = queue.claim("w1")
+        clock.advance(10.001)
+        with pytest.raises(LeaseError, match="expired"):
+            queue.renew(job.job_id, job.lease.token)
+        refreshed = queue.get(job.job_id)
+        assert refreshed.state == "queued"
+        assert refreshed.expiries == 1
+
+    def test_sweeper_requeues_overdue_leases(self, queue, clock):
+        queue.submit("check")
+        job = queue.claim("w1")
+        assert queue.expire_leases() == []  # inclusive: not overdue yet
+        clock.advance(10.5)
+        expired = queue.expire_leases()
+        assert [j.job_id for j in expired] == [job.job_id]
+        assert queue.get(job.job_id).state == "queued"
+
+    def test_lease_exhaustion_fails_the_job(self, queue, clock):
+        queue.submit("check")
+        for attempt in range(3):
+            job = queue.claim("w1")
+            assert job is not None and job.attempts == attempt + 1
+            clock.advance(11)
+            queue.expire_leases()
+        refreshed = queue.get(job.job_id)
+        assert refreshed.state == "failed"
+        assert "lease expired" in refreshed.error
+        assert queue.claim("w1") is None
+
+    def test_late_completion_after_regrant_is_discarded_and_counted(
+            self, queue, clock):
+        """The SIGKILLed-then-resurrected worker: its lease expired, the
+        job was re-leased, and its eventual result must lose to the
+        re-granted attempt — first *durable* result wins."""
+        queue.submit("campaign", {"count": 2})
+        first = queue.claim("w1")
+        stale_token = first.lease.token
+        clock.advance(11)
+        queue.expire_leases()
+        second = queue.claim("w2")
+        assert second.job_id == first.job_id
+        assert second.lease.token != stale_token
+
+        # w1 wakes back up and reports "done" with its dead token.
+        assert queue.complete(first.job_id, stale_token,
+                              {"from": "w1"}) is False
+        refreshed = queue.get(first.job_id)
+        assert refreshed.state == "leased"  # w2's attempt still owns it
+        assert refreshed.duplicates == 1
+        assert refreshed.result is None
+
+        # w2's result is the one that lands.
+        assert queue.complete(second.job_id, second.lease.token,
+                              {"from": "w2"}) is True
+        final = queue.get(second.job_id)
+        assert final.state == "done"
+        assert final.result == {"from": "w2"}
+        # ...and w1 reporting *again* after terminal is still a no-op.
+        assert queue.complete(first.job_id, stale_token,
+                              {"from": "w1"}) is False
+        assert queue.get(first.job_id).result == {"from": "w2"}
+        assert queue.get(first.job_id).duplicates == 2
+
+    def test_fail_requeues_until_attempts_spent(self, queue, clock):
+        queue.submit("check")
+        for attempt in (1, 2):
+            job = queue.claim("w1")
+            assert queue.fail(job.job_id, job.lease.token,
+                              f"boom {attempt}") is True
+            assert queue.get(job.job_id).state == "queued"
+        job = queue.claim("w1")
+        queue.fail(job.job_id, job.lease.token, "boom 3")
+        final = queue.get(job.job_id)
+        assert final.state == "failed"
+        assert final.error == "boom 3"
+
+    def test_cancel_revokes_an_active_lease(self, queue):
+        queue.submit("check")
+        job = queue.claim("w1")
+        token = job.lease.token
+        queue.cancel(job.job_id)
+        with pytest.raises(LeaseError):
+            queue.renew(job.job_id, token)
+        assert queue.get(job.job_id).state == "cancelled"
+
+
+class TestDurability:
+    def test_restart_replays_exact_state(self, tmp_path, clock):
+        path = str(tmp_path / "queue.jsonl")
+        with JobQueue(path, lease_ttl=10.0, clock=clock) as q:
+            done, _ = q.submit("check", key="done-key")
+            clock.advance(1)
+            leased, _ = q.submit("campaign", {"count": 2})
+            clock.advance(1)
+            q.submit("explore", {"depth": 3})
+            job = q.claim("w1")  # leases the "check" job
+            q.complete(job.job_id, job.lease.token, {"ok": True})
+            job = q.claim("w1")  # leases the campaign
+            token = job.lease.token
+
+        with JobQueue(path, lease_ttl=10.0, clock=clock) as q2:
+            assert q2.replayed == 3
+            assert q2.get(done.job_id).state == "done"
+            replayed = q2.get(leased.job_id)
+            assert replayed.state == "leased"
+            assert replayed.lease.token == token  # worker can still renew
+            assert q2.stats()["by_state"] == {
+                "queued": 1, "leased": 1, "done": 1,
+                "failed": 0, "cancelled": 0}
+            # The idempotency index survives the restart too.
+            again, created = q2.submit("check", key="done-key")
+            assert not created and again.job_id == done.job_id
+
+    def test_restart_with_half_written_journal_tail(self, tmp_path, clock):
+        """A server SIGKILLed mid-append leaves a torn final record; the
+        restart must replay the last *durable* state and keep going."""
+        path = str(tmp_path / "queue.jsonl")
+        with JobQueue(path, lease_ttl=10.0, clock=clock) as q:
+            job, _ = q.submit("check")
+            claimed = q.claim("w1")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "unit", "id": "%s", "data": {"state": "do'
+                     % job.job_id)  # no newline: the fsync never finished
+
+        with JobQueue(path, lease_ttl=10.0, clock=clock) as q2:
+            restored = q2.get(job.job_id)
+            assert restored.state == "leased"  # torn "done" never happened
+            assert restored.lease.token == claimed.lease.token
+            # The queue keeps working: lease expires, job requeues,
+            # a new attempt completes — all journaled past the scar.
+            clock.advance(11)
+            q2.expire_leases()
+            retry = q2.claim("w2")
+            assert q2.complete(retry.job_id, retry.lease.token, {"ok": 1})
+
+        with JobQueue(path, clock=clock) as q3:
+            assert q3.get(job.job_id).state == "done"
+
+    def test_compaction_keeps_live_state_and_bounds_growth(
+            self, tmp_path, clock):
+        path = str(tmp_path / "queue.jsonl")
+        with JobQueue(path, lease_ttl=10.0, clock=clock,
+                      compact_after=8) as q:
+            job, _ = q.submit("check")
+            for _ in range(2):
+                claimed = q.claim("w1")
+                q.fail(claimed.job_id, claimed.lease.token, "boom")
+            claimed = q.claim("w1")
+            q.complete(claimed.job_id, claimed.lease.token, {"ok": True})
+            assert q.compact_if_needed() == 0  # not enough churn yet
+            for _ in range(8):
+                extra, _ = q.submit("check")
+                c = q.claim("w1")
+                q.complete(c.job_id, c.lease.token, {})
+            assert q.compact_if_needed() > 0
+        with JobQueue(path, clock=clock) as q2:
+            assert q2.get(job.job_id).state == "done"
+            assert q2.get(job.job_id).attempts == 3

@@ -1,0 +1,119 @@
+"""In-process HTTP round-trips against the verification server.
+
+The server runs with zero supervised workers on an event loop in a
+background thread; the synchronous :class:`ServiceClient` talks to it
+from the test, playing both submitting client and leasing worker.  The
+full fleet (real subprocess workers, kills, restarts) is the chaos
+harness's job — this covers the HTTP surface cheaply enough for tier 1.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.service import (
+    BackpressureError,
+    JobQueue,
+    ServiceClient,
+    ServiceError,
+)
+from repro.service.server import VerificationServer
+
+
+@pytest.fixture()
+def service(tmp_path):
+    previous_tracer = telemetry.get_tracer()  # start() installs its own
+    queue = JobQueue(str(tmp_path / "queue.jsonl"), capacity=2,
+                     lease_ttl=30.0, workdir_root=str(tmp_path))
+    server = VerificationServer(queue, host="127.0.0.1", port=0, workers=0)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def run():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(10), "server failed to start"
+    client = ServiceClient(server.url, timeout=10)
+    yield server, client
+    asyncio.run_coroutine_threadsafe(server.stop(), loop).result(10)
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(10)
+    loop.close()
+    telemetry.set_tracer(previous_tracer)
+
+
+class TestHTTPSurface:
+    def test_health_and_ready(self, service):
+        _, client = service
+        assert client.health()["status"] == "ok"
+        assert client.ready() is True
+
+    def test_submit_claim_complete_round_trip(self, service):
+        _, client = service
+        job = client.submit("check", {})
+        assert job["state"] == "queued"
+
+        leased = client.claim("test-worker")
+        assert leased["job_id"] == job["job_id"]
+        token = leased["lease"]["token"]
+        deadline = client.renew(job["job_id"], token)
+        assert deadline > 0
+        client.complete(job["job_id"], token, {"passed": True})
+
+        final = client.job(job["job_id"])
+        assert final["state"] == "done"
+        assert final["result"] == {"passed": True}
+
+    def test_submission_validated_at_the_front_door(self, service):
+        _, client = service
+        with pytest.raises(ServiceError, match="unknown parameter"):
+            client.submit("check", {"bogus": 1})
+
+    def test_backpressure_is_429_with_retry_after(self, service):
+        _, client = service
+        client.submit("check", {})
+        client.submit("check", {})
+        with pytest.raises(BackpressureError) as exc:
+            client.submit("check", {})
+        assert exc.value.retry_after >= 1
+
+    def test_idempotent_submission_by_client_key(self, service):
+        _, client = service
+        first = client.submit("check", {}, key="once")
+        second = client.submit("check", {}, key="once")
+        assert second["job_id"] == first["job_id"]
+        assert len(client.jobs()) == 1
+
+    def test_empty_queue_claim_returns_nothing(self, service):
+        _, client = service
+        assert client.claim("test-worker") is None
+
+    def test_metrics_exposition(self, service):
+        _, client = service
+        client.submit("check", {})
+        text = client.metrics_text()
+        assert "service_queue_submitted_total 1" in text
+        assert "service_jobs_queued 1" in text
+        assert text.rstrip().endswith("# EOF")
+
+    def test_drain_refuses_new_work_and_claims(self, service):
+        _, client = service
+        client.submit("check", {})
+        client.drain()
+        assert client.ready() is False  # readyz flips to 503
+        with pytest.raises(ServiceError):
+            client.submit("check", {})
+        assert client.claim("test-worker") is None
+
+    def test_cancel_over_http(self, service):
+        _, client = service
+        job = client.submit("check", {})
+        cancelled = client.cancel(job["job_id"])
+        assert cancelled["state"] == "cancelled"
