@@ -7,6 +7,13 @@ is *which transitions did it actually exercise?*  With the specification
 stored as database tables, coverage is a first-class query: the simulator
 records the rowid of every table row it fires, and the report lists hit
 counts and the uncovered rows per controller (in SQL, of course).
+
+Coverage is also *persistent*: :func:`write_ledger` merges a recorder's
+hits into the :data:`LEDGER_TABLE` row-coverage ledger stored inside the
+protocol database itself (alongside ``__explore_summary``), so coverage
+accumulates across simulation runs of the same ``--db`` file and the
+guided workload generator (:func:`repro.sim.workloads.guided_workload`)
+can steer new traffic toward rows no previous run has exercised.
 """
 
 from __future__ import annotations
@@ -17,8 +24,27 @@ from typing import Mapping, Optional
 
 from ..core.table import ControllerTable
 from ..core.sqlgen import quote_ident
+from ..telemetry import get_tracer
 
-__all__ = ["CoverageRecorder", "TableCoverage", "CoverageReport", "coverage_report"]
+__all__ = [
+    "CoverageRecorder",
+    "TableCoverage",
+    "CoverageReport",
+    "coverage_report",
+    "LEDGER_TABLE",
+    "LEDGER_COLUMNS",
+    "read_ledger",
+    "write_ledger",
+    "ledger_rows",
+    "distinct_rows",
+]
+
+#: row-coverage ledger table persisted inside the protocol database —
+#: one row per (controller table, rowid) ever fired by a simulation.
+LEDGER_TABLE = "__coverage_ledger"
+
+#: columns of :data:`LEDGER_TABLE` (all TEXT, like ``__explore_summary``).
+LEDGER_COLUMNS = ("table_name", "row_id", "hits")
 
 
 class CoverageRecorder:
@@ -112,3 +138,56 @@ def coverage_report(
             ],
         )
     return CoverageReport(per_table=per_table)
+
+
+# -- the persisted ledger -----------------------------------------------------
+def distinct_rows(recorder: CoverageRecorder) -> int:
+    """Number of distinct (table, rowid) pairs the recorder has seen."""
+    return sum(len(c) for c in recorder.hits.values())
+
+
+def read_ledger(db) -> CoverageRecorder:
+    """The accumulated row-coverage ledger of ``db`` as a recorder
+    (empty if no simulation has ever written one)."""
+    recorder = CoverageRecorder()
+    if not db.table_exists(LEDGER_TABLE):
+        return recorder
+    for row in db.query(
+            f"SELECT table_name, row_id, hits FROM {quote_ident(LEDGER_TABLE)}"):
+        counter = recorder.hits.setdefault(str(row["table_name"]), Counter())
+        counter[int(row["row_id"])] += int(row["hits"])
+    return recorder
+
+
+def write_ledger(db, recorder: CoverageRecorder, merge: bool = True) -> int:
+    """Persist ``recorder`` into :data:`LEDGER_TABLE`, merging with any
+    ledger already in the database (``merge=False`` replaces it).
+
+    Rows are emitted in sorted (table, rowid) order and all values are
+    written as text, so two runs that exercised the same rows the same
+    number of times produce byte-identical tables — the property the
+    journal-resume tests pin.  Returns the number of ledger rows.
+    """
+    merged = CoverageRecorder()
+    if merge:
+        merged.merge(read_ledger(db))
+    merged.merge(recorder)
+    rows = [
+        {"table_name": table, "row_id": str(row_id), "hits": str(hits)}
+        for table in sorted(merged.hits)
+        for row_id, hits in sorted(merged.hits[table].items())
+    ]
+    n = db.create_table_from_rows(LEDGER_TABLE, LEDGER_COLUMNS, rows)
+    tracer = get_tracer()
+    tracer.incr("coverage.ledger.writes")
+    tracer.incr("coverage.ledger.rows", len(rows))
+    return n
+
+
+def ledger_rows(db) -> list[dict]:
+    """The raw ledger rows in their stored order (for byte-identity
+    assertions; empty list when no ledger exists)."""
+    if not db.table_exists(LEDGER_TABLE):
+        return []
+    return db.query(
+        f"SELECT table_name, row_id, hits FROM {quote_ident(LEDGER_TABLE)}")

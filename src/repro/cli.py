@@ -137,6 +137,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--coverage", action="store_true",
                    help="report controller-table transition coverage")
     p.add_argument("--trace", action="store_true", help="print every message")
+    p.add_argument("--guided", action="store_true",
+                   help="coverage-guided workload: bias ops toward table "
+                        "rows the persisted ledger has not seen "
+                        "(overrides --workload)")
+    p.add_argument("--epsilon", type=float, default=0.2, metavar="P",
+                   help="exploration rate of the guided policy "
+                        "(default 0.2)")
+    p.add_argument("--frontier-dir", metavar="DIR", default=None,
+                   help="with --guided: start from an explorer frontier "
+                        "state sampled out of DIR's successor store "
+                        "(fingerprint must match)")
 
     p = sub.add_parser("mc", parents=[common],
                        help="explicit-state model checker (baseline)")
@@ -147,6 +158,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="search for channel-assignment fixes")
     p.add_argument("--assignment", choices=("v4", "v5", "v5d"), default="v5")
     p.add_argument("--rounds", type=int, default=4)
+    p.add_argument("--oracle-depth", type=int, default=0, metavar="N",
+                   help="also re-verify the final fix by bounded "
+                        "exploration to depth N (default: 0 = skip the "
+                        "oracle; invariants and both deadlock engines "
+                        "always re-verify every fix)")
+    p.add_argument("--journal", metavar="PATH", default=None,
+                   help="checkpoint each applied fix to a crash-safe "
+                        "journal at PATH; re-running with the same PATH "
+                        "resumes after the last durable fix")
+    p.add_argument("--report", metavar="PATH", default=None,
+                   help="write the closed-loop report (fixes, "
+                        "re-verification verdicts, guided-vs-fixed "
+                        "coverage deltas) to PATH, atomically")
+    p.add_argument("--baseline", metavar="PATH", default=None,
+                   help="compare the closed-loop report against a "
+                        "committed baseline (e.g. BENCH_repair.json) and "
+                        "exit 1 on any repair/coverage regression")
 
     sub.add_parser("map", parents=[common],
                    help="hardware mapping of D (section 5)")
@@ -214,6 +242,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="transition backend for --oracle exploration: "
                         "codegen dispatch kernels or the interpreted "
                         "parity oracle (default: %(default)s)")
+    p.add_argument("--repair", action="store_true",
+                   help="close the loop: propose and re-verify channel-"
+                        "assignment fixes for every deadlock-caught "
+                        "mutant (see docs/REPAIR.md)")
+    p.add_argument("--repair-rounds", type=int, default=4, metavar="N",
+                   help="max analyze-modify rounds per repaired mutant "
+                        "(default: %(default)s)")
+    p.add_argument("--repair-oracle-depth", type=int, default=0,
+                   metavar="N",
+                   help="bounded-exploration depth for re-verifying each "
+                        "mutant's final fix (default: 0 = engines + "
+                        "invariants only)")
 
     p = sub.add_parser("explore", parents=[common],
                        help="bounded-depth exhaustive reachability "
@@ -389,7 +429,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("submit",
                        help="submit a job to a running service")
     p.add_argument("kind", choices=("campaign", "explore", "check",
-                                    "family"))
+                                    "family", "repair"))
     p.add_argument("params", nargs="*", metavar="KEY=VALUE",
                    help="job parameters, e.g. seed=0 count=50 "
                         "chaos=crash:3")
@@ -476,10 +516,21 @@ def _cmd_deadlock(system, args) -> int:
 
 
 def _cmd_simulate(system, args) -> int:
-    from .sim import figure2_scenario, figure4_scenario, random_workload
-    from .sim.system import SimConfig
+    from .analysis.coverage import distinct_rows, read_ledger, write_ledger
+    from .sim import (
+        ensure_recorder,
+        figure2_scenario,
+        figure4_scenario,
+        guided_workload,
+        random_workload,
+    )
 
-    if args.workload == "fig2":
+    if args.guided:
+        workload = guided_workload(system, assignment=args.assignment,
+                                   seed=args.seed, n_ops=args.ops,
+                                   epsilon=args.epsilon,
+                                   frontier_dir=args.frontier_dir)
+    elif args.workload == "fig2":
         workload = figure2_scenario(system, assignment=args.assignment)
     elif args.workload == "fig4":
         workload = figure4_scenario(system, assignment=args.assignment)
@@ -489,12 +540,7 @@ def _cmd_simulate(system, args) -> int:
     sim = workload.simulator
     if args.coverage:
         # Coverage was decided at construction; rebuild the models' hook.
-        from .analysis.coverage import CoverageRecorder
-        sim.recorder = CoverageRecorder()
-        for model in (*sim.directories.values(), *sim.memories.values(),
-                      *sim.nodes.values(), *sim.ios.values()):
-            model.recorder = sim.recorder
-        sim.config.coverage = True
+        ensure_recorder(sim)
     result = workload.run()
 
     print(f"{workload.description}")
@@ -505,8 +551,15 @@ def _cmd_simulate(system, args) -> int:
             print(f"  {event}")
     if result.deadlocked:
         print(result.deadlock_report)
-    if args.coverage:
+    if args.coverage or args.guided:
         print(sim.coverage_report().render())
+    if sim.recorder is not None:
+        # Persist what this run exercised so the next --guided run (on
+        # the same --db file) steers toward what is still unvisited.
+        before = distinct_rows(read_ledger(system.db))
+        total = write_ledger(system.db, sim.recorder)
+        print(f"coverage ledger: {total} distinct rows "
+              f"({total - before} new this run)")
     return 0 if result.status == "quiescent" else 1
 
 
@@ -527,14 +580,58 @@ def _cmd_mc(system, args) -> int:
 
 
 def _cmd_repair(system, args) -> int:
+    import json
+
     from .core.repair import DeadlockRepairer
-    repairer = DeadlockRepairer(
-        system.db, system.deadlock_specs(),
-        system.channel_assignments[args.assignment],
-    )
-    result = repairer.search(max_rounds=args.rounds)
+    from .runtime import JournalError, atomic_write_json
+
+    baseline = None
+    if args.baseline:
+        try:
+            with open(args.baseline, encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"repro: error: cannot read baseline "
+                  f"{args.baseline!r}: {exc}", file=sys.stderr)
+            return 2
+    # ``for_system`` binds the repairer to the loaded system — under
+    # --variant that is the family member's own tables, deadlock specs,
+    # and V, and re-verification (invariants, oracle) runs against the
+    # member too, not the MESI baseline.
+    repairer = DeadlockRepairer.for_system(system, args.assignment)
+    try:
+        result = repairer.search(max_rounds=args.rounds,
+                                 journal_path=args.journal)
+    except JournalError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    repairer.reverify(result, oracle_depth=args.oracle_depth)
     print(result.render())
-    return 0 if result.success else 1
+    rc = 0 if result.success else 1
+    if not all(v.get("ok") for v in result.reverified):
+        rc = 1
+    if args.report or baseline is not None:
+        from .analysis.closedloop import (build_repair_report,
+                                          compare_repair_baseline)
+        report = build_repair_report(
+            system=system, assignment=args.assignment, rounds=args.rounds,
+            oracle_depth=args.oracle_depth, result=result)
+        for run in report["coverage"]["runs"]:
+            print(f"coverage seed {run['seed']}: guided "
+                  f"{run['guided_rows']} vs fixed {run['fixed_rows']} "
+                  f"distinct rows ({run['delta']:+d})")
+        if args.report:
+            atomic_write_json(args.report, report)
+        if baseline is not None:
+            failures = compare_repair_baseline(report, baseline)
+            if failures:
+                print("closed-loop regressions vs baseline:")
+                for failure in failures:
+                    print(f"  FAIL {failure}")
+                return 1
+            print(f"no closed-loop regressions vs baseline "
+                  f"({args.baseline})")
+    return rc
 
 
 def _cmd_map(system, args) -> int:
@@ -599,7 +696,9 @@ def _cmd_mutate(system, args) -> int:
             timeout=args.timeout, journal_path=args.journal,
             resume_from=args.resume, oracle=args.oracle,
             oracle_depth=args.oracle_depth, oracle_nodes=args.oracle_nodes,
-            oracle_kernel=args.oracle_kernel)
+            oracle_kernel=args.oracle_kernel, repair=args.repair,
+            repair_rounds=args.repair_rounds,
+            repair_oracle_depth=args.repair_oracle_depth)
     except (ValueError, JournalError, OSError) as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2

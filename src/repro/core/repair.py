@@ -18,15 +18,37 @@ history):
 
 The greedy search evaluates candidates by re-running the full analysis
 and keeps whichever clears the most cycles at the lowest cost, repeating
-until the assignment is deadlock-free.
+until the assignment is deadlock-free.  Two invariants of the applied
+sequence are enforced (and pinned by the property suite):
+
+* fix costs are **non-decreasing across rounds** — once the search has
+  escalated to a dearer kind of fix it never silently falls back, so the
+  applied sequence reads as the paper's own history (cheap V edits
+  first, dedicated hardware paths only when V edits plateau);
+* a fix **never breaks a previously-clean channel** — candidates whose
+  residual cycles touch any channel that was cycle-free before the fix
+  are rejected outright, so repair strictly shrinks the cyclic region.
+
+Every accepted fix can be independently **re-verified**
+(:meth:`DeadlockRepairer.reverify`): structural invariants, the SQL
+deadlock engine *and* its ``engine="python"`` parity oracle, plus an
+optional bounded reachability exploration of the repaired system —
+Sethi et al.'s discipline that a deadlock-freedom argument is only
+trusted once each candidate fix is independently checked.  Long
+searches checkpoint each applied round into a
+:class:`~repro.runtime.CheckpointJournal` and resume mid-search.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
+from ..telemetry import get_tracer
 from .database import ProtocolDatabase
 from .deadlock import (
     ChannelAssignment,
@@ -35,10 +57,33 @@ from .deadlock import (
     VCAssignment,
 )
 
-__all__ = ["Fix", "RepairResult", "DeadlockRepairer"]
+__all__ = ["Fix", "RepairResult", "DeadlockRepairer", "REPAIR_JOURNAL_KIND"]
 
 #: Cost ranking of fix kinds (cheap first).
 _COSTS = {"move": 0, "dedicate-message": 1, "dedicate-channel": 2}
+
+#: ``kind`` stamped into repair checkpoint-journal headers.
+REPAIR_JOURNAL_KIND = "repair-search"
+
+
+def _assignment_digest(assignment: ChannelAssignment) -> str:
+    """A short stable digest of an assignment's content (journal guard:
+    resuming against a different base V must fail loudly)."""
+    payload = json.dumps(
+        {
+            "assignments": sorted(
+                (a.message, a.src, a.dst, a.channel)
+                for a in assignment.assignments
+            ),
+            "dedicated": sorted(assignment.dedicated),
+        },
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _cyclic_channels(cycles) -> set:
+    return {vc for cycle in cycles for vc in cycle}
 
 
 @dataclass(frozen=True)
@@ -48,10 +93,24 @@ class Fix:
     kind: str  # 'move' | 'dedicate-message' | 'dedicate-channel'
     description: str
     assignment: ChannelAssignment = field(compare=False, hash=False)
+    #: the (message, src, dst, new_channel) reroutes this fix applies.
+    changes: tuple = ()
+    #: channels this fix newly marks as dedicated/unbounded.
+    dedicated: tuple = ()
 
     @property
     def cost(self) -> int:
         return _COSTS[self.kind]
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "description": self.description,
+            "cost": self.cost,
+            "assignment": self.assignment.name,
+            "changes": [list(c) for c in self.changes],
+            "dedicated": list(self.dedicated),
+        }
 
 
 @dataclass
@@ -64,10 +123,30 @@ class RepairResult:
     final_cycles: list
     evaluated: int
     seconds: float
+    #: per-fix re-verification verdicts (filled by
+    #: :meth:`DeadlockRepairer.reverify`; empty until then).
+    reverified: list[dict] = field(default_factory=list)
 
     @property
     def success(self) -> bool:
         return not self.final_cycles
+
+    @property
+    def total_cost(self) -> int:
+        return sum(f.cost for f in self.applied)
+
+    def to_dict(self) -> dict:
+        out = {
+            "success": self.success,
+            "initial_cycles": len(self.initial_cycles),
+            "final_cycles": len(self.final_cycles),
+            "evaluated": self.evaluated,
+            "total_cost": self.total_cost,
+            "fixes": [f.to_dict() for f in self.applied],
+        }
+        if self.reverified:
+            out["reverified"] = list(self.reverified)
+        return out
 
     def render(self) -> str:
         lines = [
@@ -75,33 +154,63 @@ class RepairResult:
             f"{self.evaluated} candidate evaluations, {self.seconds:.1f}s",
         ]
         for i, fix in enumerate(self.applied, 1):
-            lines.append(f"  step {i}: {fix.description}")
+            lines.append(f"  step {i}: {fix.description} (cost {fix.cost})")
         verdict = ("deadlock-free" if self.success
                    else f"{len(self.final_cycles)} cycle(s) remain")
         lines.append(f"  result: {verdict} "
-                     f"(assignment {self.final_assignment.name!r})")
+                     f"(assignment {self.final_assignment.name!r}, "
+                     f"total cost {self.total_cost})")
+        for v in self.reverified:
+            lines.append(f"  reverified {v['assignment']!r}: "
+                         f"{'ok' if v['ok'] else 'FAILED'} "
+                         f"(invariants={v['invariants']}, "
+                         f"sql={v['deadlock_sql']['cycles']} cycle(s), "
+                         f"python={v['deadlock_python']['cycles']} cycle(s)"
+                         + (f", oracle={'clean' if not v['oracle']['caught'] else v['oracle']['kind']}"
+                            if v.get("oracle") else "")
+                         + ")")
         return "\n".join(lines)
 
 
 class DeadlockRepairer:
-    """Greedy search over channel-assignment edits."""
+    """Greedy search over channel-assignment edits.
+
+    ``system`` is optional but unlocks the full re-verification battery
+    (structural invariants and the bounded reachability oracle need a
+    live system, not just its database); :meth:`for_system` threads a
+    family member's own specs and channel assignments through, so a
+    MOESI repair is searched and re-verified against MOESI tables.
+    """
 
     def __init__(
         self,
         db: ProtocolDatabase,
         specs: Sequence[ControllerMessageSpec],
         assignment: ChannelAssignment,
+        system=None,
     ) -> None:
         self.db = db
         self.specs = tuple(specs)
         self.base = assignment
+        self.system = system
         self._counter = 0
 
+    @classmethod
+    def for_system(cls, system, assignment="v5") -> "DeadlockRepairer":
+        """A repairer bound to one (family-member) system: its database,
+        its deadlock specs, its channel assignment."""
+        if isinstance(assignment, str):
+            assignment = system.channel_assignments[assignment]
+        return cls(system.db, system.deadlock_specs(), assignment,
+                   system=system)
+
     # -- analysis ----------------------------------------------------------------
-    def _cycles(self, assignment: ChannelAssignment):
+    def _cycles(self, assignment: ChannelAssignment,
+                engine: Optional[str] = None):
         analyzer = DeadlockAnalyzer(self.db, self.specs, assignment)
         analysis = analyzer.analyze(
             table_name=f"pdt_repair_{self._counter}",
+            engine=engine,
         )
         self._counter += 1
         return analysis.cycles()
@@ -133,6 +242,7 @@ class DeadlockRepairer:
                 assignment=assignment.reassigned(
                     f"{assignment.name}+mv-{a.message}", {key: fresh},
                 ),
+                changes=((a.message, a.src, a.dst, fresh),),
             ))
             fixes.append(Fix(
                 kind="dedicate-message",
@@ -142,6 +252,8 @@ class DeadlockRepairer:
                     f"{assignment.name}+ded-{a.message}", {key: fresh},
                     dedicated=assignment.dedicated | {fresh},
                 ),
+                changes=((a.message, a.src, a.dst, fresh),),
+                dedicated=(fresh,),
             ))
         # Pairs of dedicated message paths: single-message fixes often
         # plateau (in our protocol both mread *and* mwrite must leave the
@@ -162,6 +274,8 @@ class DeadlockRepairer:
                         {key_a: fresh, key_b: fresh2},
                         dedicated=assignment.dedicated | {fresh, fresh2},
                     ),
+                    changes=((*key_a, fresh), (*key_b, fresh2)),
+                    dedicated=(fresh, fresh2),
                 ))
         for vc in sorted(cyclic):
             fixes.append(Fix(
@@ -172,19 +286,74 @@ class DeadlockRepairer:
                     assignment.assignments,
                     dedicated=assignment.dedicated | {vc},
                 ),
+                dedicated=(vc,),
             ))
         return fixes
 
+    # -- journaled resume ------------------------------------------------------------
+    def _replay_fix(self, assignment: ChannelAssignment,
+                    record: dict) -> Fix:
+        """Rebuild one applied fix from its journal record."""
+        changes = tuple(tuple(c) for c in record.get("changes", ()))
+        newly_dedicated = tuple(record.get("dedicated", ()))
+        if changes or newly_dedicated:
+            rebuilt = assignment.reassigned(
+                record["name"],
+                {(m, s, d): ch for m, s, d, ch in changes},
+                dedicated=assignment.dedicated | set(newly_dedicated),
+            )
+        else:
+            rebuilt = assignment
+        return Fix(
+            kind=record["kind"],
+            description=record["description"],
+            assignment=rebuilt,
+            changes=changes,
+            dedicated=newly_dedicated,
+        )
+
     # -- the loop --------------------------------------------------------------------
-    def search(self, max_rounds: int = 4) -> RepairResult:
-        """Repeat the paper's analyze-modify loop until deadlock-free."""
+    def search(self, max_rounds: int = 4,
+               journal_path: Optional[str] = None) -> RepairResult:
+        """Repeat the paper's analyze-modify loop until deadlock-free.
+
+        With ``journal_path`` every applied round is durably appended to
+        a checkpoint journal first; re-running against an existing
+        journal replays the recorded fixes (no candidate re-evaluation)
+        and continues the search from where the previous process died.
+        """
+        from ..runtime import CheckpointJournal, load_journal
+
         t0 = time.perf_counter()
         evaluated = 0
         current = self.base
-        initial_cycles = cycles = self._cycles(current)
         applied: list[Fix] = []
+        journal = None
+        header = {
+            "kind": REPAIR_JOURNAL_KIND,
+            "assignment": self.base.name,
+            "base_digest": _assignment_digest(self.base),
+        }
+        if journal_path is not None:
+            if os.path.exists(journal_path) \
+                    and os.path.getsize(journal_path) > 0:
+                _, units = load_journal(journal_path)
+                for round_no in sorted(units):
+                    fix = self._replay_fix(current, units[round_no])
+                    applied.append(fix)
+                    current = fix.assignment
+                get_tracer().incr("repair.search.resumed_rounds",
+                                  len(applied))
+            journal = CheckpointJournal.open(journal_path, header)
 
-        for _ in range(max_rounds):
+        initial_cycles = self._cycles(self.base)
+        cycles = self._cycles(current) if applied else initial_cycles
+        # The applied-fix invariants: costs never decrease across rounds,
+        # and no fix may leave a cycle through a channel that was clean
+        # before it (repair strictly shrinks the cyclic region).
+        cost_floor = max((f.cost for f in applied), default=0)
+
+        for round_no in range(len(applied), max_rounds):
             if not cycles:
                 break
             # Cheap fixes first (moving a message / a dedicated path for
@@ -192,14 +361,17 @@ class DeadlockRepairer:
             # dedication is an architectural big hammer (unbounded
             # buffering for everything on it) and is only considered when
             # no cheap fix makes progress.
+            cyclic_before = _cyclic_channels(cycles)
             all_fixes = self.candidates(current, cycles)
             best: Optional[tuple[tuple, Fix, list]] = None
             for tier in (("move", "dedicate-message"), ("dedicate-channel",)):
                 for fix in all_fixes:
-                    if fix.kind not in tier:
+                    if fix.kind not in tier or fix.cost < cost_floor:
                         continue
                     fixed_cycles = self._cycles(fix.assignment)
                     evaluated += 1
+                    if _cyclic_channels(fixed_cycles) - cyclic_before:
+                        continue  # would break a previously-clean channel
                     score = (len(fixed_cycles), fix.cost)
                     if best is None or score < best[0]:
                         best = (score, fix, fixed_cycles)
@@ -210,7 +382,21 @@ class DeadlockRepairer:
             _, fix, cycles = best
             applied.append(fix)
             current = fix.assignment
+            cost_floor = fix.cost
+            get_tracer().incr("repair.search.fixes")
+            if journal is not None:
+                journal.record(round_no, {
+                    "kind": fix.kind,
+                    "description": fix.description,
+                    "name": fix.assignment.name,
+                    "changes": [list(c) for c in fix.changes],
+                    "dedicated": list(fix.dedicated),
+                    "cycles_after": len(cycles),
+                })
 
+        if journal is not None:
+            journal.close()
+        get_tracer().incr("repair.search.evaluated", evaluated)
         return RepairResult(
             initial_cycles=initial_cycles,
             applied=applied,
@@ -219,3 +405,90 @@ class DeadlockRepairer:
             evaluated=evaluated,
             seconds=time.perf_counter() - t0,
         )
+
+    # -- independent re-verification --------------------------------------------------
+    def reverify(
+        self,
+        result: RepairResult,
+        oracle_depth: int = 0,
+        oracle_nodes: int = 2,
+        oracle_lines: int = 1,
+        oracle_capacity: int = 1,
+    ) -> list[dict]:
+        """Independently re-verify every applied fix of ``result``.
+
+        Each fix's assignment is re-analyzed with *both* deadlock
+        engines (the set-based SQL engine and the pure-python parity
+        oracle must agree); when the repairer holds a live ``system``,
+        the structural invariants are re-checked and — with
+        ``oracle_depth > 0`` — the *final* repaired assignment is handed
+        to the bounded reachability oracle for a ground-truth sweep.
+        The verdict list is stored on ``result.reverified`` and a fix is
+        ``ok`` only if every check it could run passed.
+        """
+        verdicts: list[dict] = []
+        for i, fix in enumerate(result.applied):
+            sql_cycles = self._cycles(fix.assignment, engine="sql")
+            py_cycles = self._cycles(fix.assignment, engine="python")
+            is_final = i == len(result.applied) - 1
+            verdict: dict[str, Any] = {
+                "fix": fix.description,
+                "assignment": fix.assignment.name,
+                "cost": fix.cost,
+                "deadlock_sql": {"free": not sql_cycles,
+                                 "cycles": len(sql_cycles)},
+                "deadlock_python": {"free": not py_cycles,
+                                    "cycles": len(py_cycles)},
+                "engines_agree": len(sql_cycles) == len(py_cycles),
+                "invariants": None,
+                "oracle": None,
+            }
+            if self.system is not None:
+                verdict["invariants"] = bool(
+                    self.system.check_invariants().passed)
+                if is_final and oracle_depth > 0:
+                    verdict["oracle"] = self._oracle_verdict(
+                        fix.assignment, oracle_depth, oracle_nodes,
+                        oracle_lines, oracle_capacity)
+            checks = [verdict["engines_agree"]]
+            if is_final:
+                # Intermediate fixes legitimately leave residual cycles;
+                # the final assignment must be clean under every engine.
+                checks += [verdict["deadlock_sql"]["free"],
+                           verdict["deadlock_python"]["free"]]
+            if verdict["invariants"] is not None:
+                checks.append(verdict["invariants"])
+            if verdict["oracle"] is not None:
+                checks.append(not verdict["oracle"]["caught"])
+            verdict["ok"] = all(checks)
+            verdicts.append(verdict)
+            get_tracer().incr("repair.reverify.ok" if verdict["ok"]
+                              else "repair.reverify.failed")
+        result.reverified = verdicts
+        return verdicts
+
+    def _oracle_verdict(self, assignment: ChannelAssignment, depth: int,
+                        nodes: int, lines: int, capacity: int) -> dict:
+        """Bounded ground-truth sweep of the repaired assignment: the
+        repaired V is registered on the live system under its own name
+        and explored like any oracle-checked mutant."""
+        from ..explore.oracle import oracle_check
+
+        name = assignment.name
+        previous = self.system.channel_assignments.get(name)
+        self.system.channel_assignments[name] = assignment
+        try:
+            verdict = oracle_check(
+                self.system, assignment=name, depth=depth, nodes=nodes,
+                lines=lines, capacity=capacity, stop_on_violation=True)
+        finally:
+            if previous is None:
+                self.system.channel_assignments.pop(name, None)
+            else:
+                self.system.channel_assignments[name] = previous
+        return {
+            "caught": bool(verdict.caught),
+            "kind": verdict.kind,
+            "states": verdict.states,
+            "depth": verdict.depth,
+        }

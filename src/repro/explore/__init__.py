@@ -43,7 +43,13 @@ from .state import (
     restore_state,
     symmetry_mode,
 )
-from .store import DiskStateMap, SuccessorStore, system_fingerprint
+from .store import (
+    DiskStateMap,
+    SuccessorStore,
+    peek_fingerprint,
+    sample_frontier_states,
+    system_fingerprint,
+)
 
 __all__ = [
     "ExplorationError",
@@ -59,6 +65,8 @@ __all__ = [
     "DiskStateMap",
     "SuccessorStore",
     "system_fingerprint",
+    "peek_fingerprint",
+    "sample_frontier_states",
     "canonicalize",
     "decode_state",
     "encode_state",

@@ -30,6 +30,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import random
 from collections import OrderedDict
 from typing import Callable, Iterable, Optional
 
@@ -41,6 +43,8 @@ __all__ = [
     "SuccessorStore",
     "DiskStateMap",
     "system_fingerprint",
+    "peek_fingerprint",
+    "sample_frontier_states",
 ]
 
 #: schema tag recorded in the store's meta table.
@@ -441,6 +445,73 @@ class SuccessorStore:
     def close(self) -> None:
         self.flush()
         self.db.close()
+
+
+def peek_fingerprint(path: str) -> Optional[str]:
+    """The fingerprint recorded in a store file, read without opening it
+    as a :class:`SuccessorStore` (which would *drop* a store whose
+    fingerprint disagrees).  ``None`` if the file or meta table is
+    missing."""
+    if not os.path.exists(path):
+        return None
+    db = ProtocolDatabase(path)
+    try:
+        if not db.table_exists(META_TABLE):
+            return None
+        row = db.query(
+            f"SELECT value FROM {META_TABLE} WHERE key = 'fingerprint'")
+        return str(row[0]["value"]) if row else None
+    finally:
+        db.close()
+
+
+def sample_frontier_states(
+    path: str,
+    k: int = 1,
+    seed: int = 0,
+    fingerprint: Optional[str] = None,
+) -> list[tuple[str, tuple]]:
+    """Deterministically sample up to ``k`` stored canonical states from
+    a successor store, preferring *frontier* states (interned but never
+    expanded — the edge of what the explorer has reached).
+
+    Strictly read-only: a mismatched or absent store returns ``[]``
+    rather than being invalidated.  When ``fingerprint`` is given it must
+    match the stored one (same tables, assignment, and topology — the
+    precondition for restoring a sampled state into a simulator).
+    """
+    if k <= 0 or not os.path.exists(path):
+        return []
+    stored = peek_fingerprint(path)
+    if stored is None or (fingerprint is not None and stored != fingerprint):
+        return []
+    db = ProtocolDatabase(path)
+    try:
+        if not db.table_exists(STATES_TABLE):
+            return []
+        frontier_sql = (f"FROM {STATES_TABLE} WHERE id NOT IN "
+                        f"(SELECT id FROM {SUCC_TABLE})"
+                        if db.table_exists(SUCC_TABLE)
+                        else f"FROM {STATES_TABLE}")
+        total = int(db.scalar(f"SELECT COUNT(*) {frontier_sql}"))
+        if total == 0:  # fully-swept store: fall back to the deepest states
+            frontier_sql = f"FROM {STATES_TABLE}"
+            total = int(db.scalar(f"SELECT COUNT(*) {frontier_sql}"))
+        if total == 0:
+            return []
+        rng = random.Random(seed)
+        offsets = sorted(rng.sample(range(total), min(k, total)))
+        out: list[tuple[str, tuple]] = []
+        for off in offsets:
+            rows = db.query(
+                f"SELECT digest, enc {frontier_sql} "
+                f"ORDER BY id LIMIT 1 OFFSET ?", (off,))
+            if rows:
+                out.append((str(rows[0]["digest"]),
+                            decode_state(json.loads(rows[0]["enc"]))))
+        return out
+    finally:
+        db.close()
 
 
 class DiskStateMap:

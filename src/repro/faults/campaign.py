@@ -14,6 +14,13 @@ layers in the paper's order:
    lookup failures, coherence violations, deadlocks, and non-quiescent
    runs all count as detection.
 
+Two optional stages extend the pipeline: bounded exhaustive exploration
+(``oracle="explore"``) re-scores survivors as ground truth, and the
+repair stage (``repair=True``) closes the loop — deadlock-caught mutants
+get candidate channel-assignment fixes proposed, re-verified, and ranked
+by cost (:class:`repro.core.repair.DeadlockRepairer`), recorded on the
+:class:`DetectionReport`.
+
 The per-mutant :class:`DetectionReport` records the earliest layer that
 fired (or ESCAPED); :class:`CampaignResult` aggregates the fault-class ×
 layer detection matrix that ``repro mutate`` prints and commits as
@@ -108,6 +115,10 @@ class DetectionReport:
     #: True when a layer had to fall back (batched invariants ->
     #: unbatched, SQL deadlock engine -> Python) to produce the verdict.
     degraded: bool = False
+    #: repair-stage outcome (``RepairResult.to_dict()`` shape, or
+    #: ``{"success": False, "error": ...}``) for deadlock-caught mutants
+    #: when the campaign ran with ``repair=True``; None otherwise.
+    repair: Optional[dict] = None
 
     @property
     def caught(self) -> bool:
@@ -137,6 +148,10 @@ class DetectionReport:
             d["outcome"] = self.outcome
         if self.degraded:
             d["degraded"] = True
+        if self.repair is not None:
+            # Only stamped under --repair, so plain matrices stay
+            # byte-identical to pre-repair code versions.
+            d["repair"] = self.repair
         return d
 
     @classmethod
@@ -152,6 +167,7 @@ class DetectionReport:
             detail=d.get("detail", ""),
             outcome=d.get("outcome", "ok"),
             degraded=bool(d.get("degraded", False)),
+            repair=d.get("repair"),
         )
 
 
@@ -175,6 +191,10 @@ class CampaignResult:
     #: ``oracle`` column only when set, so non-oracle matrices stay
     #: byte-identical to pre-oracle code versions.
     oracle: Optional[dict] = None
+    #: repair-stage parameters (``{"rounds", "oracle_depth"}``) when the
+    #: fifth stage ran, else None.  Like ``oracle``, absent from
+    #: :meth:`to_dict` unless set so existing matrices stay stable.
+    repair: Optional[dict] = None
 
     @property
     def count(self) -> int:
@@ -229,6 +249,15 @@ class CampaignResult:
              "false_negative_rate": (round(by_layer[ORACLE_LAYER] / n, 4)
                                      if n else 0.0)}
             if self.oracle else {}
+        ) | (
+            # Repair bookkeeping, present only under --repair: how many
+            # deadlock-caught mutants got a fix proposed and how many of
+            # those fixes survived full re-verification.
+            {"repair_attempted": sum(1 for r in self.reports
+                                     if r.repair is not None),
+             "repaired": sum(1 for r in self.reports
+                             if _repair_ok(r.repair))}
+            if self.repair else {}
         )
 
     def to_dict(self) -> dict:
@@ -248,6 +277,8 @@ class CampaignResult:
             d["variant"] = self.variant
         if self.oracle:
             d["oracle"] = dict(self.oracle)
+        if self.repair:
+            d["repair"] = dict(self.repair)
         d |= {
             "matrix": self.matrix(),
             "totals": self.totals(),
@@ -290,6 +321,24 @@ class CampaignResult:
                 f"nodes={cfg.get('nodes')}): {t['false_negatives']} "
                 f"false negative(s) of the static+simulation layers "
                 f"({t['false_negative_rate'] * 100:.1f}%)")
+        if self.repair is not None:
+            attempted = [r for r in self.reports if r.repair is not None]
+            repaired = sum(1 for r in attempted if _repair_ok(r.repair))
+            lines.append(
+                f"repair stage (rounds={self.repair.get('rounds')}, "
+                f"oracle_depth={self.repair.get('oracle_depth')}): "
+                f"{repaired}/{len(attempted)} deadlock-caught mutants "
+                f"repaired and re-verified")
+            for r in attempted:
+                if _repair_ok(r.repair):
+                    fixes = "; ".join(
+                        f.get("description", f.get("kind", "?"))
+                        for f in r.repair.get("fixes", []))
+                    lines.append(f"  #{r.mutant_id} repaired: "
+                                 f"{fixes or 'no fix needed'}")
+                else:
+                    why = r.repair.get("error", "fixes failed re-verification")
+                    lines.append(f"  #{r.mutant_id} unrepaired: {why}")
         if self.resumed:
             lines.append(f"resumed from journal: {self.resumed} mutants "
                          f"restored, {t['count'] - self.resumed} executed")
@@ -313,8 +362,16 @@ class CampaignResult:
         return "\n".join(lines)
 
 
+def _repair_ok(repair: Optional[dict]) -> bool:
+    """Whether a repair-stage outcome counts as a full repair: the search
+    converged *and* every applied fix survived re-verification."""
+    return bool(repair and repair.get("success")
+                and all(v.get("ok") for v in repair.get("reverified", [])))
+
+
 def _detected(mutation: Mutation, layer: Optional[str], detail: str,
-              t0: float, degraded: bool = False) -> DetectionReport:
+              t0: float, degraded: bool = False,
+              repair: Optional[dict] = None) -> DetectionReport:
     return DetectionReport(
         mutant_id=mutation.mutant_id,
         fault_class=mutation.fault_class,
@@ -324,7 +381,39 @@ def _detected(mutation: Mutation, layer: Optional[str], detail: str,
         detail=detail,
         seconds=time.perf_counter() - t0,
         degraded=degraded,
+        repair=repair,
     )
+
+
+def _attempt_repair(system, assignment: str, cfg: dict) -> dict:
+    """The optional fifth stage: propose channel-assignment fixes for a
+    deadlock-caught mutant and re-verify each one.
+
+    Runs on the *live mutated system* (so in-memory channel moves are
+    part of the V being repaired, exactly as the deadlock layer saw it).
+    Every applied fix is re-checked through the invariant suite, both
+    deadlock engines, and — when ``oracle_depth`` > 0 — a bounded
+    exhaustive exploration of the repaired assignment.  A repair failure
+    never changes the detection verdict; it is recorded alongside it."""
+    from ..core.repair import DeadlockRepairer
+
+    tracer = get_tracer()
+    tracer.incr("repair.campaign.attempted")
+    try:
+        repairer = DeadlockRepairer.for_system(system, assignment)
+        result = repairer.search(max_rounds=cfg.get("rounds", 4))
+        repairer.reverify(result, oracle_depth=cfg.get("oracle_depth", 0))
+        out = result.to_dict()
+    except (DatabaseError, MissingAssignmentError, LookupError,
+            ValueError) as exc:
+        tracer.incr("repair.campaign.errors")
+        return {"success": False,
+                "error": f"{type(exc).__name__}: {exc}".splitlines()[0]}
+    if _repair_ok(out):
+        tracer.incr("repair.campaign.repaired")
+    else:
+        tracer.incr("repair.campaign.unrepaired")
+    return out
 
 
 def _failure_report(mutation: Mutation, outcome: str, error: str,
@@ -345,11 +434,15 @@ def _failure_report(mutation: Mutation, outcome: str, error: str,
 
 def _run_mutant(snapshot: bytes, mutation: Mutation, assignment: str,
                 clean_cycles: frozenset, sim_ops: int,
-                oracle: Optional[dict] = None) -> DetectionReport:
+                oracle: Optional[dict] = None,
+                repair: Optional[dict] = None) -> DetectionReport:
     """Clone the system, apply one mutation, and run the three layers
     (four with ``oracle``: bounded exhaustive exploration re-scores a
     mutant that survived everything else, turning "escaped" into either
-    a ground-truth miss or a confirmed false negative).
+    a ground-truth miss or a confirmed false negative; five with
+    ``repair``: deadlock-caught mutants — whether by the VCG layer or by
+    an oracle deadlock — additionally get candidate fixes proposed,
+    re-verified, and ranked by cost via :func:`_attempt_repair`).
 
     Each static layer degrades before it detects: a
     :class:`DatabaseError` from the batched invariant sweep retries the
@@ -412,13 +505,19 @@ def _run_mutant(snapshot: bytes, mutation: Mutation, assignment: str,
                 table_name="__mut_dep")
             return frozenset(tuple(c) for c in analysis.cycles())
 
+        def _repaired() -> Optional[dict]:
+            # Stage 5, attached to every deadlock-layer detection (and
+            # to oracle deadlocks below) when the campaign asked for it.
+            return (_attempt_repair(system, assignment, repair)
+                    if repair is not None else None)
+
         with span("mutate.deadlock", mutant=mutation.mutant_id):
             try:
                 cycles = _deadlock_cycles("sql")
             except MissingAssignmentError as exc:
                 return _detected(mutation, "deadlock",
                                  f"missing V entry: {exc}", t0,
-                                 degraded=degraded)
+                                 degraded=degraded, repair=_repaired())
             except DatabaseError:
                 try:
                     cycles = _deadlock_cycles("python")
@@ -426,12 +525,12 @@ def _run_mutant(snapshot: bytes, mutation: Mutation, assignment: str,
                 except MissingAssignmentError as exc:
                     return _detected(mutation, "deadlock",
                                      f"missing V entry: {exc}", t0,
-                                     degraded=True)
+                                     degraded=True, repair=_repaired())
                 except DatabaseError as exc:
                     return _detected(
                         mutation, "deadlock",
                         f"analysis error: {exc}".splitlines()[0], t0,
-                        degraded=True)
+                        degraded=True, repair=_repaired())
         if cycles != clean_cycles:
             new = sorted(cycles - clean_cycles)
             gone = len(clean_cycles - cycles)
@@ -441,7 +540,7 @@ def _run_mutant(snapshot: bytes, mutation: Mutation, assignment: str,
             if gone:
                 detail += f"; {gone} clean cycles vanished"
             return _detected(mutation, "deadlock", detail, t0,
-                             degraded=degraded)
+                             degraded=degraded, repair=_repaired())
 
         # Layer 3: short simulation workloads.
         with span("mutate.simulate", mutant=mutation.mutant_id):
@@ -478,8 +577,10 @@ def _run_mutant(snapshot: bytes, mutation: Mutation, assignment: str,
                     lines=oracle.get("lines", 1),
                     kernel=oracle.get("kernel", "compiled"))
             if verdict.caught:
+                fixed = (_repaired() if verdict.kind == "deadlock"
+                         else None)
                 return _detected(mutation, ORACLE_LAYER, verdict.detail,
-                                 t0, degraded=degraded)
+                                 t0, degraded=degraded, repair=fixed)
 
         return _detected(mutation, None, "", t0, degraded=degraded)
     finally:
@@ -489,21 +590,25 @@ def _run_mutant(snapshot: bytes, mutation: Mutation, assignment: str,
 def _mutant_unit(payload: tuple) -> DetectionReport:
     """Module-level unit adapter for :func:`repro.runtime.run_units`
     (must be picklable for ``isolation="process"``)."""
-    snapshot, mutation, assignment, clean_cycles, sim_ops, oracle = payload
+    (snapshot, mutation, assignment, clean_cycles, sim_ops, oracle,
+     repair) = payload
     return _run_mutant(snapshot, mutation, assignment, clean_cycles,
-                       sim_ops, oracle)
+                       sim_ops, oracle, repair)
 
 
 def _load_resume_state(resume_from: str, header: dict) -> dict[int, dict]:
     """Journaled completions keyed by mutant id, after validating that
     the journal belongs to this campaign's parameters."""
     journal_header, units = load_journal(resume_from)
-    for key, value in header.items():
-        if journal_header.get(key) != value:
+    # Symmetric comparison: a key present on either side must match, so
+    # a journal written *with* an optional stage (variant/oracle/repair)
+    # cannot seed a run without it any more than the reverse.
+    for key in sorted(set(header) | set(journal_header)):
+        if journal_header.get(key) != header.get(key):
             raise JournalError(
                 f"cannot resume: journal {resume_from!r} was written by a "
                 f"campaign with {key}={journal_header.get(key)!r}, this "
-                f"run has {key}={value!r}")
+                f"run has {key}={header.get(key)!r}")
     return {int(i): data for i, data in units.items()}
 
 
@@ -525,6 +630,9 @@ def run_campaign(
     oracle_nodes: int = 2,
     oracle_lines: int = 1,
     oracle_kernel: str = "compiled",
+    repair: bool = False,
+    repair_rounds: int = 4,
+    repair_oracle_depth: int = 0,
 ) -> CampaignResult:
     """Sample ``count`` mutants and measure the detection matrix.
 
@@ -556,6 +664,16 @@ def run_campaign(
     deterministic, so a resumed campaign's matrix is identical to an
     uninterrupted run's.
 
+    ``repair=True`` adds a fifth stage: every mutant caught by the
+    deadlock layer (or escaped the production layers and then caught as
+    an oracle deadlock) gets candidate channel-assignment fixes proposed
+    by :class:`repro.core.repair.DeadlockRepairer`, each re-verified
+    through the invariant suite, both deadlock engines, and — with
+    ``repair_oracle_depth`` > 0 — a bounded exploration of the repaired
+    V, ranked by cost, and appended to the mutant's
+    :class:`DetectionReport`.  Repair outcomes are journaled with the
+    verdicts, so resumed campaigns do not redo repair searches.
+
     ``variant`` picks the protocol-family member to mutate (default: the
     MESI baseline, or whatever family member a supplied ``system`` is);
     passing both a ``system`` and a conflicting ``variant`` is an
@@ -580,6 +698,8 @@ def run_campaign(
     # change a verdict and must not invalidate journals or baselines.
     # It travels to the workers in the unit payload only.
     unit_oracle = dict(oracle_cfg, kernel=oracle_kernel) if oracle_cfg else None
+    repair_cfg = ({"rounds": repair_rounds,
+                   "oracle_depth": repair_oracle_depth} if repair else None)
     with span("mutate.campaign", count=count, seed=seed,
               assignment=assignment, isolation=isolation):
         if system is None:
@@ -616,6 +736,12 @@ def run_campaign(
             # journal written under one oracle config must not seed a
             # campaign run under another (or under none).
             header["oracle"] = oracle_cfg
+        if repair_cfg:
+            # Repair outcomes live inside the journaled reports, so a
+            # journal written without (or with a different) repair config
+            # must not seed this run.  Absent by default so pre-repair
+            # journals keep resuming.
+            header["repair"] = repair_cfg
         completed: dict[int, dict] = {}
         if resume_from is not None:
             completed = _load_resume_state(resume_from, header)
@@ -725,7 +851,7 @@ def run_campaign(
 
             units = [(m.mutant_id,
                       (snapshot, m, assignment, clean_cycles, sim_ops,
-                       unit_oracle))
+                       unit_oracle, repair_cfg))
                      for m in pending]
             unit_results = run_units(
                 units, _mutant_unit, workers=workers, isolation=isolation,
@@ -758,6 +884,7 @@ def run_campaign(
             wall_seconds=time.perf_counter() - t0,
             resumed=len(restored),
             oracle=oracle_cfg,
+            repair=repair_cfg,
         )
         tracer.gauge("mutate.pre_sim_rate", result.totals()["pre_sim_rate"])
         return result
@@ -777,7 +904,8 @@ def compare_to_baseline(current: dict, baseline: dict) -> list[str]:
     if baseline.get("schema") != MATRIX_SCHEMA:
         return [f"baseline has schema {baseline.get('schema')!r}, "
                 f"expected {MATRIX_SCHEMA!r}"]
-    for key in ("seed", "assignment", "classes", "variant", "oracle"):
+    for key in ("seed", "assignment", "classes", "variant", "oracle",
+                "repair"):
         if baseline.get(key) != current.get(key):
             failures.append(
                 f"campaign parameter {key!r} differs from baseline "
@@ -809,4 +937,14 @@ def compare_to_baseline(current: dict, baseline: dict) -> list[str]:
             failures.append(
                 f"mutant #{i} ({cur['fault_class']}: {cur['description']}) "
                 f"was caught by {was}, now {now}")
+            continue
+        if _repair_ok(base.get("repair")) and not _repair_ok(
+                cur.get("repair")):
+            # Repair regressions gate too: a mutant the baseline campaign
+            # repaired (with every fix re-verified) must stay repairable.
+            why = (cur.get("repair") or {}).get(
+                "error", "fixes no longer pass re-verification")
+            failures.append(
+                f"mutant #{i} ({cur['fault_class']}: {cur['description']}) "
+                f"was repaired and re-verified, now is not ({why})")
     return failures

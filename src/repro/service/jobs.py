@@ -1,8 +1,8 @@
 """Job model and lifecycle state machine of the verification service.
 
 A *job* is one unit of verification work a client submitted: a mutation
-campaign, a bounded exploration, an invariant check, or a family
-pipeline stage.  Its lifecycle is a small, strictly validated state
+campaign, a bounded exploration, an invariant check, a family
+pipeline stage, or a deadlock repair search.  Its lifecycle is a small, strictly validated state
 machine (documented with a failure-mode table in ``docs/SERVICE.md``)::
 
     queued ──claim──▶ leased ──complete──▶ done
@@ -38,7 +38,7 @@ __all__ = [
 ]
 
 #: work the service knows how to run (see :mod:`repro.service.runner`).
-JOB_KINDS = ("campaign", "explore", "check", "family")
+JOB_KINDS = ("campaign", "explore", "check", "family", "repair")
 
 #: every state a job can be in.
 JOB_STATES = ("queued", "leased", "done", "failed", "cancelled")
@@ -64,11 +64,15 @@ _PARAM_SPECS: dict[str, dict[str, Any]] = {
     "family": {
         "variant": None, "nodes": 2, "assignment": "v5d", "chaos": None,
     },
+    "repair": {
+        "assignment": "v5", "variant": None, "rounds": 4,
+        "oracle_depth": 0, "chaos": None,
+    },
 }
 
 _INT_PARAMS = frozenset({
     "seed", "count", "sim_ops", "oracle_depth", "oracle_nodes",
-    "nodes", "depth", "lines", "workers",
+    "nodes", "depth", "lines", "workers", "rounds",
 })
 
 

@@ -33,7 +33,8 @@ from .chaos import chaos_active
 __all__ = ["run_job", "JOURNAL_NAMES"]
 
 #: per-kind checkpoint journal filename inside the job workdir.
-JOURNAL_NAMES = {"campaign": "campaign.jsonl", "explore": "explore.jsonl"}
+JOURNAL_NAMES = {"campaign": "campaign.jsonl", "explore": "explore.jsonl",
+                 "repair": "repair.jsonl"}
 
 
 def _campaign(params: dict, workdir: str) -> dict:
@@ -137,11 +138,42 @@ def _family(params: dict, workdir: str) -> dict:
     return doc
 
 
+def _repair(params: dict, workdir: str) -> dict:
+    """Deadlock repair search as a service job.  Long searches are
+    journaled to ``repair.jsonl`` in the workdir, so — like campaigns —
+    failover *is* resume: a re-leased job replays the dead worker's
+    applied fixes and continues from the next round."""
+    from ..core.repair import DeadlockRepairer
+    from ..protocols.family import build_variant
+
+    journal = os.path.join(workdir, JOURNAL_NAMES["repair"])
+    system = build_variant(params.get("variant") or "mesi")
+    try:
+        repairer = DeadlockRepairer.for_system(system, params["assignment"])
+        result = repairer.search(max_rounds=params["rounds"],
+                                 journal_path=journal)
+        repairer.reverify(result, oracle_depth=params["oracle_depth"])
+    finally:
+        system.db.close()
+    doc = result.to_dict()
+    atomic_write_json(os.path.join(workdir, "result.json"), doc)
+    return {
+        "success": result.success,
+        "fixes": len(result.applied),
+        "total_cost": result.total_cost,
+        "evaluated": result.evaluated,
+        "reverified_ok": all(v.get("ok") for v in result.reverified),
+        "result_path": os.path.join(workdir, "result.json"),
+        "journal_path": journal,
+    }
+
+
 _RUNNERS: dict[str, Callable[[dict, str], dict]] = {
     "campaign": _campaign,
     "explore": _explore,
     "check": _check,
     "family": _family,
+    "repair": _repair,
 }
 
 

@@ -16,8 +16,11 @@ from .channel import ChannelFabric, Envelope, VirtualChannelQueue
 from .system import SimConfig, SimResult, Simulator
 from .trace import render_sequence, transaction_slice
 from .workloads import (
+    IO_OPS,
+    ensure_recorder,
     figure2_scenario,
     figure4_scenario,
+    guided_workload,
     random_workload,
     Workload,
     WorkloadOp,
@@ -32,8 +35,11 @@ __all__ = [
     "Simulator",
     "Workload",
     "WorkloadOp",
+    "IO_OPS",
+    "ensure_recorder",
     "figure2_scenario",
     "figure4_scenario",
+    "guided_workload",
     "random_workload",
     "render_sequence",
     "transaction_slice",

@@ -12,6 +12,14 @@
 
 * :func:`random_workload` — seeded random loads/stores/evictions for
   soak testing; the coherence checker runs every step.
+
+* :func:`guided_workload` — coverage-guided traffic: reads the
+  persisted row-coverage ledger (``__coverage_ledger``) out of the
+  protocol database and synthesizes a seeded greedy/ε-random schedule
+  biased toward controller tables with unvisited rows — including the
+  device-initiated IO operations no fixed scenario issues — optionally
+  starting from an explorer frontier state sampled out of a
+  ``SuccessorStore``.
 """
 
 from __future__ import annotations
@@ -20,22 +28,31 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..analysis.coverage import CoverageRecorder, read_ledger
 from ..protocols.asura.system import AsuraSystem
+from ..telemetry import get_tracer
 from .system import SimConfig, Simulator
 
 __all__ = [
     "WorkloadOp",
     "Workload",
+    "IO_OPS",
     "figure2_scenario",
     "figure4_scenario",
     "random_workload",
+    "guided_workload",
+    "ensure_recorder",
 ]
+
+#: device-initiated operations; a :class:`WorkloadOp` carries them with
+#: ``node="io:<quad>"`` and they enter through ``Simulator.inject_io``.
+IO_OPS = ("io_read", "io_write", "dev_intr")
 
 
 @dataclass(frozen=True)
 class WorkloadOp:
-    node: str
-    op: str   # ld / st / evict
+    node: str  # node id, or "io:<quad>" for device-initiated ops
+    op: str    # ld / st / evict / io_read / io_write / dev_intr
     addr: str
 
 
@@ -49,7 +66,11 @@ class Workload:
 
     def inject_all(self) -> None:
         for op in self.ops:
-            self.simulator.inject_op(op.node, op.op, op.addr)
+            if op.op in IO_OPS:
+                quad = int(op.node.split(":", 1)[1])
+                self.simulator.inject_io(quad, op.op, op.addr)
+            else:
+                self.simulator.inject_op(op.node, op.op, op.addr)
 
     def run(self, max_steps: Optional[int] = None):
         self.inject_all()
@@ -146,4 +167,187 @@ def random_workload(
         simulator=sim,
         ops=ops,
         description=f"random workload (seed={seed}, {n_ops} ops)",
+    )
+
+
+#: controller tables each operation kind can exercise (primary first).
+#: The map drives the greedy policy: an op kind scores by how much of
+#: its tables is still uncovered, so once the processor-side rows are
+#: exhausted the generator pivots to the device-initiated transactions
+#: that no fixed scenario or random CPU workload ever issues.
+_OP_TABLES: dict[str, tuple[str, ...]] = {
+    "ld": ("C", "N", "D", "M"),
+    "st": ("C", "N", "D", "M"),
+    "evict": ("N", "D", "M", "C"),
+    "io_read": ("IO", "D", "M"),
+    "io_write": ("IO", "D", "M"),
+    "dev_intr": ("IO", "N"),
+}
+
+#: score weight of an op kind's primary vs secondary tables.
+_PRIMARY_WEIGHT, _SECONDARY_WEIGHT = 1.0, 0.35
+
+#: per-pick attenuation of a table's uncovered estimate — the policy
+#: assumes each injected op will cover some of the rows it targets, so
+#: repeated greedy picks of one kind decay toward the alternatives.
+_PRIMARY_DECAY, _SECONDARY_DECAY = 0.90, 0.985
+
+
+def ensure_recorder(sim: Simulator) -> CoverageRecorder:
+    """Attach a coverage recorder to an already-built simulator (coverage
+    is normally decided at construction; this rebuilds the model hooks)."""
+    if sim.recorder is None:
+        sim.recorder = CoverageRecorder()
+        for model in (*sim.directories.values(), *sim.memories.values(),
+                      *sim.nodes.values(), *sim.ios.values()):
+            model.recorder = sim.recorder
+        sim.config.coverage = True
+    return sim.recorder
+
+
+def _frontier_preset(system, frontier_dir: str, assignment: str,
+                     seed: int, nodes: int, lines: int, capacity: int,
+                     symmetry, quads: Optional[int]):
+    """Build an explorer-topology simulator restored into one sampled
+    frontier state, or ``None`` when the store is absent or was built
+    for a different protocol/topology fingerprint."""
+    import os
+
+    from ..explore.explorer import ExploreConfig, _build_simulator
+    from ..explore.state import restore_state
+    from ..explore.store import sample_frontier_states, system_fingerprint
+
+    config = ExploreConfig(nodes=nodes, lines=lines, assignment=assignment,
+                           capacity=capacity, symmetry=symmetry, quads=quads)
+    path = os.path.join(frontier_dir, "frontier.sqlite")
+    samples = sample_frontier_states(
+        path, k=1, seed=seed,
+        fingerprint=system_fingerprint(system, config))
+    if not samples:
+        return None
+    home_map = {f"L{i}": 0 for i in range(lines)}
+    sim = _build_simulator(system, config, home_map)
+    digest, state = samples[0]
+    restore_state(sim, state)
+    return sim, home_map, digest
+
+
+def guided_workload(
+    system: AsuraSystem,
+    assignment: str = "v5d",
+    n_quads: int = 2,
+    nodes_per_quad: int = 2,
+    n_lines: int = 4,
+    n_ops: int = 60,
+    seed: int = 0,
+    capacity: int = 2,
+    epsilon: float = 0.2,
+    ledger: Optional[CoverageRecorder] = None,
+    frontier_dir: Optional[str] = None,
+    frontier_nodes: int = 2,
+    frontier_lines: int = 1,
+    frontier_capacity: int = 1,
+    frontier_symmetry=True,
+    frontier_quads: Optional[int] = None,
+) -> Workload:
+    """Coverage-guided traffic: ops biased toward unvisited table rows.
+
+    The generator reads the row-coverage ledger persisted in the
+    protocol database (``ledger=None``; pass a recorder to override),
+    estimates the uncovered fraction of each controller table, and emits
+    a seeded schedule: with probability ``epsilon`` a uniformly random
+    op kind (exploration), otherwise the kind whose tables hold the most
+    unvisited rows (greedy), decaying the estimate as picks accumulate.
+    Device-initiated IO transactions participate on equal footing with
+    processor ops — the coverage gap every fixed scenario leaves open.
+
+    With ``frontier_dir`` the simulator additionally starts from an
+    explorer frontier state sampled out of the ``SuccessorStore`` there
+    (when its fingerprint matches the ``frontier_*`` topology), so the
+    schedule continues from the edge of what exhaustive search reached
+    instead of from the reset state.
+    """
+    rng = random.Random(seed)
+    if ledger is None:
+        ledger = read_ledger(system.db)
+
+    preset = None
+    if frontier_dir is not None:
+        preset = _frontier_preset(
+            system, frontier_dir, assignment, seed, frontier_nodes,
+            frontier_lines, frontier_capacity, frontier_symmetry,
+            frontier_quads)
+        get_tracer().incr("coverage.guided.frontier_hit" if preset
+                          else "coverage.guided.frontier_miss")
+
+    if preset is not None:
+        sim, home_map, digest = preset
+        origin = f"frontier state {digest[:12]}"
+    else:
+        config = SimConfig(
+            n_quads=n_quads,
+            nodes_per_quad=nodes_per_quad,
+            default_capacity=capacity,
+            home_map={f"L{i}": i % n_quads for i in range(n_lines)},
+            reissue_delay=6,
+        )
+        sim = Simulator(system, assignment=assignment, config=config)
+        home_map = config.home_map
+        origin = "reset state"
+    ensure_recorder(sim)
+
+    nodes = sorted(sim.nodes)
+    addrs = list(home_map)
+    quads = list(range(sim.config.n_quads))
+    kinds = list(_OP_TABLES)
+
+    # Uncovered-fraction estimate per controller table, from the ledger.
+    frac: dict[str, float] = {}
+    for name in ("D", "M", "C", "N", "IO"):
+        table = system.tables.get(name)
+        if table is None:
+            frac[name] = 0.0
+            continue
+        total = table.row_count
+        covered = len(ledger.hits.get(name, ()))
+        frac[name] = max(0.0, (total - covered) / total) if total else 0.0
+
+    def score(kind: str) -> float:
+        tables = _OP_TABLES[kind]
+        s = _PRIMARY_WEIGHT * frac.get(tables[0], 0.0)
+        for t in tables[1:]:
+            s += _SECONDARY_WEIGHT * frac.get(t, 0.0)
+        return s
+
+    ops: list[WorkloadOp] = []
+    prev_addr: Optional[str] = None
+    for _ in range(n_ops):
+        if rng.random() < epsilon:
+            kind = rng.choice(kinds)
+        else:
+            best = max(score(k) for k in kinds)
+            kind = rng.choice([k for k in kinds
+                               if score(k) >= best - 1e-9])
+        tables = _OP_TABLES[kind]
+        frac[tables[0]] = frac.get(tables[0], 0.0) * _PRIMARY_DECAY
+        for t in tables[1:]:
+            frac[t] = frac.get(t, 0.0) * _SECONDARY_DECAY
+        # Conflict bias: half the time revisit the previous line so
+        # invalidation/forwarding rows get exercised, not just misses.
+        if prev_addr is not None and rng.random() < 0.5:
+            addr = prev_addr
+        else:
+            addr = rng.choice(addrs)
+        prev_addr = addr
+        if kind in IO_OPS:
+            ops.append(WorkloadOp(f"io:{rng.choice(quads)}", kind, addr))
+        else:
+            ops.append(WorkloadOp(rng.choice(nodes), kind, addr))
+
+    get_tracer().incr("coverage.guided.ops", len(ops))
+    return Workload(
+        simulator=sim,
+        ops=ops,
+        description=(f"guided workload (seed={seed}, {n_ops} ops, "
+                     f"epsilon={epsilon}, from {origin})"),
     )

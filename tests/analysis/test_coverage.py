@@ -2,7 +2,16 @@
 
 import pytest
 
-from repro.analysis.coverage import CoverageRecorder, coverage_report
+from repro.analysis.coverage import (
+    LEDGER_TABLE,
+    CoverageRecorder,
+    coverage_report,
+    distinct_rows,
+    ledger_rows,
+    read_ledger,
+    write_ledger,
+)
+from repro.core import ProtocolDatabase
 from repro.sim import figure2_scenario, random_workload
 from repro.sim.system import SimConfig, Simulator
 
@@ -100,3 +109,67 @@ class TestSimulatorCoverage:
         report = coverage_report(rec, {"PE": t})
         assert report.per_table["PE"].fraction == 1.0
         assert report.per_table["PE"].uncovered == []
+
+
+def _recorder(*hits):
+    rec = CoverageRecorder()
+    for table, rowid in hits:
+        rec.record(table, rowid)
+    return rec
+
+
+class TestCoverageLedger:
+    def test_empty_db_reads_empty_recorder(self, db):
+        rec = read_ledger(db)
+        assert rec.hits == {} and distinct_rows(rec) == 0
+
+    def test_roundtrip(self, db):
+        rec = _recorder(("D", 1), ("D", 1), ("N", 7))
+        total = write_ledger(db, rec)
+        assert total == 2
+        back = read_ledger(db)
+        assert back.hits["D"][1] == 2 and back.hits["N"][7] == 1
+        assert db.table_exists(LEDGER_TABLE)
+
+    def test_write_merges_with_existing(self, db):
+        write_ledger(db, _recorder(("D", 1)))
+        total = write_ledger(db, _recorder(("D", 1), ("M", 3)))
+        assert total == 2
+        back = read_ledger(db)
+        assert back.hits["D"][1] == 2 and back.hits["M"][3] == 1
+
+    def test_write_without_merge_replaces(self, db):
+        write_ledger(db, _recorder(("D", 1)))
+        write_ledger(db, _recorder(("M", 3)), merge=False)
+        assert read_ledger(db).hits == {"M": {3: 1}}
+
+    def test_interrupted_run_ledger_byte_identical(self):
+        """A run journaled in two chunks (interrupt + resume) must leave
+        the exact same stored ledger as the uninterrupted run: same rows,
+        same order, same TEXT values."""
+        chunk_a = _recorder(("D", 2), ("D", 9), ("C", 4), ("IO", 1))
+        chunk_b = _recorder(("D", 9), ("N", 5), ("C", 4))
+        full = CoverageRecorder()
+        full.merge(chunk_a)
+        full.merge(chunk_b)
+        with ProtocolDatabase() as resumed, ProtocolDatabase() as straight:
+            write_ledger(resumed, chunk_a)
+            write_ledger(resumed, chunk_b)
+            write_ledger(straight, full)
+            assert ledger_rows(resumed) == ledger_rows(straight)
+
+    def test_ledger_rows_sorted_and_stringly(self, db):
+        write_ledger(db, _recorder(("N", 10), ("D", 2), ("D", 1)))
+        rows = ledger_rows(db)
+        assert [(r["table_name"], r["row_id"]) for r in rows] == [
+            ("D", "1"), ("D", "2"), ("N", "10")]
+        assert all(isinstance(v, str) for r in rows for v in r.values())
+
+    def test_simulated_run_feeds_ledger(self, system):
+        with ProtocolDatabase() as db:
+            w = figure2_scenario(system)
+            from repro.sim import ensure_recorder
+            rec = ensure_recorder(w.simulator)
+            assert w.run().status == "quiescent"
+            total = write_ledger(db, rec)
+            assert total == distinct_rows(rec) > 0

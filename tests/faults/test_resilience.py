@@ -24,7 +24,7 @@ class TestCrashedWorkers:
         orig = campaign_mod._run_mutant
 
         def exploding(snapshot, mutation, assignment, clean_cycles,
-                      sim_ops, oracle=None):
+                      sim_ops, oracle=None, repair=None):
             if mutation.mutant_id == 1:
                 raise RuntimeError("synthetic worker crash")
             return orig(snapshot, mutation, assignment, clean_cycles,
@@ -127,7 +127,7 @@ class TestJournalAndResume:
         orig = campaign_mod._run_mutant
 
         def counting(snapshot, mutation, assignment, clean_cycles,
-                     sim_ops, oracle=None):
+                     sim_ops, oracle=None, repair=None):
             executed.append(mutation.mutant_id)
             return orig(snapshot, mutation, assignment, clean_cycles,
                         sim_ops)
@@ -181,7 +181,7 @@ class TestProcessIsolation:
         orig = campaign_mod._run_mutant
 
         def hanging(snapshot, mutation, assignment, clean_cycles,
-                    sim_ops, oracle=None):
+                    sim_ops, oracle=None, repair=None):
             if mutation.mutant_id == 0:
                 time.sleep(120)  # forked child inherits this patch
             return orig(snapshot, mutation, assignment, clean_cycles,

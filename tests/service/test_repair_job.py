@@ -1,0 +1,66 @@
+"""Tests for the ``repair`` service job kind (journaled, resumable)."""
+
+import json
+import os
+
+import pytest
+
+from repro.service.jobs import JobValidationError, validate_params
+from repro.service.runner import JOURNAL_NAMES, run_job
+
+
+class TestRepairParams:
+    def test_defaults(self):
+        params = validate_params("repair", None)
+        assert params == {"assignment": "v5", "variant": None, "rounds": 4,
+                          "oracle_depth": 0, "chaos": None}
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(JobValidationError, match="unknown parameter"):
+            validate_params("repair", {"depth": 4})
+
+    def test_rounds_must_be_integer(self):
+        with pytest.raises(JobValidationError, match="integer"):
+            validate_params("repair", {"rounds": "many"})
+
+
+class TestRepairRunner:
+    @pytest.fixture(scope="class")
+    def done(self, tmp_path_factory):
+        workdir = str(tmp_path_factory.mktemp("repair-job"))
+        params = validate_params("repair", {"rounds": 3})
+        summary = run_job("repair", params, workdir)
+        return workdir, params, summary
+
+    def test_summary_shape(self, done):
+        _, _, summary = done
+        assert summary["success"] is True
+        assert summary["fixes"] >= 1
+        assert summary["reverified_ok"] is True
+        assert summary["total_cost"] >= 1
+
+    def test_result_document_written(self, done):
+        workdir, _, summary = done
+        with open(summary["result_path"], encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert doc["success"] and doc["fixes"]
+        assert all(v["ok"] for v in doc["reverified"])
+        assert summary["result_path"] == os.path.join(workdir,
+                                                      "result.json")
+
+    def test_failover_is_resume(self, done):
+        """A re-leased attempt finds the dead worker's journal in the
+        workdir and replays instead of re-searching."""
+        workdir, params, summary = done
+        journal = os.path.join(workdir, JOURNAL_NAMES["repair"])
+        assert os.path.exists(journal)
+        again = run_job("repair", params, workdir)
+        assert again["fixes"] == summary["fixes"]
+        assert again["evaluated"] == 0  # replayed, not re-evaluated
+        assert again["success"] and again["reverified_ok"]
+
+    def test_variant_member_repairs_own_tables(self, tmp_path):
+        params = validate_params("repair",
+                                 {"variant": "moesi", "rounds": 3})
+        summary = run_job("repair", params, str(tmp_path))
+        assert summary["success"] and summary["reverified_ok"]
